@@ -1,0 +1,188 @@
+package rota
+
+// The benchmark harness: one benchmark per evaluation artifact (see
+// DESIGN.md's experiment index and EXPERIMENTS.md for recorded output).
+// The ROTA paper publishes no measured tables or figures — E1/E2 cover
+// its two formal artifacts (Table I, the §III/§IV/Fig.1 worked examples)
+// and E3–E9 are the constructed evaluation. Each benchmark runs the
+// corresponding experiment end to end, so `go test -bench=.` regenerates
+// every row; run `go run ./cmd/rotabench` for the human-readable tables.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+// benchTable runs an experiment builder b.N times, keeping the harness
+// honest: each iteration regenerates the full table.
+func benchTable(b *testing.B, build func() *metrics.Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t := build()
+		if t.NumRows() == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+		t.RenderCSV(io.Discard)
+	}
+}
+
+// BenchmarkE1AllenRelations regenerates paper Table I with algebra
+// validation.
+func BenchmarkE1AllenRelations(b *testing.B) {
+	benchTable(b, experiments.E1AllenRelations)
+}
+
+// BenchmarkE2Semantics regenerates the §III/§IV/Figure-1 worked examples.
+func BenchmarkE2Semantics(b *testing.B) {
+	benchTable(b, experiments.E2Semantics)
+}
+
+// BenchmarkE3CheckerSoundness validates admitted ⇒ on-time over random
+// scenarios (reduced trial count per iteration; the full run is in
+// EXPERIMENTS.md).
+func BenchmarkE3CheckerSoundness(b *testing.B) {
+	cfg := experiments.DefaultE3()
+	cfg.Trials = 40
+	benchTable(b, func() *metrics.Table { return experiments.E3CheckerSoundness(cfg) })
+}
+
+// BenchmarkE4AdmissionSweep compares the four policies across offered
+// load (one low and one overloaded point per iteration).
+func BenchmarkE4AdmissionSweep(b *testing.B) {
+	cfg := experiments.DefaultE4()
+	cfg.Horizon = 200
+	cfg.Loads = []float64{0.5, 1.5}
+	benchTable(b, func() *metrics.Table { return experiments.E4AdmissionSweep(cfg) })
+}
+
+// BenchmarkE5Churn runs the open-system churn grid (one churn rate, two
+// renege rates per iteration).
+func BenchmarkE5Churn(b *testing.B) {
+	cfg := experiments.DefaultE5()
+	cfg.Horizon = 200
+	cfg.ChurnInterarrivals = []float64{4}
+	benchTable(b, func() *metrics.Table { return experiments.E5Churn(cfg) })
+}
+
+// BenchmarkE6Scalability times the Theorem-4 decision across state
+// sizes.
+func BenchmarkE6Scalability(b *testing.B) {
+	cfg := experiments.DefaultE6()
+	cfg.TermCounts = []int{8, 64}
+	cfg.ActorCounts = []int{1, 4}
+	cfg.Reps = 5
+	benchTable(b, func() *metrics.Table { return experiments.E6Scalability(cfg) })
+}
+
+// BenchmarkE7DeltaT runs the Δt granularity ablation.
+func BenchmarkE7DeltaT(b *testing.B) {
+	cfg := experiments.DefaultE7()
+	cfg.Scales = []int64{1, 4}
+	cfg.NumJobs = 25
+	cfg.BaseHorizon = 150
+	benchTable(b, func() *metrics.Table { return experiments.E7DeltaT(cfg) })
+}
+
+// BenchmarkE8Encapsulation runs the CyberOrgs encapsulation ablation.
+func BenchmarkE8Encapsulation(b *testing.B) {
+	cfg := experiments.DefaultE8()
+	cfg.Horizon = 150
+	cfg.JobsPerLocation = 6
+	benchTable(b, func() *metrics.Table { return experiments.E8Encapsulation(cfg) })
+}
+
+// ---- Micro-benchmarks of the decision procedures themselves ----
+
+// BenchmarkMeetDeadline times the Theorem-3 check on the canonical
+// three-phase computation.
+func BenchmarkMeetDeadline(b *testing.B) {
+	theta := NewSet(
+		NewTerm(UnitsRate(2), CPUAt("l1"), NewInterval(0, 64)),
+		NewTerm(UnitsRate(1), Link("l1", "l2"), NewInterval(0, 64)),
+	)
+	comp, err := Realize(PaperCost(), "a1",
+		Evaluate("a1", "l1", 1),
+		Send("a1", "l1", "a2", "l2", 1),
+		Evaluate("a1", "l1", 1),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MeetDeadline(theta, comp, 0, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdmit times the full Theorem-4 pipeline including plan
+// verification.
+func BenchmarkAdmit(b *testing.B) {
+	theta := NewSet(NewTerm(UnitsRate(4), CPUAt("l1"), NewInterval(0, 1<<20)))
+	comp, err := Realize(PaperCost(), "a1", Evaluate("a1", "l1", 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dist, err := NewDistributed("job", 0, 8, comp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		state := NewState(theta, 0)
+		if _, _, err := Admit(state, dist); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTick times one general-transition step with an active
+// commitment.
+func BenchmarkTick(b *testing.B) {
+	theta := NewSet(NewTerm(UnitsRate(2), CPUAt("l1"), NewInterval(0, 1<<40)))
+	comp, err := Realize(PaperCost(), "a1", Evaluate("a1", "l1", 1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	comp.Steps[0].Amounts = Amounts{CPUAt("l1"): UnitsQty(1 << 30)}
+	dist, err := NewDistributed("long", 0, 1<<39, comp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	state, _, err := Admit(state0(theta), dist)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next, _, viols := Tick(state, 1)
+		if len(viols) != 0 {
+			b.Fatal("unexpected violation")
+		}
+		state = next
+	}
+}
+
+func state0(theta Set) State {
+	return NewState(theta, 0)
+}
+
+// BenchmarkE9Workflows runs the interacting-actors extension comparison.
+func BenchmarkE9Workflows(b *testing.B) {
+	cfg := experiments.DefaultE9()
+	cfg.FanOuts = []int{2, 4}
+	cfg.Trials = 15
+	benchTable(b, func() *metrics.Table { return experiments.E9Workflows(cfg) })
+}
+
+// BenchmarkE10Estimation runs the Φ-estimation-error ablation.
+func BenchmarkE10Estimation(b *testing.B) {
+	cfg := experiments.DefaultE10()
+	cfg.Trials = 40
+	cfg.RelErrs = []float64{0.25}
+	benchTable(b, func() *metrics.Table { return experiments.E10Estimation(cfg) })
+}

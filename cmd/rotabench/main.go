@@ -1,0 +1,60 @@
+// Command rotabench runs the evaluation suite E1–E10 (see DESIGN.md and
+// EXPERIMENTS.md) and prints each experiment's table.
+//
+// Usage:
+//
+//	rotabench                 # run everything
+//	rotabench -exp e4         # one experiment
+//	rotabench -exp e4 -csv    # machine-readable output
+//	rotabench -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rotabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rotabench", flag.ContinueOnError)
+	exp := fs.String("exp", "", "experiment id to run (e1..e10); empty runs all")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Fprintln(out, strings.Join(experiments.IDs(), "\n"))
+		return nil
+	}
+	ids := experiments.IDs()
+	if *exp != "" {
+		ids = []string{strings.ToLower(*exp)}
+	}
+	for i, id := range ids {
+		table, err := experiments.ByID(id)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			table.RenderCSV(out)
+		} else {
+			if i > 0 {
+				fmt.Fprintln(out)
+			}
+			table.Render(out)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"e1", "e9"} {
+		if !strings.Contains(sb.String(), id) {
+			t.Errorf("list missing %s: %q", id, sb.String())
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "E1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Allen interval relations") {
+		t.Errorf("unexpected output: %q", sb.String())
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "e1", "-csv"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(sb.String(), "\n", 2)[0]
+	if first != "relation,symbol,witness A,witness B,converse" {
+		t.Errorf("CSV header = %q", first)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "e42"}, &sb); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-nonsense"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,186 @@
+// Command rotacheck decides deadline assurance for the jobs of a
+// scenario file: for each job, in arrival order, it runs the Theorem-4
+// admission check against the remaining free resources and prints the
+// verdict with its witness break points.
+//
+// Usage:
+//
+//	rotacheck scenario.rota
+//	rotacheck -independent scenario.rota   # check each job against the full Θ
+//	echo "..." | rotacheck -
+//
+// Exit status is 0 when every job is accommodated, 2 when any is not.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/compute"
+	"repro/internal/core"
+	"repro/internal/formula"
+	"repro/internal/scenario"
+	"repro/internal/schedule"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rotacheck:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("rotacheck", flag.ContinueOnError)
+	independent := fs.Bool("independent", false,
+		"check every job against the full resource set instead of admitting cumulatively")
+	verbose := fs.Bool("v", false, "print witness allocations, not just break points")
+	query := fs.String("formula", "",
+		`ROTA formula to evaluate on the committed path, e.g. "<> satisfy{8:cpu@l1}(0,20)" or "satisfy(j1)"`)
+	stateIn := fs.String("state", "", "load the initial ROTA state from a snapshot instead of starting fresh")
+	stateOut := fs.String("save-state", "", "write the final ROTA state (resources + commitments) to this snapshot file")
+	if err := fs.Parse(args); err != nil {
+		return 1, err
+	}
+	if fs.NArg() != 1 {
+		return 1, fmt.Errorf("usage: rotacheck [-independent] [-v] <scenario-file|->")
+	}
+	var in io.Reader
+	if fs.Arg(0) == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return 1, err
+		}
+		defer f.Close()
+		in = f
+	}
+	sc, err := scenario.Parse(in, nil)
+	if err != nil {
+		return 1, err
+	}
+	fmt.Fprintf(out, "resources: %s\n", sc.Resources)
+
+	var state core.State
+	if *stateIn != "" {
+		f, err := os.Open(*stateIn)
+		if err != nil {
+			return 1, err
+		}
+		state, err = core.RestoreState(f)
+		f.Close()
+		if err != nil {
+			return 1, err
+		}
+		// Scenario resources join the restored state (acquisition rule).
+		state, _ = core.Acquire(state, sc.Resources)
+		fmt.Fprintf(out, "restored state at t=%d with %d commitments\n",
+			state.Now, len(state.Commitments))
+	} else {
+		state = core.NewState(sc.Resources, 0)
+	}
+	allOK := true
+	for _, job := range sc.Jobs {
+		var plan schedule.Plan
+		var admitErr error
+		if *independent {
+			fresh := core.NewState(sc.Resources, 0)
+			plan, admitErr = core.AccommodateAdditional(fresh, job)
+		} else {
+			var next core.State
+			next, plan, admitErr = core.Admit(state, job)
+			if admitErr == nil {
+				state = next
+			}
+		}
+		if admitErr != nil {
+			allOK = false
+			fmt.Fprintf(out, "job %-12s REFUSED  (%v)\n", job.Name, admitErr)
+			continue
+		}
+		fmt.Fprintf(out, "job %-12s ASSURED  finish by %d (deadline %d)\n",
+			job.Name, plan.Finish, job.Deadline)
+		actors := make([]string, 0, len(plan.Breaks))
+		for a := range plan.Breaks {
+			actors = append(actors, string(a))
+		}
+		sort.Strings(actors)
+		for _, a := range actors {
+			fmt.Fprintf(out, "  actor %-10s breaks %v\n", a, plan.Breaks[compute.ActorName(a)])
+		}
+		if *verbose {
+			for _, alloc := range plan.Allocs {
+				fmt.Fprintf(out, "  alloc %s phase %d: %s\n", alloc.Actor, alloc.Phase, alloc.Term)
+			}
+		}
+	}
+	// Workflow jobs (segment/wait directives) are decided independently
+	// against the full resource set: the witness is per-segment timing.
+	for _, w := range sc.Workflows {
+		plan, err := schedule.FeasibleWorkflow(sc.Resources, w)
+		if err != nil {
+			allOK = false
+			fmt.Fprintf(out, "job %-12s REFUSED  (%v)\n", w.Name, err)
+			continue
+		}
+		fmt.Fprintf(out, "job %-12s ASSURED  finish by %d (deadline %d, workflow)\n",
+			w.Name, plan.Finish, w.Deadline)
+		order, _ := w.TopoOrder()
+		for _, ref := range order {
+			fmt.Fprintf(out, "  segment %-10v runs (%d → %d)\n", ref, plan.StartAt[ref], plan.DoneAt[ref])
+		}
+		if *verbose {
+			for _, alloc := range plan.Allocs {
+				fmt.Fprintf(out, "  alloc %v phase %d: %s\n", alloc.Ref, alloc.Phase, alloc.Term)
+			}
+		}
+	}
+
+	if *query != "" {
+		jobsByName := make(map[string]compute.Distributed, len(sc.Jobs))
+		for _, j := range sc.Jobs {
+			jobsByName[j.Name] = j
+		}
+		f, err := formula.Parse(*query, jobsByName)
+		if err != nil {
+			return 1, err
+		}
+		// Materialize the committed path (admitted jobs execute their
+		// plans; everything else expires) and evaluate at t=0.
+		horizon := sc.Resources.Hull().End
+		for _, j := range sc.Jobs {
+			if j.Deadline > horizon {
+				horizon = j.Deadline
+			}
+		}
+		res := core.Run(state, horizon, 1)
+		verdict, err := core.Eval(res.Path, 0, f)
+		if err != nil {
+			return 1, err
+		}
+		fmt.Fprintf(out, "formula %s = %v\n", f, verdict)
+	}
+	if *stateOut != "" {
+		f, err := os.Create(*stateOut)
+		if err != nil {
+			return 1, err
+		}
+		werr := core.Snapshot(state, f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return 1, werr
+		}
+	}
+	if !allOK {
+		return 2, nil
+	}
+	return 0, nil
+}

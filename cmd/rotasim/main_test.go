@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultRota(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-jobs", "20", "-horizon", "150"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"rota / planned", "offered", "admitted", "miss rate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The rota/planned run must report zero misses and violations.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "missed") || strings.HasPrefix(line, "violations") {
+			if !strings.Contains(line, "| 0") {
+				t.Errorf("assurance broken: %s", line)
+			}
+		}
+	}
+}
+
+func TestRunPolicies(t *testing.T) {
+	for _, policy := range []string{"naive-total", "edf-feasible", "always-admit", "rota-exhaustive"} {
+		var sb strings.Builder
+		if err := run([]string{"-policy", policy, "-jobs", "10", "-horizon", "100"}, &sb); err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if !strings.Contains(sb.String(), policy) {
+			t.Errorf("%s missing from output", policy)
+		}
+	}
+}
+
+func TestRunExecutorOverride(t *testing.T) {
+	var sb strings.Builder
+	// Explicitly requesting planned for a planless policy must fail at
+	// the first admission.
+	err := run([]string{"-policy", "always-admit", "-executor", "planned", "-jobs", "5", "-horizon", "80"}, &sb)
+	if err == nil {
+		t.Error("planned executor with planless policy should fail")
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-jobs", "5", "-horizon", "80", "-csv"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "metric,value") {
+		t.Errorf("CSV header missing: %q", strings.SplitN(sb.String(), "\n", 2)[0])
+	}
+}
+
+func TestRunNoChurnStaticBase(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-churn", "0", "-jobs", "10", "-horizon", "100"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidationErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-policy", "bogus"}, &sb); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := run([]string{"-executor", "bogus"}, &sb); err == nil {
+		t.Error("unknown executor accepted")
+	}
+	if err := run([]string{"-badflag"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunRepairAndTraceFlags(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := dir + "/run.jsonl"
+	var sb strings.Builder
+	err := run([]string{
+		"-jobs", "20", "-horizon", "200", "-renege", "0.3",
+		"-repair", "-trace", tracePath,
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "repaired") {
+		t.Errorf("repaired row missing:\n%s", sb.String())
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("trace file empty")
+	}
+	// Unwritable trace path errors.
+	if err := run([]string{"-jobs", "2", "-horizon", "50", "-trace", dir + "/nodir/x.jsonl"}, &strings.Builder{}); err == nil {
+		t.Error("unwritable trace path accepted")
+	}
+	// Unwritable workload dump errors.
+	if err := run([]string{"-jobs", "2", "-horizon", "50", "-dump-workload", dir + "/nodir/w.json"}, &strings.Builder{}); err == nil {
+		t.Error("unwritable workload path accepted")
+	}
+}

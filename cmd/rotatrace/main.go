@@ -1,0 +1,138 @@
+// Command rotatrace summarizes a JSONL simulation trace produced by
+// `rotasim -trace`: event counts by kind, per-job response times
+// (arrival → completion), and an optional per-tick activity timeline.
+//
+// Usage:
+//
+//	rotasim -trace run.jsonl … && rotatrace run.jsonl
+//	rotatrace -timeline run.jsonl
+//	cat run.jsonl | rotatrace -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/interval"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rotatrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rotatrace", flag.ContinueOnError)
+	timeline := fs.Bool("timeline", false, "print a per-tick activity timeline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: rotatrace [-timeline] <trace.jsonl|->")
+	}
+	var in io.Reader
+	if fs.Arg(0) == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	log, err := trace.ReadJSONL(in)
+	if err != nil {
+		return err
+	}
+	events := log.Events()
+	if len(events) == 0 {
+		fmt.Fprintln(out, "empty trace")
+		return nil
+	}
+
+	// Counts by kind.
+	counts := metrics.NewTable("events by kind", "kind", "count")
+	kinds := []trace.Kind{
+		trace.KindJoin, trace.KindRenege, trace.KindArrival, trace.KindAdmit,
+		trace.KindReject, trace.KindComplete, trace.KindMiss, trace.KindViolation,
+	}
+	for _, k := range kinds {
+		if n := len(log.Filter(k)); n > 0 {
+			counts.AddRow(string(k), n)
+		}
+	}
+	counts.Render(out)
+
+	// Per-job response times.
+	arrival := make(map[string]interval.Time)
+	type outcome struct {
+		at   interval.Time
+		kind trace.Kind
+	}
+	finished := make(map[string]outcome)
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindArrival:
+			arrival[e.Job] = e.At
+		case trace.KindComplete, trace.KindMiss:
+			if _, seen := finished[e.Job]; !seen {
+				finished[e.Job] = outcome{at: e.At, kind: e.Kind}
+			}
+		}
+	}
+	var responses []float64
+	for job, oc := range finished {
+		if oc.kind != trace.KindComplete {
+			continue
+		}
+		if start, ok := arrival[job]; ok {
+			responses = append(responses, float64(oc.at-start))
+		}
+	}
+	if len(responses) > 0 {
+		fmt.Fprintln(out)
+		rt := metrics.NewTable("response time (arrival → on-time completion, ticks)",
+			"n", "mean", "p50", "p95", "max")
+		rt.AddRow(len(responses),
+			metrics.Mean(responses),
+			metrics.Percentile(responses, 50),
+			metrics.Percentile(responses, 95),
+			metrics.Percentile(responses, 100))
+		rt.Render(out)
+	}
+
+	if *timeline {
+		fmt.Fprintln(out)
+		perTick := make(map[interval.Time]map[trace.Kind]int)
+		for _, e := range events {
+			if perTick[e.At] == nil {
+				perTick[e.At] = make(map[trace.Kind]int)
+			}
+			perTick[e.At][e.Kind]++
+		}
+		ticks := make([]interval.Time, 0, len(perTick))
+		for t := range perTick {
+			ticks = append(ticks, t)
+		}
+		sort.Slice(ticks, func(i, j int) bool { return ticks[i] < ticks[j] })
+		tl := metrics.NewTable("timeline (ticks with activity)",
+			"t", "join", "renege", "arrive", "admit", "reject", "complete", "miss", "violation")
+		for _, t := range ticks {
+			row := perTick[t]
+			tl.AddRow(t,
+				row[trace.KindJoin], row[trace.KindRenege], row[trace.KindArrival],
+				row[trace.KindAdmit], row[trace.KindReject], row[trace.KindComplete],
+				row[trace.KindMiss], row[trace.KindViolation])
+		}
+		tl.Render(out)
+	}
+	return nil
+}

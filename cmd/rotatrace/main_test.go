@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	log := trace.NewLog()
+	log.Add(trace.Event{At: 0, Kind: trace.KindJoin, Detail: "stuff"})
+	log.Add(trace.Event{At: 1, Kind: trace.KindArrival, Job: "j1", Quantity: 8})
+	log.Add(trace.Event{At: 1, Kind: trace.KindAdmit, Job: "j1"})
+	log.Add(trace.Event{At: 2, Kind: trace.KindArrival, Job: "j2"})
+	log.Add(trace.Event{At: 2, Kind: trace.KindReject, Job: "j2", Detail: "no capacity"})
+	log.Add(trace.Event{At: 5, Kind: trace.KindComplete, Job: "j1"})
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := log.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSummary(t *testing.T) {
+	path := writeTrace(t)
+	var sb strings.Builder
+	if err := run([]string{path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"events by kind", "arrival", "admit", "reject", "complete", "response time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// j1's response time is 4 ticks; mean of one sample = 4.
+	if !strings.Contains(out, "4") {
+		t.Errorf("response time 4 missing:\n%s", out)
+	}
+}
+
+func TestRunTimeline(t *testing.T) {
+	path := writeTrace(t)
+	var sb strings.Builder
+	if err := run([]string{"-timeline", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "timeline") {
+		t.Errorf("timeline missing:\n%s", sb.String())
+	}
+}
+
+func TestRunEmptyTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(path, nil, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "empty trace") {
+		t.Errorf("expected empty-trace notice, got %q", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Error("missing argument accepted")
+	}
+	if err := run([]string{"/nonexistent.jsonl"}, &sb); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("not json\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}, &sb); err == nil {
+		t.Error("malformed trace accepted")
+	}
+}

@@ -1,0 +1,101 @@
+// Admission control for a small shared cluster: the scenario the paper's
+// introduction motivates. A stream of deadline-constrained multi-actor
+// jobs arrives at a three-node cluster; we run the identical stream
+// through four admission policies and compare what each assures.
+//
+// The headline contrast: naive-total admits order-sensitive jobs that can
+// never be scheduled (the §III caveat), so it misses deadlines it
+// promised; rota's admissions are backed by witness schedules and never
+// miss.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	rota "repro"
+	"repro/internal/metrics"
+)
+
+func main() {
+	locs := []rota.Location{"node-a", "node-b", "node-c"}
+	const horizon = 600
+
+	jobs, err := rota.GenerateWorkload(rota.WorkloadConfig{
+		Seed:             2025,
+		Locations:        locs,
+		NumJobs:          160,
+		MeanInterarrival: float64(horizon) / 160,
+		ActorsMin:        1,
+		ActorsMax:        3,
+		StepsMin:         2,
+		StepsMax:         5,
+		SendProb:         0.3, // plenty of cpu→network→cpu ordering
+		MigrateProb:      0.05,
+		EvalWeightMax:    2,
+		SlackFactor:      2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Static capacity: 3 cpu/tick per node plus a unit-rate full mesh.
+	var base rota.Set
+	for _, src := range locs {
+		base.Add(rota.NewTerm(rota.UnitsRate(3), rota.CPUAt(src), rota.NewInterval(0, horizon)))
+		for _, dst := range locs {
+			if src != dst {
+				base.Add(rota.NewTerm(rota.UnitsRate(1), rota.Link(src, dst), rota.NewInterval(0, horizon)))
+			}
+		}
+	}
+	trace := rota.ChurnTrace{Base: base}
+
+	table := metrics.NewTable("cluster admission: identical stream, four policies",
+		"policy", "admitted", "rejected", "on-time", "missed", "miss-rate", "goodput")
+	type runSpec struct {
+		policy   rota.Policy
+		executor rota.SimExecutor
+	}
+	for _, spec := range []runSpec{
+		{rota.RotaPolicy(), rota.ExecPlanned},
+		{rota.NaiveTotalPolicy(), rota.ExecGreedyEDF},
+		{rota.EDFFeasiblePolicy(), rota.ExecGreedyEDF},
+		{rota.AlwaysAdmitPolicy(), rota.ExecGreedyEDF},
+	} {
+		res, err := rota.Simulate(rota.SimConfig{Policy: spec.policy, Executor: spec.executor}, jobs, trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		table.AddRow(res.Policy, res.Admitted, res.Rejected,
+			res.CompletedOnTime, res.Missed, res.MissRate(), res.GoodputRatio())
+	}
+	table.AddNote("an admission under rota is an assurance: its miss count is structurally zero")
+	table.Render(os.Stdout)
+
+	fmt.Println("\nWhy naive-total over-admits — a three-line demonstration:")
+	demoOrderSensitivity()
+}
+
+// demoOrderSensitivity shows one concrete job naive aggregate reasoning
+// gets wrong.
+func demoOrderSensitivity() {
+	theta := rota.NewSet(
+		rota.NewTerm(rota.UnitsRate(2), rota.Link("node-a", "node-b"), rota.NewInterval(0, 2)),
+		rota.NewTerm(rota.UnitsRate(4), rota.CPUAt("node-a"), rota.NewInterval(2, 6)),
+	)
+	comp, err := rota.Realize(rota.PaperCost(), "x",
+		rota.Evaluate("x", "node-a", 1),            // needs cpu FIRST
+		rota.Send("x", "node-a", "y", "node-b", 1), // then network
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	need := comp.TotalAmounts()
+	fmt.Printf("  supply: %v\n  demand: %v — totals fit inside (0,6)\n", theta, need)
+	if _, err := rota.MeetDeadline(theta, comp, 0, 6); err != nil {
+		fmt.Println("  rota verdict: REFUSED —", err)
+		fmt.Println("  (the network lease expires before the cpu phase can finish)")
+	}
+}

@@ -1,0 +1,222 @@
+package admission
+
+import (
+	"testing"
+
+	"repro/internal/compute"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/interval"
+	"repro/internal/resource"
+)
+
+var (
+	cpuL1  = resource.CPUAt("l1")
+	netL12 = resource.Link("l1", "l2")
+)
+
+func u(n int64) resource.Rate { return resource.FromUnits(n) }
+
+func evalJob(t testing.TB, name string, a compute.ActorName, start, deadline interval.Time) compute.Distributed {
+	t.Helper()
+	c, err := cost.Realize(cost.Paper(), a, compute.Evaluate(a, "l1", 1)) // 8 cpu
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := compute.NewDistributed(name, start, deadline, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// orderJob builds cpu→net→cpu, the order-sensitive workload.
+func orderJob(t testing.TB, name string, a compute.ActorName, start, deadline interval.Time) compute.Distributed {
+	t.Helper()
+	c, err := cost.Realize(cost.Paper(), a,
+		compute.Evaluate(a, "l1", 1),
+		compute.Send(a, "l1", "x", "l2", 1),
+		compute.Evaluate(a, "l1", 1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := compute.NewDistributed(name, start, deadline, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func viewFor(theta resource.Set, now interval.Time) (View, *core.State) {
+	st := core.NewState(theta, now)
+	return View{Now: now, Theta: st.Theta, State: &st}, &st
+}
+
+func TestRotaAdmitsFeasibleAndRejectsInfeasible(t *testing.T) {
+	p := &Rota{}
+	if p.Name() != "rota" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	theta := resource.NewSet(resource.NewTerm(u(2), cpuL1, interval.New(0, 8)))
+	v, _ := viewFor(theta, 0)
+
+	dec := p.Decide(v, evalJob(t, "ok", "a1", 0, 8))
+	if !dec.Admit || dec.Plan == nil {
+		t.Fatalf("feasible job rejected: %+v", dec)
+	}
+	dec = p.Decide(v, evalJob(t, "big", "a1", 0, 2)) // 8 cpu in 2 ticks at rate 2
+	if dec.Admit {
+		t.Fatal("infeasible job admitted")
+	}
+	if dec.Reason == "" {
+		t.Error("rejection without reason")
+	}
+	// Without a state, rota cannot decide.
+	dec = p.Decide(View{Now: 0, Theta: theta}, evalJob(t, "x", "a1", 0, 8))
+	if dec.Admit {
+		t.Error("rota admitted without a state")
+	}
+	p.OnComplete("ok") // no-op, must not panic
+	p.Reset()
+}
+
+func TestRotaExhaustiveName(t *testing.T) {
+	p := &Rota{Exhaustive: true}
+	if p.Name() != "rota-exhaustive" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestNaiveTotalIgnoresOrdering(t *testing.T) {
+	// Supply with network strictly before cpu: order-sensitive job cannot
+	// actually run, but aggregate totals look fine — NaiveTotal admits,
+	// Rota refuses. This is the §III caveat made executable.
+	theta := resource.NewSet(
+		resource.NewTerm(u(2), netL12, interval.New(0, 2)), // 4 net first
+		resource.NewTerm(u(4), cpuL1, interval.New(2, 6)),  // 16 cpu after
+	)
+	job := orderJob(t, "ordered", "a1", 0, 6)
+
+	naive := NewNaiveTotal()
+	v, _ := viewFor(theta, 0)
+	if dec := naive.Decide(v, job); !dec.Admit {
+		t.Fatalf("naive-total should admit on aggregates: %+v", dec)
+	}
+	rota := &Rota{}
+	if dec := rota.Decide(v, job); dec.Admit {
+		t.Fatal("rota must reject: cpu phase precedes network availability")
+	}
+}
+
+func TestNaiveTotalLedger(t *testing.T) {
+	p := NewNaiveTotal()
+	if p.Name() != "naive-total" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	theta := resource.NewSet(resource.NewTerm(u(2), cpuL1, interval.New(0, 8))) // 16 units
+	v, _ := viewFor(theta, 0)
+
+	// Two 8-unit jobs fit; the third exceeds the aggregate.
+	if dec := p.Decide(v, evalJob(t, "j1", "a1", 0, 8)); !dec.Admit {
+		t.Fatalf("j1 rejected: %+v", dec)
+	}
+	if dec := p.Decide(v, evalJob(t, "j2", "a2", 0, 8)); !dec.Admit {
+		t.Fatalf("j2 rejected: %+v", dec)
+	}
+	if dec := p.Decide(v, evalJob(t, "j3", "a3", 0, 8)); dec.Admit {
+		t.Fatal("j3 admitted beyond aggregate capacity")
+	}
+	// After j1 completes, capacity frees up in the ledger.
+	p.OnComplete("j1")
+	if dec := p.Decide(v, evalJob(t, "j4", "a4", 0, 8)); !dec.Admit {
+		t.Fatalf("j4 rejected after completion freed ledger: %+v", dec)
+	}
+	// Reset clears everything.
+	p.Reset()
+	if dec := p.Decide(v, evalJob(t, "j5", "a5", 0, 8)); !dec.Admit {
+		t.Fatal("post-reset admission failed")
+	}
+	// Deadline in the past.
+	vLate, _ := viewFor(theta, 9)
+	if dec := p.Decide(vLate, evalJob(t, "j6", "a6", 0, 8)); dec.Admit {
+		t.Fatal("expired-deadline job admitted")
+	}
+}
+
+func TestNaiveTotalDisjointWindowsDontInterfere(t *testing.T) {
+	p := NewNaiveTotal()
+	theta := resource.NewSet(resource.NewTerm(u(1), cpuL1, interval.New(0, 40)))
+	v, _ := viewFor(theta, 0)
+	if dec := p.Decide(v, evalJob(t, "early", "a1", 0, 10)); !dec.Admit {
+		t.Fatalf("early rejected: %+v", dec)
+	}
+	// (20,30) does not overlap (0,10): ledger must not charge it.
+	if dec := p.Decide(v, evalJob(t, "late", "a2", 20, 30)); !dec.Admit {
+		t.Fatalf("disjoint-window job rejected: %+v", dec)
+	}
+}
+
+func TestAlwaysAdmit(t *testing.T) {
+	p := AlwaysAdmit{}
+	if p.Name() != "always-admit" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	dec := p.Decide(View{}, compute.Distributed{})
+	if !dec.Admit {
+		t.Fatal("AlwaysAdmit rejected")
+	}
+	p.OnComplete("x")
+	p.Reset()
+}
+
+func TestEDFFeasible(t *testing.T) {
+	p := NewEDFFeasible()
+	if p.Name() != "edf-feasible" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	theta := resource.NewSet(resource.NewTerm(u(2), cpuL1, interval.New(0, 8))) // 16 units
+	v := View{Now: 0, Theta: theta}
+
+	if dec := p.Decide(v, evalJob(t, "j1", "a1", 0, 8)); !dec.Admit {
+		t.Fatalf("j1 rejected: %+v", dec)
+	}
+	if dec := p.Decide(v, evalJob(t, "j2", "a2", 0, 8)); !dec.Admit {
+		t.Fatalf("j2 rejected: %+v", dec)
+	}
+	// Third 8-unit job cannot meet an 8-tick deadline at aggregate 16.
+	if dec := p.Decide(v, evalJob(t, "j3", "a3", 0, 8)); dec.Admit {
+		t.Fatal("j3 admitted beyond EDF feasibility")
+	}
+	p.OnComplete("j1")
+	p.OnComplete("j2")
+	if dec := p.Decide(v, evalJob(t, "j4", "a4", 0, 8)); !dec.Admit {
+		t.Fatal("post-completion admission failed")
+	}
+	p.Reset()
+	// Duplicate actor names across jobs make the trial unbuildable →
+	// reject rather than panic.
+	if dec := p.Decide(v, evalJob(t, "dup1", "same", 0, 8)); !dec.Admit {
+		t.Fatal("dup1 rejected")
+	}
+	if dec := p.Decide(v, evalJob(t, "dup2", "same", 0, 8)); dec.Admit {
+		t.Fatal("conflicting actor name admitted")
+	}
+}
+
+func TestEDFFeasibleRespectsOrderingBetterThanNaive(t *testing.T) {
+	// The same order-sensitive scenario NaiveTotal gets wrong. The job's
+	// phases are cpu(8) → net(4) → cpu(6); network capacity exists only
+	// during (0,2) but the first cpu phase cannot complete before t=4, so
+	// the send phase can never be fed. EDF forward simulation discovers
+	// this where aggregate reasoning does not.
+	theta := resource.NewSet(
+		resource.NewTerm(u(2), netL12, interval.New(0, 2)),
+		resource.NewTerm(u(4), cpuL1, interval.New(2, 6)),
+	)
+	job := orderJob(t, "ordered", "a1", 0, 6)
+	p := NewEDFFeasible()
+	if dec := p.Decide(View{Now: 0, Theta: theta}, job); dec.Admit {
+		t.Fatal("EDF-feasible admitted a job whose send phase can never be fed")
+	}
+}

@@ -1,0 +1,160 @@
+package compute
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/interval"
+	"repro/internal/resource"
+)
+
+// Step is one action of an actor computation together with the resources
+// Φ says it requires. Steps are the unit of sequential ordering: a step
+// is a "possible action" (Definition 1) only when every earlier step has
+// completed.
+type Step struct {
+	Action  Action
+	Amounts resource.Amounts
+}
+
+// TotalQty returns the summed required quantity across types.
+func (s Step) TotalQty() resource.Quantity {
+	return s.Amounts.Total()
+}
+
+// Computation is a sequential actor computation Γ: the actions one actor
+// will take, in order, each reified as its resource requirements.
+type Computation struct {
+	Actor ActorName
+	Steps []Step
+}
+
+// NewComputation builds a computation after validating every action
+// belongs to the named actor.
+func NewComputation(actor ActorName, steps ...Step) (Computation, error) {
+	for i, st := range steps {
+		if err := st.Action.Validate(); err != nil {
+			return Computation{}, fmt.Errorf("compute: step %d: %w", i, err)
+		}
+		if st.Action.Actor != actor {
+			return Computation{}, fmt.Errorf("compute: step %d belongs to %s, not %s",
+				i, st.Action.Actor, actor)
+		}
+	}
+	return Computation{Actor: actor, Steps: steps}, nil
+}
+
+// Empty reports whether the computation has no steps.
+func (c Computation) Empty() bool {
+	return len(c.Steps) == 0
+}
+
+// TotalAmounts sums required amounts over all steps (order-insensitive
+// aggregate — what the NaiveTotal baseline reasons with).
+func (c Computation) TotalAmounts() resource.Amounts {
+	out := make(resource.Amounts)
+	for _, st := range c.Steps {
+		out.Merge(st.Amounts)
+	}
+	return out
+}
+
+// Phases groups maximal runs of consecutive steps whose requirements use
+// one identical located type, following §IV-B2: "a sequence of actions
+// which require the same single type of resource need not be broken down
+// into multiple subcomputations". Steps needing several types (e.g.
+// migrate) form single-step phases. The result is the subcomputation
+// sequence Γ1, Γ2, …, Γm of the complex resource requirement.
+func (c Computation) Phases() []Phase {
+	var phases []Phase
+	for _, st := range c.Steps {
+		if st.Amounts.Empty() {
+			continue // a free action imposes no requirement
+		}
+		lt, single := st.Amounts.SingleType()
+		if n := len(phases); single && n > 0 {
+			if prevLT, prevSingle := phases[n-1].Amounts.SingleType(); prevSingle && prevLT == lt {
+				phases[n-1].Amounts.Merge(st.Amounts)
+				phases[n-1].Steps = append(phases[n-1].Steps, st)
+				continue
+			}
+		}
+		phases = append(phases, Phase{
+			Amounts: st.Amounts.Clone(),
+			Steps:   []Step{st},
+		})
+	}
+	return phases
+}
+
+// String renders the computation as "Γ(a1): send; evaluate; …".
+func (c Computation) String() string {
+	names := make([]string, len(c.Steps))
+	for i, st := range c.Steps {
+		names[i] = st.Action.Op.String()
+	}
+	return fmt.Sprintf("Γ(%s): %s", c.Actor, strings.Join(names, "; "))
+}
+
+// Phase is one subcomputation Γi of a complex requirement: a consecutive
+// group of steps with its aggregate required amounts. The phase must
+// receive its amounts within whatever subinterval the schedule assigns it,
+// after all earlier phases have completed.
+type Phase struct {
+	Amounts resource.Amounts
+	Steps   []Step
+}
+
+// Distributed is the paper's computation triple (Λ, s, d): a set of
+// independent concurrent actor computations, an earliest start time and a
+// deadline. "The computation does not seek to begin before s and seeks to
+// be completed before d."
+type Distributed struct {
+	Name     string
+	Actors   []Computation
+	Start    interval.Time
+	Deadline interval.Time
+}
+
+// NewDistributed validates and builds a distributed computation.
+func NewDistributed(name string, start, deadline interval.Time, actors ...Computation) (Distributed, error) {
+	if deadline <= start {
+		return Distributed{}, fmt.Errorf("compute: %s has empty execution window (%d, %d)", name, start, deadline)
+	}
+	seen := make(map[ActorName]bool, len(actors))
+	for _, a := range actors {
+		if seen[a.Actor] {
+			return Distributed{}, fmt.Errorf("compute: %s has duplicate actor %s", name, a.Actor)
+		}
+		seen[a.Actor] = true
+	}
+	return Distributed{Name: name, Actors: actors, Start: start, Deadline: deadline}, nil
+}
+
+// Window returns the execution window (s, d).
+func (d Distributed) Window() interval.Interval {
+	return interval.New(d.Start, d.Deadline)
+}
+
+// TotalAmounts aggregates requirements across all actors.
+func (d Distributed) TotalAmounts() resource.Amounts {
+	out := make(resource.Amounts)
+	for _, a := range d.Actors {
+		out.Merge(a.TotalAmounts())
+	}
+	return out
+}
+
+// NumSteps returns the total number of steps across actors.
+func (d Distributed) NumSteps() int {
+	n := 0
+	for _, a := range d.Actors {
+		n += len(a.Steps)
+	}
+	return n
+}
+
+// String renders "(Λ name: 2 actors, s=0, d=20)".
+func (d Distributed) String() string {
+	return fmt.Sprintf("(Λ %s: %d actors, s=%d, d=%d)", d.Name, len(d.Actors), d.Start, d.Deadline)
+}

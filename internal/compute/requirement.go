@@ -1,0 +1,167 @@
+package compute
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/interval"
+	"repro/internal/resource"
+)
+
+// Simple is the paper's simple resource requirement ρ(γ, s, d) =
+// [Φ(a,γ)]^(s,d): a total amount of resources required at any time within
+// a window. It carries no ordering constraint — that is what Complex adds.
+type Simple struct {
+	Amounts resource.Amounts
+	Window  interval.Interval
+}
+
+// SimpleOf builds the simple requirement of a single action over a
+// window.
+func SimpleOf(step Step, window interval.Interval) Simple {
+	return Simple{Amounts: step.Amounts.Clone(), Window: window}
+}
+
+// Satisfied implements the paper's boolean function f(Θ, ρ(γ, s, d)):
+// true when the union of all resources in Θ existing within the window
+// provides at least the required quantity of every required located type.
+//
+// Per the paper this is an aggregate-quantity test: for a single action
+// (or a single-type run of actions) having enough total quantity within
+// the window guarantees completion, because the action can consume at
+// whatever rate is available.
+func (r Simple) Satisfied(theta resource.Set) bool {
+	if r.Window.Empty() {
+		return r.Amounts.Empty()
+	}
+	for lt, need := range r.Amounts {
+		if theta.QuantityWithin(lt, r.Window) < need {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether nothing is required.
+func (r Simple) Empty() bool {
+	return r.Amounts.Empty()
+}
+
+// String renders "ρ{[8]⟨cpu,l1⟩}(0,5)".
+func (r Simple) String() string {
+	return "ρ" + r.Amounts.String() + r.Window.String()
+}
+
+// Complex is the paper's complex resource requirement ρ(Γ, s, d): an
+// ordered sequence of subcomputation requirements that must be satisfied
+// in consecutive subintervals of the window. The break points t1 … t_{m-1}
+// are not fixed here; Theorem 2 asks whether any choice of break points
+// works, and the scheduler searches for one.
+type Complex struct {
+	Actor  ActorName
+	Phases []Phase
+	Window interval.Interval
+}
+
+// ComplexOf derives the complex requirement of an actor computation over
+// the window (s, d).
+func ComplexOf(c Computation, window interval.Interval) Complex {
+	return Complex{Actor: c.Actor, Phases: c.Phases(), Window: window}
+}
+
+// Empty reports whether no phase requires anything.
+func (r Complex) Empty() bool {
+	return len(r.Phases) == 0
+}
+
+// TotalAmounts aggregates over phases.
+func (r Complex) TotalAmounts() resource.Amounts {
+	out := make(resource.Amounts)
+	for _, ph := range r.Phases {
+		out.Merge(ph.Amounts)
+	}
+	return out
+}
+
+// SatisfiedWithBreaks checks the specific break points t1 … t_{m-1}
+// proposed for the phases: it partitions the window at those points and
+// tests every phase's simple requirement on its subinterval (Theorem 2's
+// "so that the system can satisfy the simple resource requirements for
+// each subinterval").
+//
+// Note the test is per-subinterval aggregate quantity — valid because
+// subintervals are disjoint, so quantity available in one cannot be
+// double-counted in another.
+func (r Complex) SatisfiedWithBreaks(theta resource.Set, breaks []interval.Time) error {
+	if len(breaks) != len(r.Phases)-1 && !(len(r.Phases) == 0 && len(breaks) == 0) {
+		return fmt.Errorf("compute: %d phases need %d break points, got %d",
+			len(r.Phases), len(r.Phases)-1, len(breaks))
+	}
+	prev := r.Window.Start
+	for i, ph := range r.Phases {
+		end := r.Window.End
+		if i < len(breaks) {
+			end = breaks[i]
+		}
+		if end < prev || end > r.Window.End {
+			return fmt.Errorf("compute: break points not monotone within window: %v", breaks)
+		}
+		sub := Simple{Amounts: ph.Amounts, Window: interval.New(prev, end)}
+		if !sub.Satisfied(theta) {
+			return fmt.Errorf("compute: phase %d of %s unsatisfied on %v", i, r.Actor, sub.Window)
+		}
+		prev = end
+	}
+	return nil
+}
+
+// String renders "ρ(Γ a1: 3 phases)(0,10)".
+func (r Complex) String() string {
+	return fmt.Sprintf("ρ(Γ %s: %d phases)%s", r.Actor, len(r.Phases), r.Window)
+}
+
+// Concurrent is the requirement ρ(Λ, s, d) of a distributed computation:
+// the complex requirements of its actors, all over the same window, to be
+// satisfied simultaneously from shared resources.
+type Concurrent struct {
+	Name   string
+	Actors []Complex
+	Window interval.Interval
+}
+
+// ConcurrentOf derives the requirement of a distributed computation.
+func ConcurrentOf(d Distributed) Concurrent {
+	actors := make([]Complex, 0, len(d.Actors))
+	for _, a := range d.Actors {
+		actors = append(actors, ComplexOf(a, d.Window()))
+	}
+	return Concurrent{Name: d.Name, Actors: actors, Window: d.Window()}
+}
+
+// Empty reports whether no actor requires anything.
+func (r Concurrent) Empty() bool {
+	for _, a := range r.Actors {
+		if !a.Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalAmounts aggregates across actors.
+func (r Concurrent) TotalAmounts() resource.Amounts {
+	out := make(resource.Amounts)
+	for _, a := range r.Actors {
+		out.Merge(a.TotalAmounts())
+	}
+	return out
+}
+
+// String renders the requirement with its actor list.
+func (r Concurrent) String() string {
+	parts := make([]string, len(r.Actors))
+	for i, a := range r.Actors {
+		parts[i] = string(a.Actor)
+	}
+	return fmt.Sprintf("ρ(Λ %s: {%s})%s", r.Name, strings.Join(parts, ","), r.Window)
+}

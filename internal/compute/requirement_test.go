@@ -1,0 +1,175 @@
+package compute
+
+import (
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/resource"
+)
+
+func u(n int64) resource.Rate { return resource.FromUnits(n) }
+
+func TestSimpleSatisfied(t *testing.T) {
+	theta := resource.NewSet(
+		resource.NewTerm(u(5), cpuL1, interval.New(0, 4)),  // 20 units
+		resource.NewTerm(u(2), netL12, interval.New(2, 6)), // 8 units
+	)
+	tests := []struct {
+		name string
+		req  Simple
+		want bool
+	}{
+		{
+			"cpu fits",
+			Simple{Amounts: resource.NewAmounts(resource.AmountOf(20, cpuL1)), Window: interval.New(0, 4)},
+			true,
+		},
+		{
+			"cpu too much",
+			Simple{Amounts: resource.NewAmounts(resource.AmountOf(21, cpuL1)), Window: interval.New(0, 4)},
+			false,
+		},
+		{
+			"window clips availability",
+			Simple{Amounts: resource.NewAmounts(resource.AmountOf(20, cpuL1)), Window: interval.New(2, 6)},
+			false, // only 10 units of cpu inside (2,6)
+		},
+		{
+			"multi type",
+			Simple{
+				Amounts: resource.NewAmounts(resource.AmountOf(10, cpuL1), resource.AmountOf(8, netL12)),
+				Window:  interval.New(0, 6),
+			},
+			true,
+		},
+		{
+			"absent type",
+			Simple{Amounts: resource.NewAmounts(resource.AmountOf(1, cpuL2)), Window: interval.New(0, 6)},
+			false,
+		},
+		{
+			"empty requirement always satisfied",
+			Simple{Amounts: resource.NewAmounts(), Window: interval.New(0, 1)},
+			true,
+		},
+		{
+			"empty window with demands",
+			Simple{Amounts: resource.NewAmounts(resource.AmountOf(1, cpuL1)), Window: interval.Interval{}},
+			false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.req.Satisfied(theta); got != tt.want {
+				t.Errorf("Satisfied = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func buildSeqComputation(t *testing.T) Computation {
+	t.Helper()
+	c, err := NewComputation("a1",
+		step(OpEvaluate, amt(8, cpuL1)), // phase 0: cpu 8
+		step(OpSend, amt(4, netL12)),    // phase 1: net 4
+		step(OpEvaluate, amt(6, cpuL1)), // phase 2: cpu 6
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestComplexSatisfiedWithBreaks(t *testing.T) {
+	c := buildSeqComputation(t)
+	req := ComplexOf(c, interval.New(0, 12))
+	if len(req.Phases) != 3 {
+		t.Fatalf("phases = %d", len(req.Phases))
+	}
+	// cpu available early and late, network only in the middle: order
+	// matters and these breaks respect it.
+	theta := resource.NewSet(
+		resource.NewTerm(u(2), cpuL1, interval.New(0, 4)),  // 8 cpu
+		resource.NewTerm(u(2), netL12, interval.New(4, 6)), // 4 net
+		resource.NewTerm(u(2), cpuL1, interval.New(6, 9)),  // 6 cpu
+	)
+	if err := req.SatisfiedWithBreaks(theta, []interval.Time{4, 6}); err != nil {
+		t.Errorf("good breaks rejected: %v", err)
+	}
+	// Breaks that put the network phase where there is no network fail.
+	if err := req.SatisfiedWithBreaks(theta, []interval.Time{2, 4}); err == nil {
+		t.Error("bad breaks accepted")
+	}
+	// Wrong break count.
+	if err := req.SatisfiedWithBreaks(theta, []interval.Time{4}); err == nil {
+		t.Error("wrong break count accepted")
+	}
+	// Non-monotone breaks.
+	if err := req.SatisfiedWithBreaks(theta, []interval.Time{6, 4}); err == nil {
+		t.Error("non-monotone breaks accepted")
+	}
+	// Breaks escaping the window.
+	if err := req.SatisfiedWithBreaks(theta, []interval.Time{4, 20}); err == nil {
+		t.Error("break past deadline accepted")
+	}
+}
+
+func TestComplexTotals(t *testing.T) {
+	c := buildSeqComputation(t)
+	req := ComplexOf(c, interval.New(0, 12))
+	if req.Empty() {
+		t.Error("requirement should not be empty")
+	}
+	total := req.TotalAmounts()
+	if total[cpuL1] != resource.QuantityFromUnits(14) || total[netL12] != resource.QuantityFromUnits(4) {
+		t.Errorf("TotalAmounts = %v", total)
+	}
+	if req.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestConcurrentOf(t *testing.T) {
+	c1 := buildSeqComputation(t)
+	raw := step(OpEvaluate, amt(3, cpuL2))
+	raw.Action.Actor = "a2"
+	c2, err := NewComputation("a2", raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDistributed("job", 0, 12, c1, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := ConcurrentOf(d)
+	if len(req.Actors) != 2 {
+		t.Fatalf("actors = %d", len(req.Actors))
+	}
+	if req.Empty() {
+		t.Error("should not be empty")
+	}
+	total := req.TotalAmounts()
+	if total[cpuL1] != resource.QuantityFromUnits(14) ||
+		total[netL12] != resource.QuantityFromUnits(4) ||
+		total[cpuL2] != resource.QuantityFromUnits(3) {
+		t.Errorf("TotalAmounts = %v", total)
+	}
+	if req.String() == "" {
+		t.Error("String empty")
+	}
+
+	// A distributed computation with only free steps is Empty.
+	freeStep := step(OpReady, resource.NewAmounts())
+	freeStep.Action.Actor = "a9"
+	cFree, err := NewComputation("a9", freeStep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dFree, err := NewDistributed("free", 0, 5, cFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ConcurrentOf(dFree).Empty() {
+		t.Error("free computation should yield empty requirement")
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/compute"
+	"repro/internal/interval"
+	"repro/internal/schedule"
+)
+
+// Eval implements the satisfaction relation M, σ, t ⊨ ψ of Figure 1 on a
+// materialized computation path, at path position i (so t = σ.At(i).Now).
+//
+// Requirement atoms are evaluated against the resources that expire
+// unused along σ within the requirement's window — "unwanted resources
+// which will expire unless new computations requiring them enter the
+// system" — clamped so no resource before max(s, t) counts:
+//
+//	satisfy(ρ(γ,s,d))  ⇔ f(⋃ Θ_expire, ρ) = true
+//	satisfy(ρ(Γ,s,d))  ⇔ ∃ t1…t_{m-1} splitting (s,d) feasibly in Θ_expire
+//	satisfy(ρ(Λ,s,d))  ⇔ a combined witness path exists in Θ_expire
+//
+// The existential searches are delegated to the schedule package, whose
+// results are constructive witnesses.
+func Eval(p *Path, i int, f Formula) (bool, error) {
+	if i < 0 || i >= p.Len() {
+		return false, fmt.Errorf("core: path position %d out of range [0,%d)", i, p.Len())
+	}
+	switch f := f.(type) {
+	case True:
+		return true, nil
+	case False:
+		return false, nil
+	case SatisfySimple:
+		window, ok := clampWindow(f.Req.Window, p.At(i).Now)
+		if !ok {
+			return f.Req.Empty(), nil
+		}
+		free := p.FreeWithin(i, window)
+		req := compute.Simple{Amounts: f.Req.Amounts, Window: window}
+		return req.Satisfied(free), nil
+	case SatisfyComplex:
+		window, ok := clampWindow(f.Req.Window, p.At(i).Now)
+		if !ok {
+			return f.Req.Empty(), nil
+		}
+		free := p.FreeWithin(i, window)
+		req := compute.Complex{Actor: f.Req.Actor, Phases: f.Req.Phases, Window: window}
+		_, err := schedule.Single(free, req)
+		return err == nil, nil
+	case SatisfyConcurrent:
+		window, ok := clampWindow(f.Req.Window, p.At(i).Now)
+		if !ok {
+			return f.Req.Empty(), nil
+		}
+		free := p.FreeWithin(i, window)
+		req := clampConcurrent(f.Req, window)
+		_, err := schedule.Concurrent(free, req, schedule.WithExhaustive())
+		return err == nil, nil
+	case Not:
+		inner, err := Eval(p, i, f.F)
+		return !inner, err
+	case Eventually:
+		for j := i; j < p.Len(); j++ {
+			ok, err := Eval(p, j, f.F)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	case Always:
+		for j := i; j < p.Len(); j++ {
+			ok, err := Eval(p, j, f.F)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	case And:
+		l, err := Eval(p, i, f.L)
+		if err != nil || !l {
+			return false, err
+		}
+		return Eval(p, i, f.R)
+	case Or:
+		l, err := Eval(p, i, f.L)
+		if err != nil || l {
+			return l, err
+		}
+		return Eval(p, i, f.R)
+	default:
+		return false, fmt.Errorf("core: unknown formula %T", f)
+	}
+}
+
+// EvalNow evaluates ψ at the position of time t on the path.
+func EvalNow(p *Path, t interval.Time, f Formula) (bool, error) {
+	return Eval(p, p.IndexAt(t), f)
+}
+
+// clampWindow restricts a requirement window to start no earlier than
+// now; ok is false when the deadline has already passed.
+func clampWindow(w interval.Interval, now interval.Time) (interval.Interval, bool) {
+	if now >= w.End {
+		return interval.Interval{}, false
+	}
+	if now > w.Start {
+		return interval.New(now, w.End), true
+	}
+	return w, true
+}
+
+// clampConcurrent rebuilds a concurrent requirement over a clamped
+// window.
+func clampConcurrent(req compute.Concurrent, window interval.Interval) compute.Concurrent {
+	out := compute.Concurrent{Name: req.Name, Window: window}
+	out.Actors = make([]compute.Complex, len(req.Actors))
+	for i, a := range req.Actors {
+		out.Actors[i] = compute.Complex{Actor: a.Actor, Phases: a.Phases, Window: window}
+	}
+	return out
+}

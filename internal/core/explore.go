@@ -1,0 +1,172 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/compute"
+	"repro/internal/interval"
+	"repro/internal/resource"
+)
+
+// Definition 2 describes a *tree*: the relation χ over states generated
+// by all applicable transition rules, of which a computation path is one
+// branch. Run materializes the single committed branch; Explorer
+// materializes the tree itself, bounded, so path-quantified questions —
+// "is there an evolution of the system on which ψ holds?" — can be
+// answered by search rather than by a single canonical trace.
+//
+// Nondeterminism comes from the accommodation rule: a pending computation
+// may be admitted at any tick within its window (if a witness schedule
+// exists then) or never. Resource acquisition and tick evolution are
+// deterministic. The explorer enumerates admit/defer choices tick by
+// tick, depth-first, under a path budget.
+type Explorer struct {
+	// Joins maps ticks to resource sets acquired at that tick.
+	Joins map[interval.Time]resource.Set
+	// Pending are computations that may (but need not) be accommodated.
+	Pending []compute.Distributed
+	// Horizon bounds every explored path.
+	Horizon interval.Time
+	// DT is the tick size (default 1).
+	DT interval.Time
+	// MaxPaths bounds the number of complete paths materialized
+	// (default 4096). Exceeding it returns ErrBudget.
+	MaxPaths int
+}
+
+// ErrBudget is returned when the search exhausts its path budget without
+// a definitive answer.
+var ErrBudget = errors.New("core: exploration budget exhausted")
+
+// ExistsPath reports whether some branch of the tree satisfies ψ at its
+// initial position, returning a witness path when one exists.
+func (ex *Explorer) ExistsPath(initial State, f Formula) (bool, *Path, error) {
+	found := false
+	var witness *Path
+	err := ex.visit(initial, func(p *Path) (bool, error) {
+		ok, err := Eval(p, 0, f)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			found = true
+			witness = p
+			return false, nil // stop the search
+		}
+		return true, nil
+	})
+	if err != nil {
+		return false, nil, err
+	}
+	return found, witness, nil
+}
+
+// ForAllPaths reports whether every branch satisfies ψ at its initial
+// position, returning a counterexample path when one does not.
+func (ex *Explorer) ForAllPaths(initial State, f Formula) (bool, *Path, error) {
+	holds := true
+	var counter *Path
+	err := ex.visit(initial, func(p *Path) (bool, error) {
+		ok, err := Eval(p, 0, f)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			holds = false
+			counter = p
+			return false, nil
+		}
+		return true, nil
+	})
+	if err != nil {
+		return false, nil, err
+	}
+	return holds, counter, nil
+}
+
+// visit enumerates complete paths depth-first, invoking leaf on each.
+// leaf returns false to stop the search early.
+func (ex *Explorer) visit(initial State, leaf func(*Path) (bool, error)) error {
+	dt := ex.DT
+	if dt <= 0 {
+		dt = 1
+	}
+	budget := ex.MaxPaths
+	if budget <= 0 {
+		budget = 4096
+	}
+	if ex.Horizon <= initial.Now {
+		return fmt.Errorf("core: explorer horizon %d not after initial time %d", ex.Horizon, initial.Now)
+	}
+	paths := 0
+	admitted := make(map[string]bool, len(ex.Pending))
+
+	// rec explores from the given state with the prefix path p. The
+	// joined flag records whether this tick's resource acquisition has
+	// already been applied — instantaneous accommodation transitions
+	// re-enter rec at the same tick and must not re-acquire. rec returns
+	// false to stop the entire search.
+	var rec func(s State, p *Path, joined bool) (bool, error)
+	rec = func(s State, p *Path, joined bool) (bool, error) {
+		if s.Now >= ex.Horizon {
+			paths++
+			if paths > budget {
+				return false, ErrBudget
+			}
+			// Copy the path: the prefix is shared with siblings.
+			leafPath := &Path{
+				States: append([]State(nil), p.States...),
+				Steps:  append([]Transition(nil), p.Steps...),
+			}
+			return leaf(leafPath)
+		}
+		// Deterministic joins, once per tick.
+		if join, ok := ex.Joins[s.Now]; ok && !join.Empty() && !joined {
+			next, tr := Acquire(s, join)
+			p.append(tr, next)
+			defer p.truncate(1)
+			s = next
+		}
+		// Choice point: each eligible pending job may be admitted now.
+		// Branch order tries admissions first (they tend to satisfy
+		// satisfy-atoms sooner), then the defer-everything branch.
+		for _, job := range ex.Pending {
+			if admitted[job.Name] || s.Now < job.Start || s.Now >= job.Deadline {
+				continue
+			}
+			plan, err := AccommodateAdditional(s, job)
+			if err != nil {
+				continue // not feasible now; the defer branch covers later
+			}
+			next, tr, err := Accommodate(s, ConcurrentAt(job, s.Now), plan)
+			if err != nil {
+				continue
+			}
+			admitted[job.Name] = true
+			p.append(tr, next)
+			cont, err := rec(next, p, true)
+			p.truncate(1)
+			admitted[job.Name] = false
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		// Defer branch: just let time pass.
+		next, tr, _ := Tick(s, dt)
+		p.append(tr, next)
+		cont, err := rec(next, p, false)
+		p.truncate(1)
+		return cont, err
+	}
+
+	p := NewPath(initial)
+	_, err := rec(initial, p, false)
+	return err
+}
+
+// truncate removes the last n steps (and their states) from the path.
+func (p *Path) truncate(n int) {
+	p.Steps = p.Steps[:len(p.Steps)-n]
+	p.States = p.States[:len(p.States)-n]
+}

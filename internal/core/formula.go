@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/compute"
+)
+
+// Formula is a ROTA well-formed formula ψ (§V-B):
+//
+//	ψ ::= true | false
+//	    | satisfy(ρ(γ, s, d))   — simple requirement atom
+//	    | satisfy(ρ(Γ, s, d))   — complex (sequential) requirement atom
+//	    | satisfy(ρ(Λ, s, d))   — concurrent requirement atom
+//	    | ¬ψ | ◇ψ | □ψ
+//
+// And/Or are provided as conveniences beyond the paper's minimal grammar.
+type Formula interface {
+	fmt.Stringer
+	formula()
+}
+
+// True is the always-satisfied formula.
+type True struct{}
+
+// False is the never-satisfied formula.
+type False struct{}
+
+// SatisfySimple is the atom satisfy(ρ(γ, s, d)): the resources expiring
+// on the path can absorb the simple requirement.
+type SatisfySimple struct {
+	Req compute.Simple
+}
+
+// SatisfyComplex is the atom satisfy(ρ(Γ, s, d)): break points exist
+// within the path's expiring resources for the sequential requirement.
+type SatisfyComplex struct {
+	Req compute.Complex
+}
+
+// SatisfyConcurrent is the atom satisfy(ρ(Λ, s, d)) for a distributed
+// computation.
+type SatisfyConcurrent struct {
+	Req compute.Concurrent
+}
+
+// Not is ¬ψ.
+type Not struct {
+	F Formula
+}
+
+// Eventually is ◇ψ: ψ holds at some position at or after the current
+// one on the path.
+type Eventually struct {
+	F Formula
+}
+
+// Always is □ψ: ψ holds at every position at or after the current one on
+// the path.
+type Always struct {
+	F Formula
+}
+
+// And is ψ1 ∧ ψ2 (extension).
+type And struct {
+	L, R Formula
+}
+
+// Or is ψ1 ∨ ψ2 (extension).
+type Or struct {
+	L, R Formula
+}
+
+func (True) formula()              {}
+func (False) formula()             {}
+func (SatisfySimple) formula()     {}
+func (SatisfyComplex) formula()    {}
+func (SatisfyConcurrent) formula() {}
+func (Not) formula()               {}
+func (Eventually) formula()        {}
+func (Always) formula()            {}
+func (And) formula()               {}
+func (Or) formula()                {}
+
+func (True) String() string  { return "true" }
+func (False) String() string { return "false" }
+
+func (f SatisfySimple) String() string {
+	return "satisfy(" + f.Req.String() + ")"
+}
+
+func (f SatisfyComplex) String() string {
+	return "satisfy(" + f.Req.String() + ")"
+}
+
+func (f SatisfyConcurrent) String() string {
+	return "satisfy(" + f.Req.String() + ")"
+}
+
+func (f Not) String() string        { return "¬" + f.F.String() }
+func (f Eventually) String() string { return "◇" + f.F.String() }
+func (f Always) String() string     { return "□" + f.F.String() }
+func (f And) String() string        { return "(" + f.L.String() + " ∧ " + f.R.String() + ")" }
+func (f Or) String() string         { return "(" + f.L.String() + " ∨ " + f.R.String() + ")" }

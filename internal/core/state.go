@@ -1,0 +1,379 @@
+// Package core implements ROTA itself (§V of the paper): system states
+// S = (Θ, ρ, t), the labeled transition rules that evolve them
+// (sequential/concurrent consumption, resource expiration, the general
+// rule, resource acquisition, computation accommodation and leave),
+// computation paths, the well-formed-formula syntax, the satisfaction
+// semantics of Figure 1, and decision procedures for Theorems 1–4.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/compute"
+	"repro/internal/interval"
+	"repro/internal/resource"
+	"repro/internal/schedule"
+)
+
+// Commitment is one accommodated computation: its requirement ρ(Λ, s, d)
+// together with the witness plan produced at admission. The remaining
+// requirement at any time is derivable from the plan and the clock — the
+// paper's per-Δt decrement [q − r×Δt] corresponds to the consumed prefix
+// of the plan's allocations.
+type Commitment struct {
+	Req  compute.Concurrent
+	Plan schedule.Plan
+}
+
+// Name returns the committed computation's name.
+func (c Commitment) Name() string {
+	return c.Req.Name
+}
+
+// Done reports whether the computation has completed by time now.
+func (c Commitment) Done(now interval.Time) bool {
+	return now >= c.Plan.Finish
+}
+
+// RemainingDemand returns the portion of the plan not yet consumed at
+// time now.
+func (c Commitment) RemainingDemand(now interval.Time) resource.Set {
+	return c.Plan.Demand().Clamp(interval.New(now, interval.Infinity))
+}
+
+// State is the ROTA system state S = (Θ, ρ, t): future available
+// resources, accommodated computations, and the current time.
+type State struct {
+	// Theta is the future available resource set Θ, starting from Now.
+	Theta resource.Set
+	// Commitments is ρ: the computations the system has committed to.
+	Commitments []Commitment
+	// Now is the current time t.
+	Now interval.Time
+}
+
+// NewState builds an initial state. Availability before t is trimmed
+// immediately (it could never be used).
+func NewState(theta resource.Set, t interval.Time) State {
+	th := theta.Clone()
+	th.TrimBefore(t)
+	return State{Theta: th, Now: t}
+}
+
+// Clone returns a deep copy of the state.
+func (s State) Clone() State {
+	out := State{Theta: s.Theta.Clone(), Now: s.Now}
+	out.Commitments = append([]Commitment(nil), s.Commitments...)
+	return out
+}
+
+// Commitment returns the named commitment, if present.
+func (s State) Commitment(name string) (Commitment, bool) {
+	for _, c := range s.Commitments {
+		if c.Name() == name {
+			return c, true
+		}
+	}
+	return Commitment{}, false
+}
+
+// CommittedDemand returns the union of all commitments' remaining
+// demands: the resources already spoken for.
+func (s State) CommittedDemand() resource.Set {
+	var out resource.Set
+	for _, c := range s.Commitments {
+		out = out.Union(c.RemainingDemand(s.Now))
+	}
+	return out
+}
+
+// FreeResources returns Θ_free: resources that will expire unused on the
+// committed path — Θ minus the committed demand. These are the paper's
+// "unwanted resources which will expire unless new computations requiring
+// them enter the system", the raw material of Theorem 4.
+func (s State) FreeResources() (resource.Set, error) {
+	free, err := s.Theta.Subtract(s.CommittedDemand())
+	if err != nil {
+		// Committed demand exceeding availability means an earlier churn
+		// event invalidated a plan; callers decide how to handle it.
+		return resource.Set{}, fmt.Errorf("core: committed demand exceeds availability: %w", err)
+	}
+	return free, nil
+}
+
+// String renders "(Θ: 3 terms, ρ: 2 computations, t=7)".
+func (s State) String() string {
+	return fmt.Sprintf("(Θ: %d terms, ρ: %d computations, t=%d)",
+		s.Theta.NumTerms(), len(s.Commitments), s.Now)
+}
+
+// TransitionKind classifies a transition with the paper's rule names.
+type TransitionKind uint8
+
+// The transition rules of §V-A.
+const (
+	// KindSequential is the sequential transition rule: exactly one actor
+	// consumes one resource over Δt.
+	KindSequential TransitionKind = iota + 1
+	// KindConcurrent is the concurrent transition rule: several actors
+	// consume resources over Δt and nothing expires unused.
+	KindConcurrent
+	// KindExpire covers the (sequential and concurrent) resource
+	// expiration rules: time advances and resources expire unused.
+	KindExpire
+	// KindGeneral is the general transition rule: some resources are
+	// consumed while others expire.
+	KindGeneral
+	// KindAcquire is the resource acquisition rule (instantaneous).
+	KindAcquire
+	// KindAccommodate is the computation accommodation rule
+	// (instantaneous, requires t < d).
+	KindAccommodate
+	// KindLeave is the computation leave rule (instantaneous, requires
+	// t < s).
+	KindLeave
+	// KindIdle is a time step in which nothing was available, consumed or
+	// expired.
+	KindIdle
+)
+
+var kindNames = map[TransitionKind]string{
+	KindSequential:  "sequential",
+	KindConcurrent:  "concurrent",
+	KindExpire:      "expire",
+	KindGeneral:     "general",
+	KindAcquire:     "acquire",
+	KindAccommodate: "accommodate",
+	KindLeave:       "leave",
+	KindIdle:        "idle",
+}
+
+// String returns the rule name.
+func (k TransitionKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TransitionKind(%d)", uint8(k))
+}
+
+// Consumption is one ξ→a element of a transition label: actor a consumed
+// rate×Δt of located type ξ.
+type Consumption struct {
+	Actor compute.ActorName
+	Type  resource.LocatedType
+	Rate  resource.Rate
+}
+
+// Transition is a labeled transition between states.
+type Transition struct {
+	Kind         TransitionKind
+	From, To     interval.Time
+	Consumptions []Consumption
+	// Expired is the availability that lapsed unused during (From, To).
+	Expired resource.Set
+	// Joined is the resource set added by an acquisition.
+	Joined resource.Set
+	// Computation names the computation of an accommodate/leave.
+	Computation string
+	// Completed names the computations that finished during this step.
+	Completed []string
+}
+
+// Label renders the transition label, e.g. "⟨cpu,l1⟩→a1, ⟨network,l1→l2⟩→a2".
+func (tr Transition) Label() string {
+	switch tr.Kind {
+	case KindAcquire:
+		return "acquire " + tr.Joined.String()
+	case KindAccommodate:
+		return "ρ(" + tr.Computation + ")"
+	case KindLeave:
+		return "¬ρ(" + tr.Computation + ")"
+	}
+	if len(tr.Consumptions) == 0 {
+		if tr.Expired.Empty() {
+			return "idle"
+		}
+		return "expire " + tr.Expired.String()
+	}
+	out := ""
+	for i, c := range tr.Consumptions {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%s→%s", c.Type, c.Actor)
+	}
+	return out
+}
+
+// Violation records a commitment whose planned consumption could not be
+// honored (possible only when resources renege after admission). Phase
+// and Missed identify exactly what work went undone, so Repair can fold
+// it back into a revised plan.
+type Violation struct {
+	Computation string
+	Actor       compute.ActorName
+	Type        resource.LocatedType
+	At          interval.Time
+	// Phase is the plan phase the missed allocation fed.
+	Phase int
+	// Missed is the quantity that should have been consumed this step.
+	Missed resource.Quantity
+}
+
+// Error renders the violation as a message.
+func (v Violation) Error() string {
+	return fmt.Sprintf("core: commitment %s actor %s missed %v at t=%d",
+		v.Computation, v.Actor, v.Type, v.At)
+}
+
+// ErrDeadlinePassed is returned by Accommodate when t ≥ d.
+var ErrDeadlinePassed = errors.New("core: cannot accommodate a computation whose deadline has passed")
+
+// ErrAlreadyStarted is returned by Leave when t ≥ s.
+var ErrAlreadyStarted = errors.New("core: a computation which has already started cannot leave")
+
+// ErrUnknownComputation is returned by Leave for a name not in ρ.
+var ErrUnknownComputation = errors.New("core: unknown computation")
+
+// Acquire applies the resource acquisition rule: (Θ, ρ, t) → (Θ ∪ Θjoin,
+// ρ, t). Joining resources must carry their departure time in their
+// intervals — "if a resource is going to leave the system in the future,
+// the time of leaving must be explicitly specified at the time of
+// joining". Availability before Now is trimmed since it can never be
+// used.
+func Acquire(s State, join resource.Set) (State, Transition) {
+	next := s.Clone()
+	usable := join.Clone()
+	usable.TrimBefore(s.Now)
+	next.Theta = next.Theta.Union(usable)
+	return next, Transition{Kind: KindAcquire, From: s.Now, To: s.Now, Joined: usable}
+}
+
+// Accommodate applies the computation accommodation rule: (Θ, ρ, t) →
+// (Θ, ρ ∪ ρ(Λ,s,d), t), defined only while t < d. The caller provides
+// the witness plan (from schedule.Concurrent against the state's free
+// resources); Accommodate re-verifies it against the free resources so an
+// invalid plan cannot corrupt ρ.
+func Accommodate(s State, req compute.Concurrent, plan schedule.Plan) (State, Transition, error) {
+	if s.Now >= req.Window.End {
+		return State{}, Transition{}, ErrDeadlinePassed
+	}
+	if _, exists := s.Commitment(req.Name); exists {
+		return State{}, Transition{}, fmt.Errorf("core: computation %s already accommodated", req.Name)
+	}
+	free, err := s.FreeResources()
+	if err != nil {
+		return State{}, Transition{}, err
+	}
+	if err := schedule.Verify(free, req, plan); err != nil {
+		return State{}, Transition{}, fmt.Errorf("core: plan rejected: %w", err)
+	}
+	next := s.Clone()
+	next.Commitments = append(next.Commitments, Commitment{Req: req, Plan: plan})
+	return next, Transition{Kind: KindAccommodate, From: s.Now, To: s.Now, Computation: req.Name}, nil
+}
+
+// Leave applies the computation leave rule: (Θ, ρ, t) → (Θ, ρ \
+// ρ(Λ,s,d), t), defined only while t < s — "a computation which has
+// already started in the system is not allowed to leave".
+func Leave(s State, name string) (State, Transition, error) {
+	idx := -1
+	for i, c := range s.Commitments {
+		if c.Name() == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return State{}, Transition{}, fmt.Errorf("%w: %s", ErrUnknownComputation, name)
+	}
+	if s.Now >= s.Commitments[idx].Req.Window.Start {
+		return State{}, Transition{}, ErrAlreadyStarted
+	}
+	next := s.Clone()
+	next.Commitments = append(next.Commitments[:idx], next.Commitments[idx+1:]...)
+	return next, Transition{Kind: KindLeave, From: s.Now, To: s.Now, Computation: name}, nil
+}
+
+// Tick applies the general transition rule over (t, t+dt): every
+// commitment consumes its planned allocations for the step, unconsumed
+// availability within the step expires, and the clock advances. The
+// returned transition is classified as sequential, concurrent, expire,
+// general or idle depending on what actually happened — the paper's
+// specific rules are the special cases of this one.
+//
+// Violations are returned (not silently dropped) when a commitment's
+// planned consumption is no longer available; this can only happen when
+// resources reneged after admission (failure injection in the simulator).
+func Tick(s State, dt interval.Time) (State, Transition, []Violation) {
+	if dt <= 0 {
+		dt = 1
+	}
+	step := interval.New(s.Now, s.Now+dt)
+	next := s.Clone()
+	tr := Transition{From: s.Now, To: s.Now + dt}
+	var violations []Violation
+
+	for _, c := range next.Commitments {
+		for _, alloc := range c.Plan.Allocs {
+			span := alloc.Term.Span.Intersect(step)
+			if span.Empty() {
+				continue
+			}
+			if err := next.Theta.Consume(alloc.Term.Type, span, alloc.Term.Rate); err != nil {
+				violations = append(violations, Violation{
+					Computation: c.Name(),
+					Actor:       alloc.Actor,
+					Type:        alloc.Term.Type,
+					At:          s.Now,
+					Phase:       alloc.Phase,
+					Missed:      resource.Quantity(alloc.Term.Rate) * resource.Quantity(span.Len()),
+				})
+				continue
+			}
+			tr.Consumptions = append(tr.Consumptions, Consumption{
+				Actor: alloc.Actor,
+				Type:  alloc.Term.Type,
+				Rate:  alloc.Term.Rate,
+			})
+		}
+	}
+	sort.Slice(tr.Consumptions, func(i, j int) bool {
+		a, b := tr.Consumptions[i], tr.Consumptions[j]
+		if a.Actor != b.Actor {
+			return a.Actor < b.Actor
+		}
+		return a.Type.String() < b.Type.String()
+	})
+
+	// Whatever availability remains inside the step expires unused.
+	tr.Expired = next.Theta.TrimBefore(s.Now + dt)
+	next.Now = s.Now + dt
+
+	// Completed commitments leave ρ.
+	var live []Commitment
+	for _, c := range next.Commitments {
+		if c.Done(next.Now) {
+			tr.Completed = append(tr.Completed, c.Name())
+		} else {
+			live = append(live, c)
+		}
+	}
+	next.Commitments = live
+
+	switch {
+	case len(tr.Consumptions) == 0 && tr.Expired.Empty():
+		tr.Kind = KindIdle
+	case len(tr.Consumptions) == 0:
+		tr.Kind = KindExpire
+	case tr.Expired.Empty() && len(tr.Consumptions) == 1:
+		tr.Kind = KindSequential
+	case tr.Expired.Empty():
+		tr.Kind = KindConcurrent
+	default:
+		tr.Kind = KindGeneral
+	}
+	return next, tr, violations
+}

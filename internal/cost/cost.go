@@ -1,0 +1,165 @@
+// Package cost implements the paper's function Φ, which maps an actor's
+// action to the set of resource amounts required to complete it (§IV-A).
+//
+// The paper treats Φ as a given: "this device … does not imply need for
+// existence of such a function. … at the cost of some inefficiency,
+// estimates could be used and revised as necessary." Accordingly this
+// package provides an exact tabular model preloaded with the paper's
+// illustrative constants, a configurable model, and a noisy estimator
+// wrapper for studying the effect of estimation error.
+package cost
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/compute"
+	"repro/internal/resource"
+)
+
+// Model is Φ: it converts an action γ of an actor into the resource
+// amounts required to complete it.
+type Model interface {
+	// Amounts returns the resources required for the action. The returned
+	// amounts are owned by the caller.
+	Amounts(a compute.Action) (resource.Amounts, error)
+}
+
+// Params configures a tabular Φ. Each action costs Base + PerUnit×Size of
+// its primary resource; migrate additionally costs serialization and
+// deserialization CPU on the two nodes plus network for the state.
+type Params struct {
+	SendNetBase     int64 // network units per send
+	SendNetPerUnit  int64 // additional network units per message-size unit beyond the first
+	EvalCPUBase     int64 // cpu units per unit-weight evaluate
+	EvalCPUPerUnit  int64 // additional cpu units per weight unit beyond the first
+	CreateCPU       int64 // cpu units per create
+	ReadyCPU        int64 // cpu units per ready
+	MigrateCPU      int64 // cpu units to (de)serialize, charged at both ends
+	MigrateNetPerKB int64 // network units per state-size unit migrated
+}
+
+// PaperParams reproduces the worked constants of §IV-A: Φ(send)=4 network,
+// Φ(evaluate)=8 cpu, Φ(create)=5 cpu, Φ(ready)=1 cpu, Φ(migrate)=3 cpu at
+// the source + state-size network + 3 cpu at the destination (the paper
+// shows [0] network for an idealized zero-size state; state size scales
+// it here).
+func PaperParams() Params {
+	return Params{
+		SendNetBase:     4,
+		SendNetPerUnit:  0,
+		EvalCPUBase:     8,
+		EvalCPUPerUnit:  0,
+		CreateCPU:       5,
+		ReadyCPU:        1,
+		MigrateCPU:      3,
+		MigrateNetPerKB: 1,
+	}
+}
+
+// Table is a deterministic tabular Φ.
+type Table struct {
+	p Params
+}
+
+var _ Model = (*Table)(nil)
+
+// NewTable builds a tabular model from params.
+func NewTable(p Params) *Table {
+	return &Table{p: p}
+}
+
+// Paper returns the paper-constant model.
+func Paper() *Table {
+	return NewTable(PaperParams())
+}
+
+// Amounts implements Model.
+func (t *Table) Amounts(a compute.Action) (resource.Amounts, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	scale := a.Size
+	if scale < 1 {
+		scale = 1
+	}
+	out := make(resource.Amounts)
+	switch a.Op {
+	case compute.OpSend:
+		qty := t.p.SendNetBase + t.p.SendNetPerUnit*(scale-1)
+		out.Add(resource.AmountOf(qty, resource.Link(a.Loc, a.Dest)))
+	case compute.OpEvaluate:
+		qty := t.p.EvalCPUBase + t.p.EvalCPUPerUnit*(scale-1)
+		out.Add(resource.AmountOf(qty, resource.CPUAt(a.Loc)))
+	case compute.OpCreate:
+		out.Add(resource.AmountOf(t.p.CreateCPU, resource.CPUAt(a.Loc)))
+	case compute.OpReady:
+		out.Add(resource.AmountOf(t.p.ReadyCPU, resource.CPUAt(a.Loc)))
+	case compute.OpMigrate:
+		out.Add(resource.AmountOf(t.p.MigrateCPU, resource.CPUAt(a.Loc)))
+		out.Add(resource.AmountOf(t.p.MigrateNetPerKB*a.Size, resource.Link(a.Loc, a.Dest)))
+		out.Add(resource.AmountOf(t.p.MigrateCPU, resource.CPUAt(a.Dest)))
+	default:
+		return nil, fmt.Errorf("cost: unknown op %v", a.Op)
+	}
+	return out, nil
+}
+
+// Noisy wraps a Model and perturbs every quantity by a bounded relative
+// error, modeling the paper's "estimates could be used and revised"
+// remark. The perturbation is deterministic given the seed. Estimates
+// never fall below one milli-unit, and with Pessimistic set they only
+// over-estimate (safe for admission).
+type Noisy struct {
+	inner       Model
+	rng         *rand.Rand
+	relErr      float64
+	pessimistic bool
+}
+
+var _ Model = (*Noisy)(nil)
+
+// NewNoisy wraps inner with ±relErr relative noise (e.g. 0.2 for ±20%).
+func NewNoisy(inner Model, relErr float64, seed int64, pessimistic bool) *Noisy {
+	return &Noisy{
+		inner:       inner,
+		rng:         rand.New(rand.NewSource(seed)),
+		relErr:      relErr,
+		pessimistic: pessimistic,
+	}
+}
+
+// Amounts implements Model.
+func (n *Noisy) Amounts(a compute.Action) (resource.Amounts, error) {
+	exact, err := n.inner.Amounts(a)
+	if err != nil {
+		return nil, err
+	}
+	out := make(resource.Amounts, len(exact))
+	for lt, q := range exact {
+		eps := n.relErr * (2*n.rng.Float64() - 1)
+		if n.pessimistic && eps < 0 {
+			eps = -eps
+		}
+		perturbed := resource.Quantity(float64(q) * (1 + eps))
+		if perturbed < 1 {
+			perturbed = 1
+		}
+		out[lt] = perturbed
+	}
+	return out, nil
+}
+
+// Realize converts a list of actions into a sequential actor computation
+// Γ by costing every action with the model.
+func Realize(m Model, actor compute.ActorName, actions ...compute.Action) (compute.Computation, error) {
+	steps := make([]compute.Step, 0, len(actions))
+	for i, a := range actions {
+		amounts, err := m.Amounts(a)
+		if err != nil {
+			return compute.Computation{}, fmt.Errorf("cost: action %d: %w", i, err)
+		}
+		steps = append(steps, compute.Step{Action: a, Amounts: amounts})
+	}
+	return compute.NewComputation(actor, steps...)
+}

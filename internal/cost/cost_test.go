@@ -1,0 +1,161 @@
+package cost
+
+import (
+	"testing"
+
+	"repro/internal/compute"
+	"repro/internal/resource"
+)
+
+func TestPaperConstants(t *testing.T) {
+	// §IV-A worked examples:
+	//   Φ(a1, send(a2,m))    = [4]⟨network,l1→l2⟩
+	//   Φ(a1, evaluate(e))   = [8]⟨cpu,l1⟩
+	//   Φ(a1, create(b))     = [5]⟨cpu,l1⟩
+	//   Φ(a1, ready(b))      = [1]⟨cpu,l1⟩
+	//   Φ(a1, migrate(l2))   = {[3]⟨cpu,l1⟩, [k]⟨network,l1→l2⟩, [3]⟨cpu,l2⟩}
+	m := Paper()
+	check := func(a compute.Action, want map[resource.LocatedType]int64) {
+		t.Helper()
+		got, err := m.Amounts(a)
+		if err != nil {
+			t.Fatalf("Amounts(%v): %v", a, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Amounts(%v) = %v, want %d entries", a, got, len(want))
+		}
+		for lt, units := range want {
+			if got[lt] != resource.QuantityFromUnits(units) {
+				t.Errorf("Amounts(%v)[%v] = %d, want %d units", a, lt, got[lt], units)
+			}
+		}
+	}
+	check(compute.Send("a1", "l1", "a2", "l2", 1),
+		map[resource.LocatedType]int64{resource.Link("l1", "l2"): 4})
+	check(compute.Evaluate("a1", "l1", 1),
+		map[resource.LocatedType]int64{resource.CPUAt("l1"): 8})
+	check(compute.Create("a1", "l1", "b"),
+		map[resource.LocatedType]int64{resource.CPUAt("l1"): 5})
+	check(compute.Ready("a1", "l1"),
+		map[resource.LocatedType]int64{resource.CPUAt("l1"): 1})
+	check(compute.Migrate("a1", "l1", "l2", 6), map[resource.LocatedType]int64{
+		resource.CPUAt("l1"):      3,
+		resource.Link("l1", "l2"): 6,
+		resource.CPUAt("l2"):      3,
+	})
+}
+
+func TestTableScalesWithSize(t *testing.T) {
+	m := NewTable(Params{
+		SendNetBase: 4, SendNetPerUnit: 2,
+		EvalCPUBase: 8, EvalCPUPerUnit: 3,
+		CreateCPU: 5, ReadyCPU: 1, MigrateCPU: 3, MigrateNetPerKB: 1,
+	})
+	got, err := m.Amounts(compute.Send("a1", "l1", "a2", "l2", 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[resource.Link("l1", "l2")] != resource.QuantityFromUnits(4+2*4) {
+		t.Errorf("scaled send = %v", got)
+	}
+	got, err = m.Amounts(compute.Evaluate("a1", "l1", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[resource.CPUAt("l1")] != resource.QuantityFromUnits(8+3*2) {
+		t.Errorf("scaled evaluate = %v", got)
+	}
+	// Size 0 clamps to 1.
+	got, err = m.Amounts(compute.Action{Op: compute.OpEvaluate, Actor: "a1", Loc: "l1", Size: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[resource.CPUAt("l1")] != resource.QuantityFromUnits(8) {
+		t.Errorf("zero-size evaluate = %v", got)
+	}
+}
+
+func TestTableRejectsInvalidAction(t *testing.T) {
+	if _, err := Paper().Amounts(compute.Action{}); err == nil {
+		t.Error("invalid action should fail")
+	}
+}
+
+func TestNoisyDeterministicAndBounded(t *testing.T) {
+	base := Paper()
+	a := compute.Evaluate("a1", "l1", 1)
+	exact, _ := base.Amounts(a)
+	want := exact[resource.CPUAt("l1")]
+
+	n1 := NewNoisy(base, 0.25, 99, false)
+	n2 := NewNoisy(base, 0.25, 99, false)
+	for i := 0; i < 50; i++ {
+		g1, err1 := n1.Amounts(a)
+		g2, err2 := n2.Amounts(a)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		q1 := g1[resource.CPUAt("l1")]
+		if q1 != g2[resource.CPUAt("l1")] {
+			t.Fatal("same seed must give same noise")
+		}
+		lo := float64(want) * 0.75
+		hi := float64(want) * 1.25
+		if float64(q1) < lo-1 || float64(q1) > hi+1 {
+			t.Fatalf("noise out of bounds: %d not in [%f, %f]", q1, lo, hi)
+		}
+	}
+}
+
+func TestNoisyPessimisticNeverUnderestimates(t *testing.T) {
+	base := Paper()
+	n := NewNoisy(base, 0.5, 7, true)
+	a := compute.Send("a1", "l1", "a2", "l2", 1)
+	exact, _ := base.Amounts(a)
+	want := exact[resource.Link("l1", "l2")]
+	for i := 0; i < 100; i++ {
+		got, err := n.Amounts(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[resource.Link("l1", "l2")] < want {
+			t.Fatalf("pessimistic estimate %d below exact %d", got[resource.Link("l1", "l2")], want)
+		}
+	}
+}
+
+func TestNoisyPropagatesErrors(t *testing.T) {
+	n := NewNoisy(Paper(), 0.1, 1, false)
+	if _, err := n.Amounts(compute.Action{}); err == nil {
+		t.Error("error should propagate through Noisy")
+	}
+}
+
+func TestRealize(t *testing.T) {
+	c, err := Realize(Paper(), "a1",
+		compute.Evaluate("a1", "l1", 1),
+		compute.Send("a1", "l1", "a2", "l2", 1),
+		compute.Ready("a1", "l1"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Steps) != 3 {
+		t.Fatalf("steps = %d", len(c.Steps))
+	}
+	total := c.TotalAmounts()
+	if total[resource.CPUAt("l1")] != resource.QuantityFromUnits(9) {
+		t.Errorf("cpu total = %d", total[resource.CPUAt("l1")])
+	}
+	if total[resource.Link("l1", "l2")] != resource.QuantityFromUnits(4) {
+		t.Errorf("net total = %d", total[resource.Link("l1", "l2")])
+	}
+	// Realize surfaces cost errors with the failing index.
+	if _, err := Realize(Paper(), "a1", compute.Action{}); err == nil {
+		t.Error("Realize should fail on invalid action")
+	}
+	// Realize surfaces ownership errors from NewComputation.
+	if _, err := Realize(Paper(), "a1", compute.Evaluate("zz", "l1", 1)); err == nil {
+		t.Error("Realize should fail on foreign actor")
+	}
+}

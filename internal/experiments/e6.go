@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/compute"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/interval"
+	"repro/internal/metrics"
+	"repro/internal/resource"
+)
+
+// E6Config parameterizes the reasoning-cost scalability study.
+type E6Config struct {
+	Seed int64
+	// TermCounts sweeps the number of resource terms in Θ.
+	TermCounts []int
+	// ActorCounts sweeps the number of actors in the candidate
+	// computation.
+	ActorCounts []int
+	// Horizon is the availability horizon in ticks.
+	Horizon interval.Time
+	// Reps is how many decisions are timed per point.
+	Reps int
+}
+
+// DefaultE6 returns the harness parameters.
+func DefaultE6() E6Config {
+	return E6Config{
+		Seed:        77,
+		TermCounts:  []int{8, 32, 128, 512},
+		ActorCounts: []int{1, 2, 4, 8},
+		Horizon:     512,
+		Reps:        20,
+	}
+}
+
+// E6Scalability measures the cost of the Theorem-4 decision procedure as
+// the resource state fragments and the candidate computation grows — the
+// paper concedes "algorithmic complexity of the reasoning enabled by ROTA
+// is obviously high", and this experiment characterizes it: decision
+// latency grows with both the number of availability segments and the
+// number of actors to schedule.
+func E6Scalability(cfg E6Config) *metrics.Table {
+	t := metrics.NewTable("E6: reasoning cost vs state size",
+		"terms", "actors", "decisions", "mean-us", "p95-us", "admit-rate")
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	for _, terms := range cfg.TermCounts {
+		theta := fragmentedTheta(rng, terms, cfg.Horizon)
+		for _, actors := range cfg.ActorCounts {
+			var lat []float64
+			admitted := 0
+			for rep := 0; rep < cfg.Reps; rep++ {
+				job, err := uniformJob(rng, rep, actors, cfg.Horizon)
+				if err != nil {
+					continue
+				}
+				state := core.NewState(theta, 0)
+				start := time.Now()
+				_, err = core.AccommodateAdditional(state, job)
+				lat = append(lat, float64(time.Since(start).Microseconds()))
+				if err == nil {
+					admitted++
+				}
+			}
+			t.AddRow(terms, actors, len(lat),
+				metrics.Mean(lat), metrics.Percentile(lat, 95),
+				float64(admitted)/float64(max(1, len(lat))))
+		}
+	}
+	t.AddNote("theta fragments into ~terms availability segments; jobs are identical across term counts")
+	return t
+}
+
+// fragmentedTheta builds availability split into approximately n
+// segments: alternating rates over consecutive spans at a single
+// location, plus a network link.
+func fragmentedTheta(rng *rand.Rand, n int, horizon interval.Time) resource.Set {
+	var theta resource.Set
+	segLen := horizon / interval.Time(max(1, n/2))
+	if segLen < 1 {
+		segLen = 1
+	}
+	var t interval.Time
+	for i := 0; t < horizon && i < n; i++ {
+		end := t + segLen
+		if end > horizon {
+			end = horizon
+		}
+		theta.Add(resource.NewTerm(
+			resource.FromUnits(int64(2+rng.Intn(4))),
+			resource.CPUAt("l1"),
+			interval.New(t, end)))
+		t = end
+	}
+	theta.Add(resource.NewTerm(resource.FromUnits(2), resource.Link("l1", "l2"), interval.New(0, horizon)))
+	return theta
+}
+
+// uniformJob builds an actors-wide computation of fixed per-actor shape.
+func uniformJob(rng *rand.Rand, rep, actors int, horizon interval.Time) (compute.Distributed, error) {
+	var comps []compute.Computation
+	for ai := 0; ai < actors; ai++ {
+		name := compute.ActorName(randName(rep, ai, actors))
+		comp, err := cost.Realize(cost.Paper(), name,
+			compute.Evaluate(name, "l1", 1),
+			compute.Send(name, "l1", "peer", "l2", 1),
+			compute.Evaluate(name, "l1", 1),
+		)
+		if err != nil {
+			return compute.Distributed{}, err
+		}
+		comps = append(comps, comp)
+	}
+	deadline := horizon/2 + interval.Time(rng.Intn(int(horizon/4)))
+	return compute.NewDistributed(randName(rep, 98, actors), 0, deadline, comps...)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/compute"
+	"repro/internal/core"
+	"repro/internal/interval"
+	"repro/internal/metrics"
+	"repro/internal/resource"
+	"repro/internal/workload"
+)
+
+// E7Config parameterizes the Δt granularity ablation.
+type E7Config struct {
+	Seed int64
+	// Scales are the time-refinement factors: a scale k stretches every
+	// interval by k and divides every rate by k, so the continuous-time
+	// scenario is identical but the tick is k× finer.
+	Scales []int64
+	// NumJobs per scenario.
+	NumJobs int
+	// BaseHorizon is the horizon at scale 1.
+	BaseHorizon int64
+}
+
+// DefaultE7 returns the harness parameters.
+func DefaultE7() E7Config {
+	return E7Config{Seed: 5150, Scales: []int64{1, 2, 4, 8}, NumJobs: 60, BaseHorizon: 400}
+}
+
+// E7DeltaT studies the paper's footnote that "Δt can be defined according
+// to the desired control granularity": the same continuous scenario is
+// expressed at finer and finer ticks (scale k multiplies intervals by k
+// and divides rates by k). Finer granularity can only help admission —
+// quantization loss shrinks — at the price of more availability segments
+// and slower decisions.
+func E7DeltaT(cfg E7Config) *metrics.Table {
+	t := metrics.NewTable("E7: Δt granularity ablation",
+		"scale", "offered", "admitted", "admit-rate", "mean-decision-us")
+
+	wcfg := workload.Config{
+		Seed:             cfg.Seed,
+		Locations:        []resource.Location{"l1", "l2"},
+		NumJobs:          cfg.NumJobs,
+		MeanInterarrival: float64(cfg.BaseHorizon) / float64(cfg.NumJobs),
+		ActorsMin:        1,
+		ActorsMax:        2,
+		StepsMin:         1,
+		StepsMax:         3,
+		SendProb:         0.2,
+		MigrateProb:      0,
+		EvalWeightMax:    2,
+		SlackFactor:      1.4, // tight deadlines so quantization matters
+	}
+	jobs, err := workload.Generate(wcfg)
+	if err != nil {
+		t.AddNote("workload error: %v", err)
+		return t
+	}
+
+	base := resource.NewSet(
+		resource.NewTerm(resource.FromUnits(2), resource.CPUAt("l1"), interval.New(0, interval.Time(cfg.BaseHorizon))),
+		resource.NewTerm(resource.FromUnits(2), resource.CPUAt("l2"), interval.New(0, interval.Time(cfg.BaseHorizon))),
+		resource.NewTerm(resource.FromUnits(1), resource.Link("l1", "l2"), interval.New(0, interval.Time(cfg.BaseHorizon))),
+		resource.NewTerm(resource.FromUnits(1), resource.Link("l2", "l1"), interval.New(0, interval.Time(cfg.BaseHorizon))),
+	)
+
+	for _, scale := range cfg.Scales {
+		theta := scaleSet(base, scale)
+		state := core.NewState(theta, 0)
+		admitted := 0
+		var lat []float64
+		for _, job := range jobs {
+			scaled := scaleJob(job.Dist, scale)
+			start := time.Now()
+			next, _, err := core.Admit(state, scaled)
+			lat = append(lat, float64(time.Since(start).Microseconds()))
+			if err != nil {
+				continue
+			}
+			state = next
+			admitted++
+		}
+		t.AddRow(scale, len(jobs), admitted,
+			float64(admitted)/float64(len(jobs)), metrics.Mean(lat))
+	}
+	t.AddNote("scale k: intervals ×k, rates ÷k — same continuous scenario, finer control granularity")
+	return t
+}
+
+// scaleSet stretches intervals by k and divides rates by k.
+func scaleSet(s resource.Set, k int64) resource.Set {
+	var out resource.Set
+	for _, term := range s.Terms() {
+		rate := term.Rate / resource.Rate(k)
+		if rate < 1 {
+			rate = 1
+		}
+		out.Add(resource.NewTerm(rate, term.Type,
+			interval.New(term.Span.Start*interval.Time(k), term.Span.End*interval.Time(k))))
+	}
+	return out
+}
+
+// scaleJob stretches a job's window by k (amounts are unchanged: the same
+// work fits into the same continuous time).
+func scaleJob(d compute.Distributed, k int64) compute.Distributed {
+	out := d
+	out.Start = d.Start * interval.Time(k)
+	out.Deadline = d.Deadline * interval.Time(k)
+	return out
+}

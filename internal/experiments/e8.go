@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/interval"
+	"repro/internal/metrics"
+	"repro/internal/resource"
+	"repro/internal/workload"
+)
+
+// E8Config parameterizes the encapsulation ablation.
+type E8Config struct {
+	Seed int64
+	// TotalLocations is the number of nodes in the system.
+	TotalLocations int
+	// Encapsulations sweeps how many CyberOrgs-style encapsulations the
+	// system is partitioned into (must divide TotalLocations).
+	Encapsulations []int
+	// Horizon in ticks.
+	Horizon int64
+	// JobsPerLocation controls total offered work.
+	JobsPerLocation int
+}
+
+// DefaultE8 returns the harness parameters.
+func DefaultE8() E8Config {
+	return E8Config{
+		Seed:            97,
+		TotalLocations:  8,
+		Encapsulations:  []int{1, 2, 4, 8},
+		Horizon:         300,
+		JobsPerLocation: 12,
+	}
+}
+
+// E8Encapsulation explores the paper's closing direction: "the context in
+// which we hope to use ROTA is that of resource encapsulations of the
+// type defined by the CyberOrgs model, where the reasoning only needs to
+// concern itself with resources available inside the encapsulation."
+//
+// The same system — locations, capacity, jobs pinned to their home
+// location groups — is partitioned into 1, 2, 4, … encapsulations, each
+// with its own ROTA state over only its own resources. Total reasoning
+// cost should fall sharply with encapsulation count (each decision scans
+// a fraction of the terms) while admission quality is unchanged for
+// location-local workloads.
+func E8Encapsulation(cfg E8Config) *metrics.Table {
+	t := metrics.NewTable("E8: CyberOrgs-style encapsulation ablation",
+		"encaps", "locs/encap", "offered", "admitted", "total-decision-ms", "mean-decision-us")
+
+	locs := make([]resource.Location, cfg.TotalLocations)
+	for i := range locs {
+		locs[i] = resource.Location(fmt.Sprintf("n%d", i))
+	}
+
+	// One location-local workload per node, fixed across partitionings.
+	jobsByLoc := make([][]workload.Job, cfg.TotalLocations)
+	for i, loc := range locs {
+		wcfg := workload.Config{
+			Seed:             cfg.Seed + int64(i),
+			Locations:        []resource.Location{loc},
+			NumJobs:          cfg.JobsPerLocation,
+			MeanInterarrival: float64(cfg.Horizon) / float64(cfg.JobsPerLocation),
+			ActorsMin:        1,
+			ActorsMax:        2,
+			StepsMin:         1,
+			StepsMax:         3,
+			SendProb:         0, // single-location jobs: encapsulation-local
+			MigrateProb:      0,
+			EvalWeightMax:    2,
+			SlackFactor:      2.5,
+		}
+		jobs, err := workload.Generate(wcfg)
+		if err != nil {
+			t.AddNote("workload error at %s: %v", loc, err)
+			return t
+		}
+		// Per-location generators reuse job names; disambiguate so a
+		// shared state does not reject later locations as duplicates.
+		for j := range jobs {
+			jobs[j].Dist.Name = fmt.Sprintf("%s-%s", loc, jobs[j].Dist.Name)
+		}
+		jobsByLoc[i] = jobs
+	}
+
+	for _, encaps := range cfg.Encapsulations {
+		if cfg.TotalLocations%encaps != 0 {
+			t.AddNote("skipping %d encapsulations (does not divide %d)", encaps, cfg.TotalLocations)
+			continue
+		}
+		perEncap := cfg.TotalLocations / encaps
+		states := make([]core.State, encaps)
+		for e := 0; e < encaps; e++ {
+			var theta resource.Set
+			for j := 0; j < perEncap; j++ {
+				theta.Add(resource.NewTerm(
+					resource.FromUnits(2),
+					resource.CPUAt(locs[e*perEncap+j]),
+					interval.New(0, interval.Time(cfg.Horizon))))
+			}
+			states[e] = core.NewState(theta, 0)
+		}
+		offered, admitted := 0, 0
+		var total time.Duration
+		var lat []float64
+		for li := 0; li < cfg.TotalLocations; li++ {
+			e := li / perEncap
+			for _, job := range jobsByLoc[li] {
+				offered++
+				start := time.Now()
+				next, _, err := core.Admit(states[e], job.Dist)
+				d := time.Since(start)
+				total += d
+				lat = append(lat, float64(d.Microseconds()))
+				if err != nil {
+					continue
+				}
+				states[e] = next
+				admitted++
+			}
+		}
+		t.AddRow(encaps, perEncap, offered, admitted,
+			float64(total.Milliseconds()), metrics.Mean(lat))
+	}
+	t.AddNote("same capacity and jobs at every row; only the reasoning scope changes")
+	return t
+}

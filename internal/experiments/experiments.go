@@ -1,0 +1,112 @@
+// Package experiments implements the evaluation suite E1–E8 described in
+// DESIGN.md. The ROTA paper is a formal-logic paper with no empirical
+// evaluation; E1 and E2 reproduce its two formal artifacts (Table I and
+// the §III/§V worked examples and semantics), while E3–E8 are the
+// constructed evaluation validating the logic end-to-end and
+// characterizing its cost. Every experiment returns a metrics.Table so
+// the same code serves the CLI harness and the benchmark suite.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/interval"
+	"repro/internal/metrics"
+)
+
+// ByID runs the experiment with the given id ("e1" … "e10") using default
+// parameters.
+func ByID(id string) (*metrics.Table, error) {
+	switch id {
+	case "e1":
+		return E1AllenRelations(), nil
+	case "e2":
+		return E2Semantics(), nil
+	case "e3":
+		return E3CheckerSoundness(DefaultE3()), nil
+	case "e4":
+		return E4AdmissionSweep(DefaultE4()), nil
+	case "e5":
+		return E5Churn(DefaultE5()), nil
+	case "e6":
+		return E6Scalability(DefaultE6()), nil
+	case "e7":
+		return E7DeltaT(DefaultE7()), nil
+	case "e8":
+		return E8Encapsulation(DefaultE8()), nil
+	case "e9":
+		return E9Workflows(DefaultE9()), nil
+	case "e10":
+		return E10Estimation(DefaultE10()), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown id %q (want e1..e10)", id)
+	}
+}
+
+// IDs lists the experiment identifiers in order.
+func IDs() []string {
+	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"}
+}
+
+// E1AllenRelations regenerates the paper's Table I: the thirteen
+// qualitative relations between time intervals, each with a concrete
+// witness pair, plus machine-checked algebra properties (converse
+// involution, JEPD on a sample grid, composition-table soundness).
+func E1AllenRelations() *metrics.Table {
+	t := metrics.NewTable("E1 (paper Table I): Allen interval relations",
+		"relation", "symbol", "witness A", "witness B", "converse")
+	witnesses := map[interval.Relation][2]interval.Interval{
+		interval.Before:       {interval.New(0, 2), interval.New(4, 6)},
+		interval.After:        {interval.New(4, 6), interval.New(0, 2)},
+		interval.Meets:        {interval.New(0, 3), interval.New(3, 6)},
+		interval.MetBy:        {interval.New(3, 6), interval.New(0, 3)},
+		interval.OverlapsWith: {interval.New(0, 4), interval.New(2, 6)},
+		interval.OverlappedBy: {interval.New(2, 6), interval.New(0, 4)},
+		interval.Starts:       {interval.New(0, 3), interval.New(0, 6)},
+		interval.StartedBy:    {interval.New(0, 6), interval.New(0, 3)},
+		interval.During:       {interval.New(2, 4), interval.New(0, 6)},
+		interval.Contains:     {interval.New(0, 6), interval.New(2, 4)},
+		interval.Finishes:     {interval.New(3, 6), interval.New(0, 6)},
+		interval.FinishedBy:   {interval.New(0, 6), interval.New(3, 6)},
+		interval.Equal:        {interval.New(1, 5), interval.New(1, 5)},
+	}
+	for _, r := range interval.AllRelations {
+		w := witnesses[r]
+		got := interval.RelationBetween(w[0], w[1])
+		status := r.String()
+		if got != r {
+			status = fmt.Sprintf("MISMATCH(%v)", got)
+		}
+		t.AddRow(status, r.Symbol(), w[0].String(), w[1].String(), r.Converse().String())
+	}
+
+	// Algebra checks over an exhaustive small grid.
+	jepd, conv, comp := 0, 0, 0
+	total := 0
+	for as := interval.Time(0); as < 5; as++ {
+		for ae := as + 1; ae <= 5; ae++ {
+			for bs := interval.Time(0); bs < 5; bs++ {
+				for be := bs + 1; be <= 5; be++ {
+					a, b := interval.New(as, ae), interval.New(bs, be)
+					total++
+					r := interval.RelationBetween(a, b)
+					if r.Valid() {
+						jepd++
+					}
+					if interval.RelationBetween(b, a) == r.Converse() {
+						conv++
+					}
+					for cs := interval.Time(0); cs < 5; cs++ {
+						c := interval.New(cs, cs+2)
+						if interval.Compose(r, interval.RelationBetween(b, c)).Has(interval.RelationBetween(a, c)) {
+							comp++
+						}
+					}
+				}
+			}
+		}
+	}
+	t.AddNote("grid checks: JEPD %d/%d, converse %d/%d, composition soundness %d/%d",
+		jepd, total, conv, total, comp, total*5)
+	return t
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestByIDKnownAndUnknown(t *testing.T) {
+	for _, id := range []string{"e1", "e2"} {
+		tb, err := ByID(id)
+		if err != nil {
+			t.Fatalf("ByID(%s): %v", id, err)
+		}
+		if tb.NumRows() == 0 {
+			t.Errorf("%s produced no rows", id)
+		}
+	}
+	if _, err := ByID("e99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if len(IDs()) != 10 {
+		t.Errorf("IDs = %v", IDs())
+	}
+}
+
+func TestE1AllWitnessesMatch(t *testing.T) {
+	tb := E1AllenRelations()
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	if strings.Contains(out, "MISMATCH") {
+		t.Errorf("E1 has mismatching witnesses:\n%s", out)
+	}
+	if tb.NumRows() != 13 {
+		t.Errorf("E1 rows = %d, want 13", tb.NumRows())
+	}
+	// The grid notes must report full success: "x/x" everywhere.
+	if !strings.Contains(out, "JEPD 225/225") {
+		t.Errorf("JEPD note unexpected:\n%s", out)
+	}
+}
+
+func TestE2AllChecksPass(t *testing.T) {
+	tb := E2Semantics()
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	if strings.Contains(out, "false\n") || strings.Contains(out, "| false") {
+		// the "ok" column renders true/false; any false is a failure,
+		// except rows whose *expected value* is the string "false".
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "|") && strings.HasSuffix(strings.TrimSpace(line), "| false") {
+			t.Errorf("E2 check failed: %s", line)
+		}
+	}
+	if tb.NumRows() < 12 {
+		t.Errorf("E2 rows = %d", tb.NumRows())
+	}
+}
+
+func TestE3SoundnessHolds(t *testing.T) {
+	cfg := DefaultE3()
+	cfg.Trials = 60 // keep the test fast; the harness runs the full size
+	tb := E3CheckerSoundness(cfg)
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "MUST be 0") {
+			fields := strings.Split(line, "|")
+			val := strings.TrimSpace(fields[len(fields)-1])
+			if val != "0" {
+				t.Errorf("soundness violated: %s", line)
+			}
+		}
+	}
+	if !strings.Contains(out, "admitted") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestE4SmallSweepShapes(t *testing.T) {
+	cfg := DefaultE4()
+	cfg.Horizon = 150
+	cfg.Loads = []float64{0.4, 1.6}
+	tb := E4AdmissionSweep(cfg)
+	if tb.NumRows() != 8 { // 2 loads × 4 policies
+		var sb strings.Builder
+		tb.Render(&sb)
+		t.Fatalf("rows = %d:\n%s", tb.NumRows(), sb.String())
+	}
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	// rota rows must show 0 misses.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "| rota ") {
+			cols := strings.Split(line, "|")
+			miss := strings.TrimSpace(cols[4])
+			if miss != "0" {
+				t.Errorf("rota missed deadlines: %s", line)
+			}
+		}
+	}
+}
+
+func TestE5SmallRun(t *testing.T) {
+	cfg := DefaultE5()
+	cfg.Horizon = 150
+	cfg.ChurnInterarrivals = []float64{4}
+	cfg.RenegeProbs = []float64{0, 0.3}
+	tb := E5Churn(cfg)
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	// The renege-0 row must report zero misses and violations.
+	for _, line := range strings.Split(out, "\n") {
+		cols := strings.Split(line, "|")
+		if len(cols) < 8 || strings.TrimSpace(cols[1]) != "0" {
+			continue
+		}
+		if miss := strings.TrimSpace(cols[5]); miss != "0" {
+			t.Errorf("honest churn missed deadlines: %s", line)
+		}
+		if v := strings.TrimSpace(cols[6]); v != "0" {
+			t.Errorf("honest churn had violations: %s", line)
+		}
+	}
+}
+
+func TestE6SmallRun(t *testing.T) {
+	cfg := DefaultE6()
+	cfg.TermCounts = []int{8, 64}
+	cfg.ActorCounts = []int{1, 4}
+	cfg.Reps = 5
+	tb := E6Scalability(cfg)
+	if tb.NumRows() != 4 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+}
+
+func TestE7SmallRun(t *testing.T) {
+	cfg := DefaultE7()
+	cfg.Scales = []int64{1, 4}
+	cfg.NumJobs = 20
+	cfg.BaseHorizon = 120
+	tb := E7DeltaT(cfg)
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+}
+
+func TestE8SmallRun(t *testing.T) {
+	cfg := DefaultE8()
+	cfg.TotalLocations = 4
+	cfg.Encapsulations = []int{1, 2, 4, 3} // 3 does not divide 4: skipped
+	cfg.Horizon = 100
+	cfg.JobsPerLocation = 4
+	tb := E8Encapsulation(cfg)
+	if tb.NumRows() != 3 {
+		t.Fatalf("rows = %d (the non-dividing partition must be skipped)", tb.NumRows())
+	}
+	// Admission counts must be identical across partitionings for
+	// location-local jobs.
+	var sb strings.Builder
+	tb.RenderCSV(&sb)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	var admitted string
+	for i, line := range lines {
+		if i == 0 {
+			continue
+		}
+		cols := strings.Split(line, ",")
+		if admitted == "" {
+			admitted = cols[3]
+		} else if cols[3] != admitted {
+			t.Errorf("admission varies with encapsulation: %v", lines)
+		}
+	}
+}
+
+func TestE9SmallRun(t *testing.T) {
+	cfg := DefaultE9()
+	cfg.FanOuts = []int{1, 4}
+	cfg.Trials = 15
+	tb := E9Workflows(cfg)
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	// The waits can never relax feasibility: the "bug?" note must not
+	// appear.
+	var sb strings.Builder
+	tb.Render(&sb)
+	if strings.Contains(sb.String(), "bug?") {
+		t.Errorf("waits relaxed feasibility:\n%s", sb.String())
+	}
+}
+
+func TestE10PessimisticNeverBreaksAssurance(t *testing.T) {
+	cfg := DefaultE10()
+	cfg.Trials = 60
+	tb := E10Estimation(cfg)
+	if tb.NumRows() != 8 { // 4 errors × 2 biases
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	var sb strings.Builder
+	tb.RenderCSV(&sb)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	for _, line := range lines[1:] {
+		cols := strings.Split(line, ",")
+		relErr, bias, broken := cols[0], cols[1], cols[4]
+		if bias == "pessimistic" && broken != "0" {
+			t.Errorf("pessimistic estimates broke assurance at err=%s: %s", relErr, line)
+		}
+		if relErr == "0" && broken != "0" {
+			t.Errorf("zero error broke assurance: %s", line)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestComposeKnownEntries(t *testing.T) {
+	// Spot-check classic entries of Allen's composition table.
+	tests := []struct {
+		r1, r2 Relation
+		want   RelSet
+	}{
+		// before ∘ before = {before}
+		{Before, Before, NewRelSet(Before)},
+		// after ∘ after = {after}
+		{After, After, NewRelSet(After)},
+		// meets ∘ meets = {before}
+		{Meets, Meets, NewRelSet(Before)},
+		// equal is the identity of composition.
+		{Equal, During, NewRelSet(During)},
+		{OverlapsWith, Equal, NewRelSet(OverlapsWith)},
+		// during ∘ during = {during}
+		{During, During, NewRelSet(During)},
+		// starts ∘ during = {during}
+		{Starts, During, NewRelSet(During)},
+		// before ∘ during = {before, overlaps, meets, during, starts}
+		{Before, During, NewRelSet(Before, OverlapsWith, Meets, During, Starts)},
+		// during ∘ before = {before}
+		{During, Before, NewRelSet(Before)},
+		// meets ∘ during = {overlaps, during, starts}
+		{Meets, During, NewRelSet(OverlapsWith, During, Starts)},
+		// overlaps ∘ overlaps = {before, overlaps, meets}
+		{OverlapsWith, OverlapsWith, NewRelSet(Before, OverlapsWith, Meets)},
+		// during ∘ contains = full set (the famous "anything" entry:
+		// both A and C lie inside B, so any relation is possible)
+		{During, Contains, FullRelSet},
+		// contains ∘ during: A and C both contain B, so they must share
+		// B's ticks — only the nine overlapping relations survive.
+		{Contains, During, NewRelSet(OverlapsWith, OverlappedBy, Starts, StartedBy,
+			During, Contains, Finishes, FinishedBy, Equal)},
+	}
+	for _, tt := range tests {
+		if got := Compose(tt.r1, tt.r2); got != tt.want {
+			t.Errorf("Compose(%v, %v) = %v, want %v", tt.r1, tt.r2, got, tt.want)
+		}
+	}
+}
+
+func TestComposeInvalid(t *testing.T) {
+	if got := Compose(Relation(0), Before); !got.IsEmpty() {
+		t.Errorf("Compose with invalid r1 = %v", got)
+	}
+	if got := Compose(Before, Relation(99)); !got.IsEmpty() {
+		t.Errorf("Compose with invalid r2 = %v", got)
+	}
+}
+
+func TestPropertyCompositionSound(t *testing.T) {
+	// For random triples A, B, C: rel(A,C) must be a member of
+	// Compose(rel(A,B), rel(B,C)).
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		a, b, c := randInterval(rng), randInterval(rng), randInterval(rng)
+		rab := RelationBetween(a, b)
+		rbc := RelationBetween(b, c)
+		rac := RelationBetween(a, c)
+		if !Compose(rab, rbc).Has(rac) {
+			t.Fatalf("composition unsound: rel(%v,%v)=%v rel(%v,%v)=%v but rel(a,c)=%v ∉ %v",
+				a, b, rab, b, c, rbc, rac, Compose(rab, rbc))
+		}
+	}
+}
+
+func TestPropertyCompositionConverse(t *testing.T) {
+	// (r1 ∘ r2)⁻¹ = r2⁻¹ ∘ r1⁻¹ for every pair.
+	for _, r1 := range AllRelations {
+		for _, r2 := range AllRelations {
+			left := Compose(r1, r2).Converse()
+			right := Compose(r2.Converse(), r1.Converse())
+			if left != right {
+				t.Errorf("converse law fails for (%v, %v): %v vs %v", r1, r2, left, right)
+			}
+		}
+	}
+}
+
+func TestCompositionTableNeverEmpty(t *testing.T) {
+	for _, r1 := range AllRelations {
+		for _, r2 := range AllRelations {
+			if Compose(r1, r2).IsEmpty() {
+				t.Errorf("Compose(%v, %v) is empty", r1, r2)
+			}
+		}
+	}
+}
+
+func TestComposeSets(t *testing.T) {
+	got := ComposeSets(NewRelSet(Before, Meets), NewRelSet(Before))
+	if got != NewRelSet(Before) {
+		t.Errorf("ComposeSets = %v, want {before}", got)
+	}
+	if got := ComposeSets(EmptyRelSet, FullRelSet); !got.IsEmpty() {
+		t.Errorf("ComposeSets with empty = %v", got)
+	}
+	// Identity: {Equal} ∘ S = S.
+	for _, r := range AllRelations {
+		s := NewRelSet(r)
+		if got := ComposeSets(NewRelSet(Equal), s); got != s {
+			t.Errorf("equal ∘ {%v} = %v", r, got)
+		}
+	}
+}
+
+func BenchmarkCompose(b *testing.B) {
+	Compose(Before, Before) // force table build outside the loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Compose(AllRelations[i%13], AllRelations[(i/13)%13])
+	}
+}
+
+func BenchmarkRelationBetween(b *testing.B) {
+	ivs := make([]Interval, 64)
+	rng := rand.New(rand.NewSource(3))
+	for i := range ivs {
+		ivs[i] = randInterval(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = RelationBetween(ivs[i%64], ivs[(i+7)%64])
+	}
+}

@@ -1,0 +1,234 @@
+// Package interval implements the time model underlying ROTA: discrete
+// time points, half-open time intervals, Allen's interval algebra (the
+// thirteen qualitative relations of Table I in the paper), relation
+// composition, interval sets, and qualitative constraint networks with
+// path-consistency propagation.
+//
+// Time is modeled as int64 ticks. The tick length corresponds to the
+// paper's Δt — the smallest time slice the system can account for — and is
+// chosen by the embedding system ("control granularity"). All intervals are
+// half-open [Start, End): a resource term defined on (0,3) in the paper's
+// notation covers ticks 0, 1 and 2. An interval with End <= Start is empty;
+// per §III of the paper, resources over empty intervals are null.
+package interval
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Time is a discrete point in time, measured in ticks of Δt.
+type Time = int64
+
+// Infinity is a sentinel end-time for unbounded horizons. It is far enough
+// from any realistic tick count that arithmetic on bounded intervals cannot
+// reach it.
+const Infinity Time = 1<<62 - 1
+
+// NegInfinity is the corresponding sentinel start-time.
+const NegInfinity Time = -(1<<62 - 1)
+
+// Interval is a half-open span of time [Start, End).
+//
+// The zero value is the empty interval [0, 0).
+type Interval struct {
+	Start Time
+	End   Time
+}
+
+// New returns the interval [start, end). It does not normalize: an
+// interval with end <= start is a valid (empty) interval.
+func New(start, end Time) Interval {
+	return Interval{Start: start, End: end}
+}
+
+// Point returns the unit interval [t, t+1) covering exactly tick t.
+func Point(t Time) Interval {
+	return Interval{Start: t, End: t + 1}
+}
+
+// Span returns the interval [start, start+length).
+func Span(start Time, length Time) Interval {
+	return Interval{Start: start, End: start + length}
+}
+
+// Empty reports whether the interval contains no ticks.
+func (iv Interval) Empty() bool {
+	return iv.End <= iv.Start
+}
+
+// Len returns the number of ticks in the interval, zero if empty.
+func (iv Interval) Len() Time {
+	if iv.Empty() {
+		return 0
+	}
+	return iv.End - iv.Start
+}
+
+// Contains reports whether tick t lies inside the interval.
+func (iv Interval) Contains(t Time) bool {
+	return iv.Start <= t && t < iv.End
+}
+
+// ContainsInterval reports whether other is fully inside iv. The empty
+// interval is contained in everything.
+func (iv Interval) ContainsInterval(other Interval) bool {
+	if other.Empty() {
+		return true
+	}
+	return iv.Start <= other.Start && other.End <= iv.End
+}
+
+// Equal reports whether two intervals cover the same ticks. All empty
+// intervals are equal to each other.
+func (iv Interval) Equal(other Interval) bool {
+	if iv.Empty() || other.Empty() {
+		return iv.Empty() && other.Empty()
+	}
+	return iv.Start == other.Start && iv.End == other.End
+}
+
+// Intersect returns the overlap of two intervals (possibly empty).
+func (iv Interval) Intersect(other Interval) Interval {
+	out := Interval{Start: max64(iv.Start, other.Start), End: min64(iv.End, other.End)}
+	if out.Empty() {
+		return Interval{}
+	}
+	return out
+}
+
+// Overlaps reports whether the two intervals share at least one tick.
+func (iv Interval) Overlaps(other Interval) bool {
+	return !iv.Intersect(other).Empty()
+}
+
+// Adjacent reports whether the intervals are disjoint but share an
+// endpoint, i.e. one meets the other (in either direction).
+func (iv Interval) Adjacent(other Interval) bool {
+	if iv.Empty() || other.Empty() {
+		return false
+	}
+	return iv.End == other.Start || other.End == iv.Start
+}
+
+// Hull returns the smallest interval containing both inputs. The hull of
+// an empty interval with x is x.
+func (iv Interval) Hull(other Interval) Interval {
+	switch {
+	case iv.Empty():
+		return other
+	case other.Empty():
+		return iv
+	}
+	return Interval{Start: min64(iv.Start, other.Start), End: max64(iv.End, other.End)}
+}
+
+// Subtract returns iv \ other as up to two disjoint intervals, in
+// ascending order. Empty pieces are omitted.
+func (iv Interval) Subtract(other Interval) []Interval {
+	if iv.Empty() {
+		return nil
+	}
+	ov := iv.Intersect(other)
+	if ov.Empty() {
+		return []Interval{iv}
+	}
+	var out []Interval
+	if left := (Interval{Start: iv.Start, End: ov.Start}); !left.Empty() {
+		out = append(out, left)
+	}
+	if right := (Interval{Start: ov.End, End: iv.End}); !right.Empty() {
+		out = append(out, right)
+	}
+	return out
+}
+
+// Shift returns the interval translated by delta ticks.
+func (iv Interval) Shift(delta Time) Interval {
+	if iv.Empty() {
+		return Interval{}
+	}
+	return Interval{Start: iv.Start + delta, End: iv.End + delta}
+}
+
+// ClampStart returns the portion of iv at or after t.
+func (iv Interval) ClampStart(t Time) Interval {
+	return iv.Intersect(Interval{Start: t, End: Infinity})
+}
+
+// ClampEnd returns the portion of iv strictly before t.
+func (iv Interval) ClampEnd(t Time) Interval {
+	return iv.Intersect(Interval{Start: NegInfinity, End: t})
+}
+
+// String renders the interval in the paper's (start, end) notation.
+func (iv Interval) String() string {
+	if iv.Empty() {
+		return "(∅)"
+	}
+	return "(" + formatTime(iv.Start) + "," + formatTime(iv.End) + ")"
+}
+
+func formatTime(t Time) string {
+	switch t {
+	case Infinity:
+		return "+inf"
+	case NegInfinity:
+		return "-inf"
+	}
+	return strconv.FormatInt(t, 10)
+}
+
+// Parse parses the "(start,end)" notation produced by String.
+func Parse(s string) (Interval, error) {
+	if len(s) < 2 || s[0] != '(' || s[len(s)-1] != ')' {
+		return Interval{}, fmt.Errorf("interval: malformed %q", s)
+	}
+	body := s[1 : len(s)-1]
+	if body == "∅" {
+		return Interval{}, nil
+	}
+	comma := -1
+	for i := 1; i < len(body); i++ { // skip index 0 so a leading '-' is fine
+		if body[i] == ',' {
+			comma = i
+			break
+		}
+	}
+	if comma < 0 {
+		return Interval{}, fmt.Errorf("interval: malformed %q", s)
+	}
+	start, err := parseTime(body[:comma])
+	if err != nil {
+		return Interval{}, fmt.Errorf("interval: bad start in %q: %w", s, err)
+	}
+	end, err := parseTime(body[comma+1:])
+	if err != nil {
+		return Interval{}, fmt.Errorf("interval: bad end in %q: %w", s, err)
+	}
+	return Interval{Start: start, End: end}, nil
+}
+
+func parseTime(s string) (Time, error) {
+	switch s {
+	case "+inf", "inf":
+		return Infinity, nil
+	case "-inf":
+		return NegInfinity, nil
+	}
+	return strconv.ParseInt(s, 10, 64)
+}
+
+func min64(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}

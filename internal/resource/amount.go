@@ -1,0 +1,127 @@
+package resource
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Amount is a required quantity of a located resource type — the paper's
+// [q]_ξ notation for the value of Φ: "q is the quantity of resource
+// required, ξ is the located type". Unlike a Term, an Amount has no time
+// interval of its own; the interval comes from the requirement that wraps
+// it (§IV).
+type Amount struct {
+	Qty  Quantity
+	Type LocatedType
+}
+
+// AmountOf builds an Amount from whole units.
+func AmountOf(units int64, lt LocatedType) Amount {
+	return Amount{Qty: QuantityFromUnits(units), Type: lt}
+}
+
+// Zero reports whether the amount requires nothing.
+func (a Amount) Zero() bool {
+	return a.Qty <= 0
+}
+
+// String renders "[4]⟨network,l1→l2⟩".
+func (a Amount) String() string {
+	if a.Qty%Quantity(Unit) == 0 {
+		return fmt.Sprintf("[%d]%s", a.Qty.Units(), a.Type)
+	}
+	return fmt.Sprintf("[%.3f]%s", float64(a.Qty)/float64(Unit), a.Type)
+}
+
+// Amounts is a multiset of required amounts, one entry per located type.
+type Amounts map[LocatedType]Quantity
+
+// NewAmounts sums a list of Amount values into canonical form, dropping
+// zero entries.
+func NewAmounts(list ...Amount) Amounts {
+	out := make(Amounts)
+	for _, a := range list {
+		out.Add(a)
+	}
+	return out
+}
+
+// Add accumulates one amount. A negative quantity subtracts; entries
+// never go below zero (a requirement cannot be negative) — they are
+// removed instead.
+func (m Amounts) Add(a Amount) {
+	if a.Qty == 0 {
+		return
+	}
+	m[a.Type] += a.Qty
+	if m[a.Type] <= 0 {
+		delete(m, a.Type)
+	}
+}
+
+// Merge accumulates all entries of other into m.
+func (m Amounts) Merge(other Amounts) {
+	for lt, q := range other {
+		m.Add(Amount{Qty: q, Type: lt})
+	}
+}
+
+// Clone returns a deep copy.
+func (m Amounts) Clone() Amounts {
+	out := make(Amounts, len(m))
+	for lt, q := range m {
+		out[lt] = q
+	}
+	return out
+}
+
+// Empty reports whether nothing is required.
+func (m Amounts) Empty() bool {
+	return len(m) == 0
+}
+
+// Types returns the located types in deterministic order.
+func (m Amounts) Types() []LocatedType {
+	out := make([]LocatedType, 0, len(m))
+	for lt := range m {
+		out = append(out, lt)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
+	return out
+}
+
+// Total returns the summed quantity across all types (useful for
+// aggregate baselines, not for feasibility).
+func (m Amounts) Total() Quantity {
+	var total Quantity
+	for _, q := range m {
+		total += q
+	}
+	return total
+}
+
+// SingleType reports whether all required quantity is of one located
+// type, returning it if so. The paper uses this to decide when a sequence
+// of actions need not be broken into subcomputations.
+func (m Amounts) SingleType() (LocatedType, bool) {
+	if len(m) != 1 {
+		return LocatedType{}, false
+	}
+	for lt := range m {
+		return lt, true
+	}
+	return LocatedType{}, false
+}
+
+// String renders the amounts deterministically: "{[8]⟨cpu,l1⟩, ...}".
+func (m Amounts) String() string {
+	if len(m) == 0 {
+		return "{}"
+	}
+	parts := make([]string, 0, len(m))
+	for _, lt := range m.Types() {
+		parts = append(parts, Amount{Qty: m[lt], Type: lt}.String())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,85 @@
+package resource
+
+import (
+	"testing"
+)
+
+func FuzzParseTerm(f *testing.F) {
+	for _, seed := range []string{
+		"5:cpu@l1:(0,3)",
+		"2.5:network@l1>l2:(4,12)",
+		"1:gpu@node-7:(-2,9)",
+		"0:cpu@l1:(0,0)",
+		"::",
+		"9999999999:cpu@x:(0,1)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 256 {
+			return
+		}
+		term, err := ParseTerm(input)
+		if err != nil {
+			return
+		}
+		if term.Null() {
+			return // null terms render as "0", which is not term syntax
+		}
+		// A parsed term must round-trip through Compact exactly.
+		back, err := ParseTerm(term.Compact())
+		if err != nil {
+			t.Fatalf("Compact(%q) = %q does not re-parse: %v", input, term.Compact(), err)
+		}
+		if back != term {
+			t.Fatalf("round trip changed term: %v -> %q -> %v", term, term.Compact(), back)
+		}
+		// Parsed terms are never negative-rate (the paper forbids it).
+		if term.Rate < 0 {
+			t.Fatalf("negative rate survived parsing: %v", term)
+		}
+	})
+}
+
+func FuzzParseSet(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"5:cpu@l1:(0,3)",
+		"5:cpu@l1:(0,3),2:network@l1>l2:(1,4)",
+		"5:cpu@l1:(0,3),5:cpu@l1:(2,8)",
+		",,,",
+		"5:cpu@l1:(0,3),(",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 512 {
+			return
+		}
+		s, err := ParseSet(input)
+		if err != nil {
+			return
+		}
+		// Round trip: Compact must re-parse to an equal set.
+		back, err := ParseSet(s.Compact())
+		if err != nil {
+			t.Fatalf("Compact of parsed set does not re-parse: %q: %v", s.Compact(), err)
+		}
+		if !back.Equal(s) {
+			t.Fatalf("round trip changed set: %v -> %q -> %v", s, s.Compact(), back)
+		}
+		// Normalization invariants on every profile.
+		terms := s.Terms()
+		for i := 1; i < len(terms); i++ {
+			if terms[i].Type == terms[i-1].Type {
+				prev, cur := terms[i-1], terms[i]
+				if cur.Span.Start < prev.Span.End {
+					t.Fatalf("overlapping normalized terms: %v then %v", prev, cur)
+				}
+				if cur.Span.Start == prev.Span.End && cur.Rate == prev.Rate {
+					t.Fatalf("unmerged adjacent equal-rate terms: %v then %v", prev, cur)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,254 @@
+package resource
+
+import (
+	"sort"
+
+	"repro/internal/interval"
+)
+
+// segment is one step of a rate step-function: a constant positive rate
+// over a non-empty interval.
+type segment struct {
+	span interval.Interval
+	rate Rate
+}
+
+// profile is a normalized step function of availability rate over time for
+// a single located type: segments are sorted, disjoint, carry positive
+// rates, and adjacent segments with equal rates are merged. The zero value
+// is the everywhere-zero profile.
+type profile struct {
+	segs []segment
+}
+
+// normalizeSegments sorts, splits and merges raw segments (which may
+// overlap — overlapping rates add, per the paper's simplification rule)
+// into normalized form.
+func normalizeSegments(raw []segment) profile {
+	// Event sweep: +rate at each segment start, −rate at each end; walk
+	// boundaries in order, emitting a segment for every stretch with a
+	// positive running rate.
+	type event struct {
+		t     interval.Time
+		delta Rate
+	}
+	events := make([]event, 0, 2*len(raw))
+	for _, s := range raw {
+		if !s.span.Empty() && s.rate != 0 {
+			events = append(events,
+				event{t: s.span.Start, delta: s.rate},
+				event{t: s.span.End, delta: -s.rate})
+		}
+	}
+	if len(events) == 0 {
+		return profile{}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].t < events[j].t })
+	var out []segment
+	var running Rate
+	prev := events[0].t
+	for i := 0; i < len(events); {
+		t := events[i].t
+		if t > prev && running != 0 {
+			if n := len(out); n > 0 && out[n-1].rate == running && out[n-1].span.End == prev {
+				out[n-1].span.End = t
+			} else {
+				out = append(out, segment{span: interval.New(prev, t), rate: running})
+			}
+		}
+		for i < len(events) && events[i].t == t {
+			running += events[i].delta
+			i++
+		}
+		prev = t
+	}
+	return profile{segs: out}
+}
+
+// clone returns a deep copy.
+func (p profile) clone() profile {
+	if len(p.segs) == 0 {
+		return profile{}
+	}
+	return profile{segs: append([]segment(nil), p.segs...)}
+}
+
+// empty reports whether the profile is zero everywhere.
+func (p profile) empty() bool {
+	return len(p.segs) == 0
+}
+
+// rateAt returns the rate available at tick t.
+func (p profile) rateAt(t interval.Time) Rate {
+	i := sort.Search(len(p.segs), func(i int) bool { return p.segs[i].span.End > t })
+	if i < len(p.segs) && p.segs[i].span.Contains(t) {
+		return p.segs[i].rate
+	}
+	return 0
+}
+
+// add merges another step (span, rate) into the profile, summing rates
+// where they overlap. Negative rates are rejected by callers; add itself
+// assumes rate > 0.
+func (p profile) add(span interval.Interval, rate Rate) profile {
+	if span.Empty() || rate == 0 {
+		return p.clone()
+	}
+	raw := append(append([]segment(nil), p.segs...), segment{span: span, rate: rate})
+	return normalizeSegments(raw)
+}
+
+// merge returns the point-wise sum of two profiles (resource-set union
+// restricted to one located type).
+func (p profile) merge(q profile) profile {
+	if q.empty() {
+		return p.clone()
+	}
+	raw := append(append([]segment(nil), p.segs...), q.segs...)
+	return normalizeSegments(raw)
+}
+
+// quantity integrates the profile over the window.
+func (p profile) quantity(window interval.Interval) Quantity {
+	var total Quantity
+	for _, s := range p.segs {
+		if s.span.Start >= window.End {
+			break
+		}
+		ov := s.span.Intersect(window)
+		total += Quantity(s.rate) * Quantity(ov.Len())
+	}
+	return total
+}
+
+// minRate returns the minimum rate over every tick of the window; a gap in
+// coverage yields zero. An empty window yields zero.
+func (p profile) minRate(window interval.Interval) Rate {
+	if window.Empty() {
+		return 0
+	}
+	var minSeen Rate
+	first := true
+	cursor := window.Start
+	for _, s := range p.segs {
+		if s.span.End <= cursor {
+			continue
+		}
+		if s.span.Start >= window.End {
+			break
+		}
+		if s.span.Start > cursor {
+			return 0 // gap inside the window
+		}
+		if first || s.rate < minSeen {
+			minSeen = s.rate
+			first = false
+		}
+		cursor = s.span.End
+		if cursor >= window.End {
+			return minSeen
+		}
+	}
+	return 0 // window extends past the last segment
+}
+
+// covers reports whether the profile provides at least rate at every tick
+// of span.
+func (p profile) covers(span interval.Interval, rate Rate) bool {
+	if span.Empty() || rate <= 0 {
+		return true
+	}
+	return p.minRate(span) >= rate
+}
+
+// subtract removes (span, rate) from the profile. The caller must have
+// verified covers(span, rate); subtract panics otherwise, because a
+// negative resource term is meaningless in the algebra (§III).
+func (p profile) subtract(span interval.Interval, rate Rate) profile {
+	if span.Empty() || rate == 0 {
+		return p.clone()
+	}
+	if !p.covers(span, rate) {
+		panic("resource: subtract without coverage (negative resource term)")
+	}
+	raw := make([]segment, 0, len(p.segs)+2)
+	for _, s := range p.segs {
+		ov := s.span.Intersect(span)
+		if ov.Empty() {
+			raw = append(raw, s)
+			continue
+		}
+		for _, rest := range s.span.Subtract(span) {
+			raw = append(raw, segment{span: rest, rate: s.rate})
+		}
+		if remain := s.rate - rate; remain > 0 {
+			raw = append(raw, segment{span: ov, rate: remain})
+		}
+	}
+	return normalizeSegments(raw)
+}
+
+// subtractSaturating removes up to rate over span, clamping each
+// segment's remainder at zero rather than requiring coverage.
+func (p profile) subtractSaturating(span interval.Interval, rate Rate) profile {
+	if span.Empty() || rate <= 0 {
+		return p.clone()
+	}
+	raw := make([]segment, 0, len(p.segs)+2)
+	for _, s := range p.segs {
+		ov := s.span.Intersect(span)
+		if ov.Empty() {
+			raw = append(raw, s)
+			continue
+		}
+		for _, rest := range s.span.Subtract(span) {
+			raw = append(raw, segment{span: rest, rate: s.rate})
+		}
+		if remain := s.rate - rate; remain > 0 {
+			raw = append(raw, segment{span: ov, rate: remain})
+		}
+	}
+	return normalizeSegments(raw)
+}
+
+// clamp restricts the profile to a window.
+func (p profile) clamp(window interval.Interval) profile {
+	var raw []segment
+	for _, s := range p.segs {
+		ov := s.span.Intersect(window)
+		if !ov.Empty() {
+			raw = append(raw, segment{span: ov, rate: s.rate})
+		}
+	}
+	return profile{segs: raw}
+}
+
+// support returns the set of ticks where the profile is positive.
+func (p profile) support() interval.Set {
+	ivs := make([]interval.Interval, len(p.segs))
+	for i, s := range p.segs {
+		ivs[i] = s.span
+	}
+	return interval.NewSet(ivs...)
+}
+
+// hull returns the smallest interval containing all segments.
+func (p profile) hull() interval.Interval {
+	if len(p.segs) == 0 {
+		return interval.Interval{}
+	}
+	return interval.New(p.segs[0].span.Start, p.segs[len(p.segs)-1].span.End)
+}
+
+// equal reports point-wise equality (normalized forms are canonical).
+func (p profile) equal(q profile) bool {
+	if len(p.segs) != len(q.segs) {
+		return false
+	}
+	for i := range p.segs {
+		if p.segs[i] != q.segs[i] {
+			return false
+		}
+	}
+	return true
+}

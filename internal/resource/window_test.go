@@ -1,0 +1,96 @@
+package resource
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/interval"
+)
+
+func TestEarliestWindow(t *testing.T) {
+	s := NewSet(
+		NewTerm(u(1), cpuL1, interval.New(0, 4)),
+		NewTerm(u(3), cpuL1, interval.New(4, 8)),
+		NewTerm(u(2), cpuL1, interval.New(8, 12)),
+		NewTerm(u(3), cpuL1, interval.New(14, 20)), // after a gap
+	)
+	tests := []struct {
+		name     string
+		rate     Rate
+		duration interval.Time
+		within   interval.Interval
+		want     interval.Interval
+		ok       bool
+	}{
+		{"rate 1 anywhere", u(1), 3, interval.New(0, 20), interval.New(0, 3), true},
+		{"rate 2 starts at 4", u(2), 3, interval.New(0, 20), interval.New(4, 7), true},
+		{"rate 2 spans segments", u(2), 8, interval.New(0, 20), interval.New(4, 12), true},
+		{"rate 3 cannot span the dip", u(3), 5, interval.New(0, 20), interval.New(14, 19), true},
+		{"rate 3 too long", u(3), 7, interval.New(0, 20), interval.Interval{}, false},
+		{"bounded search window", u(1), 3, interval.New(9, 20), interval.New(9, 12), true},
+		{"gap breaks runs", u(1), 9, interval.New(4, 20), interval.New(4, 13), false},
+		{"rate too high", u(4), 1, interval.New(0, 20), interval.Interval{}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := s.EarliestWindow(cpuL1, tc.rate, tc.duration, tc.within)
+			if ok != tc.ok {
+				t.Fatalf("ok = %v, want %v (got %v)", ok, tc.ok, got)
+			}
+			if ok && !got.Equal(tc.want) {
+				t.Errorf("window = %v, want %v", got, tc.want)
+			}
+		})
+	}
+	// Degenerate durations succeed trivially inside a non-empty bound.
+	if _, ok := s.EarliestWindow(cpuL1, u(1), 0, interval.New(5, 6)); !ok {
+		t.Error("zero duration should trivially fit")
+	}
+	if _, ok := s.EarliestWindow(cpuL1, u(1), 0, interval.Interval{}); ok {
+		t.Error("empty bound cannot fit anything")
+	}
+	// Absent type never fits.
+	if _, ok := s.EarliestWindow(netL12, u(1), 1, interval.New(0, 20)); ok {
+		t.Error("absent type reported available")
+	}
+}
+
+func TestPropertyEarliestWindowIsEarliestAndValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for iter := 0; iter < 600; iter++ {
+		var s Set
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			s.Add(randTermFor(rng, cpuL1))
+		}
+		rate := FromUnits(int64(1 + rng.Intn(5)))
+		duration := interval.Time(1 + rng.Intn(6))
+		within := interval.New(0, 24)
+		got, ok := s.EarliestWindow(cpuL1, rate, duration, within)
+
+		// Brute force: slide a window over every start tick.
+		covers := func(start interval.Time) bool {
+			return s.MinRate(cpuL1, interval.New(start, start+duration)) >= rate
+		}
+		bruteOK := false
+		var bruteStart interval.Time
+		for start := within.Start; start+duration <= within.End; start++ {
+			if covers(start) {
+				bruteOK = true
+				bruteStart = start
+				break
+			}
+		}
+		if ok != bruteOK {
+			t.Fatalf("iter %d: ok=%v brute=%v (set %v, rate %d, dur %d)",
+				iter, ok, bruteOK, s, rate, duration)
+		}
+		if ok {
+			if got.Start != bruteStart || got.Len() != duration {
+				t.Fatalf("iter %d: got %v, brute start %d (set %v)", iter, got, bruteStart, s)
+			}
+			if s.MinRate(cpuL1, got) < rate {
+				t.Fatalf("iter %d: window %v not actually covered", iter, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("resources 5:cpu@l1:(0,3)\n")
+	f.Add("job j 0 9\nactor a l1\neval 1\nsend b l2 1\nmigrate l2 3\ncreate k\nready\n")
+	f.Add("# only a comment\n")
+	f.Add("job j 0 9\nactor a l1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 4096 {
+			return
+		}
+		sc, err := Parse(strings.NewReader(input), nil)
+		if err != nil {
+			return
+		}
+		// Every parsed job is internally consistent.
+		for _, job := range sc.Jobs {
+			if job.Deadline <= job.Start {
+				t.Fatalf("job %s has empty window", job.Name)
+			}
+			if len(job.Actors) == 0 {
+				t.Fatalf("job %s has no actors", job.Name)
+			}
+			for _, a := range job.Actors {
+				for i, st := range a.Steps {
+					if err := st.Action.Validate(); err != nil {
+						t.Fatalf("job %s actor %s step %d invalid: %v", job.Name, a.Actor, i, err)
+					}
+					if st.Action.Actor != a.Actor {
+						t.Fatalf("job %s: foreign step", job.Name)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,296 @@
+// Package scenario parses the line-oriented scenario files used by the
+// CLI tools: a resource declaration plus deadline-constrained jobs with
+// per-actor action scripts.
+//
+// Syntax (one directive per line, '#' starts a comment):
+//
+//	resources 5:cpu@l1:(0,20),2:network@l1>l2:(4,12)
+//	job j1 0 20              # name, earliest start, deadline
+//	actor a1 l1              # actor name, initial location
+//	eval 2                   # evaluate with weight 2
+//	send a2 l2 1             # message to a2 at l2, size 1
+//	create b                 # create child actor b
+//	ready
+//	migrate l2 4             # move to l2 carrying 4 state units
+//	actor a2 l2              # next actor of the same job
+//	eval 1
+//	job j2 5 30              # next job
+//	...
+//
+// Interacting actors (the §VI extension) use two more directives:
+//
+//	actor coord c0
+//	send m1 w1 1
+//	segment                  # starts the actor's next segment
+//	eval 1                   # (this work happens after the waits below)
+//	wait m1 0                # current segment waits for m1's segment 0
+//
+// A job with any segment or wait directives is a workflow; plain jobs are
+// the degenerate single-segment case. Multiple `resources` lines union.
+// Costs come from the Φ model supplied at parse time.
+package scenario
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/compute"
+	"repro/internal/cost"
+	"repro/internal/interval"
+	"repro/internal/resource"
+)
+
+// Scenario is a parsed scenario file.
+type Scenario struct {
+	Resources resource.Set
+	Jobs      []compute.Distributed
+	// Workflows holds jobs that used segment/wait directives; their
+	// names never appear in Jobs.
+	Workflows []compute.Workflow
+}
+
+// parseState carries the in-progress job/actor while scanning.
+type parseState struct {
+	model cost.Model
+
+	sc        Scenario
+	jobName   string
+	jobStart  interval.Time
+	jobDead   interval.Time
+	actors    []compute.Computation
+	actorName compute.ActorName
+	actorLoc  resource.Location
+	actions   []compute.Action
+
+	// Workflow state: non-nil segment bookkeeping marks the job as a
+	// workflow.
+	isWorkflow bool
+	segActors  []compute.Segmented
+	segments   []compute.Computation // completed segments of the current actor
+	edges      []compute.WaitEdge
+}
+
+// Parse reads a scenario from r, costing actions with model (cost.Paper()
+// when nil).
+func Parse(r io.Reader, model cost.Model) (Scenario, error) {
+	if model == nil {
+		model = cost.Paper()
+	}
+	ps := &parseState{model: model}
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := ps.directive(fields); err != nil {
+			return Scenario{}, fmt.Errorf("scenario: line %d: %w", lineNo, err)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return Scenario{}, fmt.Errorf("scenario: %w", err)
+	}
+	if err := ps.flushJob(); err != nil {
+		return Scenario{}, fmt.Errorf("scenario: %w", err)
+	}
+	return ps.sc, nil
+}
+
+func (ps *parseState) directive(fields []string) error {
+	switch fields[0] {
+	case "resources":
+		if len(fields) != 2 {
+			return fmt.Errorf("resources needs one compact-set argument")
+		}
+		set, err := resource.ParseSet(fields[1])
+		if err != nil {
+			return err
+		}
+		ps.sc.Resources = ps.sc.Resources.Union(set)
+		return nil
+	case "job":
+		if err := ps.flushJob(); err != nil {
+			return err
+		}
+		if len(fields) != 4 {
+			return fmt.Errorf("job needs name, start, deadline")
+		}
+		start, err1 := strconv.ParseInt(fields[2], 10, 64)
+		dead, err2 := strconv.ParseInt(fields[3], 10, 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("job times must be integers")
+		}
+		ps.jobName, ps.jobStart, ps.jobDead = fields[1], start, dead
+		return nil
+	case "actor":
+		if ps.jobName == "" {
+			return fmt.Errorf("actor outside a job")
+		}
+		if err := ps.flushActor(); err != nil {
+			return err
+		}
+		if len(fields) != 3 {
+			return fmt.Errorf("actor needs name and location")
+		}
+		ps.actorName = compute.ActorName(fields[1])
+		ps.actorLoc = resource.Location(fields[2])
+		return nil
+	}
+	// Action directives require a current actor.
+	if ps.actorName == "" {
+		return fmt.Errorf("action %q outside an actor", fields[0])
+	}
+	switch fields[0] {
+	case "segment":
+		if len(fields) != 1 {
+			return fmt.Errorf("segment takes no arguments")
+		}
+		ps.isWorkflow = true
+		return ps.flushSegment()
+	case "wait":
+		if len(fields) != 3 {
+			return fmt.Errorf("wait needs an actor name and a segment index")
+		}
+		idx, err := strconv.Atoi(fields[2])
+		if err != nil || idx < 0 {
+			return fmt.Errorf("wait segment index must be a non-negative integer")
+		}
+		ps.isWorkflow = true
+		ps.edges = append(ps.edges, compute.WaitEdge{
+			From: compute.SegmentRef{Actor: compute.ActorName(fields[1]), Segment: idx},
+			To:   compute.SegmentRef{Actor: ps.actorName, Segment: len(ps.segments)},
+		})
+		return nil
+	}
+	switch fields[0] {
+	case "eval":
+		if len(fields) != 2 {
+			return fmt.Errorf("eval needs a weight")
+		}
+		w, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("eval weight: %v", err)
+		}
+		ps.actions = append(ps.actions, compute.Evaluate(ps.actorName, ps.actorLoc, w))
+	case "send":
+		if len(fields) != 4 {
+			return fmt.Errorf("send needs target, destination, size")
+		}
+		size, err := strconv.ParseInt(fields[3], 10, 64)
+		if err != nil {
+			return fmt.Errorf("send size: %v", err)
+		}
+		ps.actions = append(ps.actions, compute.Send(ps.actorName, ps.actorLoc,
+			compute.ActorName(fields[1]), resource.Location(fields[2]), size))
+	case "create":
+		if len(fields) != 2 {
+			return fmt.Errorf("create needs a child name")
+		}
+		ps.actions = append(ps.actions, compute.Create(ps.actorName, ps.actorLoc, compute.ActorName(fields[1])))
+	case "ready":
+		if len(fields) != 1 {
+			return fmt.Errorf("ready takes no arguments")
+		}
+		ps.actions = append(ps.actions, compute.Ready(ps.actorName, ps.actorLoc))
+	case "migrate":
+		if len(fields) != 3 {
+			return fmt.Errorf("migrate needs destination and state size")
+		}
+		size, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("migrate size: %v", err)
+		}
+		dest := resource.Location(fields[1])
+		ps.actions = append(ps.actions, compute.Migrate(ps.actorName, ps.actorLoc, dest, size))
+		ps.actorLoc = dest // later actions execute at the new location
+	default:
+		return fmt.Errorf("unknown directive %q", fields[0])
+	}
+	return nil
+}
+
+// flushSegment closes the current segment and opens the next.
+func (ps *parseState) flushSegment() error {
+	comp, err := cost.Realize(ps.model, ps.actorName, ps.actions...)
+	if err != nil {
+		return fmt.Errorf("actor %s segment %d: %w", ps.actorName, len(ps.segments), err)
+	}
+	ps.segments = append(ps.segments, comp)
+	ps.actions = nil
+	return nil
+}
+
+func (ps *parseState) flushActor() error {
+	if ps.actorName == "" {
+		return nil
+	}
+	if ps.isWorkflow {
+		if err := ps.flushSegment(); err != nil {
+			return err
+		}
+		ps.segActors = append(ps.segActors, compute.Segmented{
+			Actor:    ps.actorName,
+			Segments: ps.segments,
+		})
+		ps.segments = nil
+		ps.actorName, ps.actorLoc, ps.actions = "", "", nil
+		return nil
+	}
+	comp, err := cost.Realize(ps.model, ps.actorName, ps.actions...)
+	if err != nil {
+		return fmt.Errorf("actor %s: %w", ps.actorName, err)
+	}
+	ps.actors = append(ps.actors, comp)
+	ps.actorName, ps.actorLoc, ps.actions = "", "", nil
+	return nil
+}
+
+func (ps *parseState) flushJob() error {
+	if err := ps.flushActor(); err != nil {
+		return err
+	}
+	if ps.jobName == "" {
+		return nil
+	}
+	if ps.isWorkflow {
+		// A workflow may mix plain actors with segmented ones: lift the
+		// plain ones to single-segment actors.
+		actors := ps.segActors
+		for _, a := range ps.actors {
+			actors = append(actors, compute.Segmented{
+				Actor:    a.Actor,
+				Segments: []compute.Computation{a},
+			})
+		}
+		if len(actors) == 0 {
+			return fmt.Errorf("job %s has no actors", ps.jobName)
+		}
+		w, err := compute.NewWorkflow(ps.jobName, ps.jobStart, ps.jobDead, actors, ps.edges)
+		if err != nil {
+			return err
+		}
+		ps.sc.Workflows = append(ps.sc.Workflows, w)
+		ps.jobName, ps.actors = "", nil
+		ps.isWorkflow, ps.segActors, ps.edges = false, nil, nil
+		return nil
+	}
+	if len(ps.actors) == 0 {
+		return fmt.Errorf("job %s has no actors", ps.jobName)
+	}
+	dist, err := compute.NewDistributed(ps.jobName, ps.jobStart, ps.jobDead, ps.actors...)
+	if err != nil {
+		return err
+	}
+	ps.sc.Jobs = append(ps.sc.Jobs, dist)
+	ps.jobName, ps.actors = "", nil
+	return nil
+}

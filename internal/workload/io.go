@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON serializes a job list as indented JSON. Resource amounts use
+// their compact text forms, so workload files are hand-editable.
+func WriteJSON(jobs []Job, w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(jobs); err != nil {
+		return fmt.Errorf("workload: write: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a job list written by WriteJSON (or by hand),
+// validating every job: windows must be non-empty, arrivals must not
+// follow deadlines, and every action must be well-formed and owned by its
+// actor.
+func ReadJSON(r io.Reader) ([]Job, error) {
+	var jobs []Job
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&jobs); err != nil {
+		return nil, fmt.Errorf("workload: read: %w", err)
+	}
+	for i, j := range jobs {
+		if j.Dist.Name == "" {
+			return nil, fmt.Errorf("workload: job %d has no name", i)
+		}
+		if j.Dist.Deadline <= j.Dist.Start {
+			return nil, fmt.Errorf("workload: job %q has empty window", j.Dist.Name)
+		}
+		if j.Arrival > j.Dist.Deadline {
+			return nil, fmt.Errorf("workload: job %q arrives after its deadline", j.Dist.Name)
+		}
+		seen := make(map[string]bool, len(j.Dist.Actors))
+		for _, a := range j.Dist.Actors {
+			if seen[string(a.Actor)] {
+				return nil, fmt.Errorf("workload: job %q has duplicate actor %s", j.Dist.Name, a.Actor)
+			}
+			seen[string(a.Actor)] = true
+			for si, st := range a.Steps {
+				if err := st.Action.Validate(); err != nil {
+					return nil, fmt.Errorf("workload: job %q actor %s step %d: %w",
+						j.Dist.Name, a.Actor, si, err)
+				}
+				if st.Action.Actor != a.Actor {
+					return nil, fmt.Errorf("workload: job %q actor %s step %d belongs to %s",
+						j.Dist.Name, a.Actor, si, st.Action.Actor)
+				}
+			}
+		}
+	}
+	return jobs, nil
+}

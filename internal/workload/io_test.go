@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	jobs, err := Generate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteJSON(jobs, &sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(jobs) {
+		t.Fatalf("round trip lost jobs: %d vs %d", len(back), len(jobs))
+	}
+	for i := range jobs {
+		a, b := jobs[i], back[i]
+		if a.Arrival != b.Arrival || a.Dist.Name != b.Dist.Name ||
+			a.Dist.Start != b.Dist.Start || a.Dist.Deadline != b.Dist.Deadline {
+			t.Fatalf("job %d header differs: %+v vs %+v", i, a, b)
+		}
+		if a.Dist.NumSteps() != b.Dist.NumSteps() {
+			t.Fatalf("job %d steps differ", i)
+		}
+		if a.Dist.TotalAmounts().Total() != b.Dist.TotalAmounts().Total() {
+			t.Fatalf("job %d amounts differ", i)
+		}
+	}
+}
+
+func TestReadJSONValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"not json", "zzz"},
+		{"nameless", `[{"Dist":{"Name":"","Start":0,"Deadline":5},"Arrival":0}]`},
+		{"empty window", `[{"Dist":{"Name":"j","Start":5,"Deadline":5},"Arrival":0}]`},
+		{"arrival past deadline", `[{"Dist":{"Name":"j","Start":0,"Deadline":5},"Arrival":9}]`},
+		{
+			"invalid action",
+			`[{"Dist":{"Name":"j","Start":0,"Deadline":5,"Actors":[
+				{"Actor":"a","Steps":[{"Action":{"Op":2,"Actor":"a","Loc":""},"Amounts":{}}]}
+			]},"Arrival":0}]`,
+		},
+		{
+			"foreign step",
+			`[{"Dist":{"Name":"j","Start":0,"Deadline":5,"Actors":[
+				{"Actor":"a","Steps":[{"Action":{"Op":2,"Actor":"zz","Loc":"l1","Size":1},"Amounts":{}}]}
+			]},"Arrival":0}]`,
+		},
+		{
+			"duplicate actor",
+			`[{"Dist":{"Name":"j","Start":0,"Deadline":5,"Actors":[
+				{"Actor":"a"},{"Actor":"a"}
+			]},"Arrival":0}]`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadJSON(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("accepted %s", tc.in)
+			}
+		})
+	}
+	// Empty list is fine.
+	jobs, err := ReadJSON(strings.NewReader("[]"))
+	if err != nil || len(jobs) != 0 {
+		t.Errorf("empty list: %v, %v", jobs, err)
+	}
+}

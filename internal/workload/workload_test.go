@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/compute"
+	"repro/internal/resource"
+)
+
+func baseConfig() Config {
+	return Config{
+		Seed:             1,
+		Locations:        []resource.Location{"l1", "l2", "l3"},
+		NumJobs:          50,
+		MeanInterarrival: 3,
+		ActorsMin:        1,
+		ActorsMax:        3,
+		StepsMin:         1,
+		StepsMax:         5,
+		SendProb:         0.2,
+		MigrateProb:      0.1,
+		EvalWeightMax:    3,
+		SlackFactor:      2,
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || len(a) != 50 {
+		t.Fatalf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival {
+			t.Fatalf("job %d arrival differs", i)
+		}
+		if a[i].Dist.String() != b[i].Dist.String() {
+			t.Fatalf("job %d differs", i)
+		}
+		if a[i].Dist.TotalAmounts().Total() != b[i].Dist.TotalAmounts().Total() {
+			t.Fatalf("job %d work differs", i)
+		}
+	}
+	// Different seed differs somewhere.
+	cfg := baseConfig()
+	cfg.Seed = 2
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i].Arrival != c[i].Arrival || a[i].Dist.String() != c[i].Dist.String() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	jobs, err := Generate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev int64 = -1
+	for i, j := range jobs {
+		if int64(j.Arrival) < prev {
+			t.Fatalf("job %d arrives before its predecessor", i)
+		}
+		prev = int64(j.Arrival)
+		if j.Dist.Start != j.Arrival {
+			t.Errorf("job %d window starts at %d, arrival %d", i, j.Dist.Start, j.Arrival)
+		}
+		if j.Dist.Deadline <= j.Dist.Start {
+			t.Errorf("job %d has empty window", i)
+		}
+		n := len(j.Dist.Actors)
+		if n < 1 || n > 3 {
+			t.Errorf("job %d has %d actors", i, n)
+		}
+		for _, a := range j.Dist.Actors {
+			if len(a.Steps) < 1 || len(a.Steps) > 5 {
+				t.Errorf("job %d actor %s has %d steps", i, a.Actor, len(a.Steps))
+			}
+			for _, st := range a.Steps {
+				if err := st.Action.Validate(); err != nil {
+					t.Errorf("job %d: invalid action: %v", i, err)
+				}
+			}
+		}
+	}
+	if TotalWork(jobs) <= 0 {
+		t.Error("workload has no work")
+	}
+}
+
+func TestGenerateSlackBoundsDeadline(t *testing.T) {
+	cfg := baseConfig()
+	cfg.SlackFactor = 4
+	jobs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range jobs {
+		var critical resource.Quantity
+		for _, a := range j.Dist.Actors {
+			if w := a.TotalAmounts().Total(); w > critical {
+				critical = w
+			}
+		}
+		window := int64(j.Dist.Deadline - j.Dist.Start)
+		if window < 4*critical.Units() {
+			t.Errorf("job %d: window %d shorter than slack×critical %d", i, window, 4*critical.Units())
+		}
+	}
+}
+
+func TestMigrationChangesSubsequentLocations(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MigrateProb = 1 // every step migrates when possible
+	cfg.SendProb = 0
+	cfg.StepsMin, cfg.StepsMax = 3, 3
+	cfg.NumJobs = 10
+	jobs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		for _, a := range j.Dist.Actors {
+			loc := a.Steps[0].Action.Loc
+			for si, st := range a.Steps {
+				if st.Action.Loc != loc {
+					t.Fatalf("step %d costed at %s but actor is at %s", si, st.Action.Loc, loc)
+				}
+				if st.Action.Op == compute.OpMigrate {
+					loc = st.Action.Dest
+				}
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Locations = nil },
+		func(c *Config) { c.NumJobs = -1 },
+		func(c *Config) { c.ActorsMin = 0 },
+		func(c *Config) { c.ActorsMax = 0 },
+		func(c *Config) { c.StepsMin = 0 },
+		func(c *Config) { c.StepsMax = 0 },
+		func(c *Config) { c.SendProb = -0.1 },
+		func(c *Config) { c.SendProb, c.MigrateProb = 0.7, 0.7 },
+		func(c *Config) { c.SlackFactor = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := baseConfig()
+		mutate(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestZeroInterarrivalAllArriveAtZero(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MeanInterarrival = 0
+	jobs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if j.Arrival != 0 {
+			t.Fatalf("arrival %d != 0", j.Arrival)
+		}
+	}
+}
