@@ -1,0 +1,36 @@
+GO ?= go
+
+# Packages whose concurrency matters enough to pay for -race on every run:
+# the daemon (sharded ledger + HTTP server), its metrics histogram, and
+# the core decision path it drives.
+RACE_PKGS = ./internal/server/ ./internal/metrics/ ./internal/admission/ ./internal/core/ ./internal/schedule/ ./cmd/rotad/
+
+.PHONY: ci fmt vet build test race selftest bench clean
+
+ci: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# End-to-end: daemon + ≥1000 requests through the HTTP API.
+selftest:
+	$(GO) run ./cmd/rotad -selftest -requests 1000 -clients 8
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,259 @@
+// Command rotad is the ROTA admission-control daemon: it maintains a
+// live resource ledger sharded by location and serves admit / release /
+// acquire / advance / query / stats over an HTTP JSON API, with every
+// admission decided by the paper's Theorem 4 against the free (not yet
+// reserved) availability.
+//
+// Usage:
+//
+//	rotad -addr :8080 -locations 4 -base 4 -horizon 100000
+//	rotad -selftest -requests 1000 -clients 8
+//
+// In -selftest mode the daemon starts on a loopback port, hammers itself
+// with a synthetic workload through the real HTTP stack, prints a
+// throughput/latency table, audits the ledger invariant, and exits
+// non-zero on any inconsistency.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/interval"
+	"repro/internal/metrics"
+	"repro/internal/resource"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rotad:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rotad", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	policyName := fs.String("policy", "rota", "admission policy: rota or rota-exhaustive (must be plan-producing)")
+	workers := fs.Int("workers", 0, "decision worker pool size (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "pending-decision queue depth (0 = 4x workers)")
+	timeout := fs.Duration("timeout", 2*time.Second, "per-request decision deadline")
+	locations := fs.Int("locations", 4, "number of locations in the initial availability")
+	baseRate := fs.Int64("base", 4, "cpu units/tick per location in the initial availability")
+	linkRate := fs.Int64("link", 1, "network units/tick per directed link (full mesh)")
+	horizon := fs.Int64("horizon", 100000, "initial availability horizon in ticks")
+	extraTheta := fs.String("theta", "", "additional availability as a compact resource-set literal")
+	selftest := fs.Bool("selftest", false, "run the built-in load test against an in-process daemon and exit")
+	requests := fs.Int("requests", 1000, "selftest: total admit requests")
+	clients := fs.Int("clients", 8, "selftest: concurrent clients")
+	seed := fs.Int64("seed", 42, "selftest: workload seed")
+	slack := fs.Float64("slack", 3, "selftest: deadline slack factor")
+	csv := fs.Bool("csv", false, "selftest: emit CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var policy admission.Policy
+	switch *policyName {
+	case "rota":
+		policy = &admission.Rota{}
+	case "rota-exhaustive":
+		policy = &admission.Rota{Exhaustive: true}
+	default:
+		return fmt.Errorf("unknown policy %q (rotad needs a plan-producing policy)", *policyName)
+	}
+
+	locs := make([]resource.Location, *locations)
+	for i := range locs {
+		locs[i] = resource.Location(fmt.Sprintf("l%d", i+1))
+	}
+	theta := baseTheta(locs, *baseRate, *linkRate, interval.Time(*horizon))
+	if *extraTheta != "" {
+		extra, err := resource.ParseSet(*extraTheta)
+		if err != nil {
+			return fmt.Errorf("bad -theta: %w", err)
+		}
+		theta = theta.Union(extra)
+	}
+
+	srv, err := server.New(server.Config{
+		Policy:          policy,
+		Theta:           theta,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		DecisionTimeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *selftest {
+		return runSelftest(out, srv, locs, *requests, *clients, *seed, *slack, interval.Time(*horizon), *csv)
+	}
+	return serve(out, srv, *addr)
+}
+
+// baseTheta builds the initial availability: baseRate cpu per location
+// plus a full mesh of linkRate links, all over (0, horizon).
+func baseTheta(locs []resource.Location, baseRate, linkRate int64, horizon interval.Time) resource.Set {
+	var theta resource.Set
+	window := interval.New(0, horizon)
+	for _, loc := range locs {
+		if baseRate > 0 {
+			theta.Add(resource.NewTerm(resource.FromUnits(baseRate), resource.CPUAt(loc), window))
+		}
+	}
+	if linkRate > 0 {
+		for _, src := range locs {
+			for _, dst := range locs {
+				if src != dst {
+					theta.Add(resource.NewTerm(resource.FromUnits(linkRate), resource.Link(src, dst), window))
+				}
+			}
+		}
+	}
+	return theta
+}
+
+// serve runs the daemon until SIGINT/SIGTERM, then drains gracefully:
+// in-flight decisions finish, new ones are refused, the listener closes.
+func serve(out io.Writer, srv *server.Server, addr string) error {
+	httpSrv := &http.Server{Addr: addr, Handler: srv}
+	errCh := make(chan error, 1)
+	go func() {
+		err := httpSrv.ListenAndServe()
+		if !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	fmt.Fprintf(out, "rotad: listening on %s (%d shards)\n", addr, srv.Ledger().NumShards())
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		fmt.Fprintf(out, "rotad: %v, draining\n", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "rotad: drained")
+	return nil
+}
+
+// runSelftest starts the daemon on a loopback port, drives the load
+// generator at it over real HTTP, prints the report, and verifies the
+// daemon's accounting and ledger invariants.
+func runSelftest(out io.Writer, srv *server.Server, locs []resource.Location, requests, clients int, seed int64, slack float64, horizon interval.Time, csv bool) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go func() { _ = httpSrv.Serve(ln) }()
+	baseURL := "http://" + ln.Addr().String()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		_ = httpSrv.Shutdown(ctx)
+	}()
+
+	jobs, err := workload.Generate(workload.Config{
+		Seed:             seed,
+		Locations:        locs,
+		NumJobs:          requests,
+		MeanInterarrival: float64(horizon) / float64(requests+1) / 4,
+		ActorsMin:        1,
+		ActorsMax:        3,
+		StepsMin:         1,
+		StepsMax:         4,
+		SendProb:         0.2,
+		MigrateProb:      0.05,
+		EvalWeightMax:    3,
+		SlackFactor:      slack,
+	})
+	if err != nil {
+		return err
+	}
+
+	report, err := server.RunLoad(context.Background(), server.LoadConfig{
+		BaseURL:         baseURL,
+		Jobs:            jobs,
+		Requests:        requests,
+		Clients:         clients,
+		ReleaseAdmitted: true,
+	})
+	if err != nil {
+		return err
+	}
+	stats, err := server.FetchStats(context.Background(), baseURL)
+	if err != nil {
+		return err
+	}
+
+	t := metrics.NewTable(
+		fmt.Sprintf("rotad selftest: %d requests, %d clients", requests, clients),
+		"metric", "value")
+	t.AddRow("requests", report.Requests)
+	t.AddRow("admitted", report.Admitted)
+	t.AddRow("rejected", report.Rejected)
+	t.AddRow("released", report.Released)
+	t.AddRow("errors", report.Errors)
+	t.AddRow("duration ms", float64(report.Duration.Microseconds())/1000)
+	t.AddRow("throughput req/s", report.Throughput)
+	t.AddRow("client p50 µs", report.P50US)
+	t.AddRow("client p99 µs", report.P99US)
+	t.AddRow("decision mean µs", stats.DecisionLatencyUS.Mean)
+	t.AddRow("decision p50 µs", stats.DecisionLatencyUS.P50)
+	t.AddRow("decision p99 µs", stats.DecisionLatencyUS.P99)
+	t.AddRow("shards", stats.Shards)
+	t.AddRow("live commitments", stats.Commitments)
+	if csv {
+		t.RenderCSV(out)
+	} else {
+		t.Render(out)
+	}
+
+	// The selftest doubles as an end-to-end acceptance check.
+	if report.Errors > 0 {
+		return fmt.Errorf("selftest: %d requests errored", report.Errors)
+	}
+	if stats.Decisions != stats.Admitted+stats.Rejected {
+		return fmt.Errorf("selftest: decisions %d != admitted %d + rejected %d",
+			stats.Decisions, stats.Admitted, stats.Rejected)
+	}
+	if int(stats.Decisions) != requests {
+		return fmt.Errorf("selftest: daemon decided %d of %d requests", stats.Decisions, requests)
+	}
+	if stats.DecisionLatencyUS.P99 <= 0 {
+		return errors.New("selftest: decision p99 latency is zero")
+	}
+	if report.Admitted == 0 {
+		return errors.New("selftest: nothing admitted; workload or availability misconfigured")
+	}
+	if err := srv.Ledger().Audit(); err != nil {
+		return fmt.Errorf("selftest: %w", err)
+	}
+	fmt.Fprintln(out, "selftest ok")
+	return nil
+}

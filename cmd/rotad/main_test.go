@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSelftestEndToEnd is the acceptance run: a real daemon on a
+// loopback port, ≥1000 admission requests over HTTP from ≥4 concurrent
+// clients, with the selftest's own consistency checks (admit+reject ==
+// total, nonzero p99, clean ledger audit) enforced by run's error.
+func TestSelftestEndToEnd(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-selftest",
+		"-requests", "1000",
+		"-clients", "4",
+		"-locations", "4",
+		"-seed", "7",
+	}, &out)
+	if err != nil {
+		t.Fatalf("selftest failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "selftest ok") {
+		t.Fatalf("selftest output missing verdict:\n%s", out.String())
+	}
+	for _, want := range []string{"throughput req/s", "decision p99 µs", "admitted"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("selftest table missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestSelftestCSV(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-selftest", "-requests", "40", "-clients", "4", "-csv",
+	}, &out)
+	if err != nil {
+		t.Fatalf("selftest -csv: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "requests,40") {
+		t.Errorf("csv output missing requests row:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-policy", "naive-total"}, &out); err == nil {
+		t.Fatal("accepted a plan-less policy")
+	}
+	if err := run([]string{"-theta", "garbage::("}, &out); err == nil {
+		t.Fatal("accepted a malformed -theta literal")
+	}
+}

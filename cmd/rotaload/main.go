@@ -1,0 +1,119 @@
+// Command rotaload hammers a running rotad daemon with a synthetic
+// workload stream and reports throughput and decision-latency
+// percentiles — the client half of the rotad selftest, usable against
+// any live daemon.
+//
+// Usage:
+//
+//	rotad -addr :8080 &
+//	rotaload -addr http://localhost:8080 -n 1000 -clients 8
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/resource"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rotaload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rotaload", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:8080", "base URL of the rotad daemon")
+	n := fs.Int("n", 1000, "total admit requests")
+	clients := fs.Int("clients", 4, "concurrent clients")
+	seed := fs.Int64("seed", 1, "workload seed")
+	locations := fs.Int("locations", 4, "locations to spread jobs across (l1..lN, must match the daemon's)")
+	slack := fs.Float64("slack", 3, "deadline slack factor")
+	release := fs.Bool("release", true, "release each admitted job immediately")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request HTTP timeout")
+	csv := fs.Bool("csv", false, "emit CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	baseURL := strings.TrimSuffix(*addr, "/")
+	if !strings.Contains(baseURL, "://") {
+		baseURL = "http://" + baseURL
+	}
+
+	locs := make([]resource.Location, *locations)
+	for i := range locs {
+		locs[i] = resource.Location(fmt.Sprintf("l%d", i+1))
+	}
+	jobs, err := workload.Generate(workload.Config{
+		Seed:             *seed,
+		Locations:        locs,
+		NumJobs:          min(*n, 4096),
+		MeanInterarrival: 8,
+		ActorsMin:        1,
+		ActorsMax:        3,
+		StepsMin:         1,
+		StepsMax:         4,
+		SendProb:         0.2,
+		MigrateProb:      0.05,
+		EvalWeightMax:    3,
+		SlackFactor:      *slack,
+	})
+	if err != nil {
+		return err
+	}
+
+	report, err := server.RunLoad(context.Background(), server.LoadConfig{
+		BaseURL:         baseURL,
+		Jobs:            jobs,
+		Requests:        *n,
+		Clients:         *clients,
+		ReleaseAdmitted: *release,
+		Timeout:         *timeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	t := metrics.NewTable(
+		fmt.Sprintf("rotaload: %d requests, %d clients -> %s", *n, *clients, baseURL),
+		"metric", "value")
+	t.AddRow("requests", report.Requests)
+	t.AddRow("admitted", report.Admitted)
+	t.AddRow("rejected", report.Rejected)
+	t.AddRow("released", report.Released)
+	t.AddRow("errors", report.Errors)
+	t.AddRow("duration ms", float64(report.Duration.Microseconds())/1000)
+	t.AddRow("throughput req/s", report.Throughput)
+	t.AddRow("latency mean µs", report.MeanUS)
+	t.AddRow("latency p50 µs", report.P50US)
+	t.AddRow("latency p90 µs", report.P90US)
+	t.AddRow("latency p99 µs", report.P99US)
+	t.AddRow("latency max µs", report.MaxUS)
+
+	// Server-side decision stats, when the daemon is reachable for them.
+	if stats, err := server.FetchStats(context.Background(), baseURL); err == nil {
+		t.AddRow("server decisions", stats.Decisions)
+		t.AddRow("server decision p50 µs", stats.DecisionLatencyUS.P50)
+		t.AddRow("server decision p99 µs", stats.DecisionLatencyUS.P99)
+	}
+	if *csv {
+		t.RenderCSV(out)
+	} else {
+		t.Render(out)
+	}
+
+	if report.Errors > 0 {
+		return fmt.Errorf("%d of %d requests errored", report.Errors, report.Requests)
+	}
+	return nil
+}

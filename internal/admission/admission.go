@@ -50,12 +50,26 @@ type Decision struct {
 type Policy interface {
 	// Name identifies the policy in experiment output.
 	Name() string
-	// Decide returns the verdict for a job arriving now.
+	// Decide returns the verdict for a job arriving now. Implementations
+	// do not fill Decision.Elapsed; callers that care about decision
+	// latency go through the package-level Decide, which measures it
+	// uniformly for every policy.
 	Decide(v View, job compute.Distributed) Decision
 	// OnComplete tells the policy a previously admitted job finished.
 	OnComplete(name string)
 	// Reset clears state for a new run.
 	Reset()
+}
+
+// Decide invokes the policy and stamps Decision.Elapsed with the
+// wall-clock cost of the call. This is the single place decision latency
+// is measured, so admit and reject paths of every policy are timed
+// identically.
+func Decide(p Policy, v View, job compute.Distributed) Decision {
+	start := time.Now()
+	dec := p.Decide(v, job)
+	dec.Elapsed = time.Since(start)
+	return dec
 }
 
 // Rota is the paper's admission control: Theorem 4 decided constructively
@@ -80,13 +94,12 @@ func (p *Rota) Name() string {
 
 // Decide implements Policy via Theorem 4.
 func (p *Rota) Decide(v View, job compute.Distributed) Decision {
-	start := time.Now()
 	if v.State == nil {
-		return Decision{Reason: "rota requires a stateful (planned) simulation", Elapsed: time.Since(start)}
+		return Decision{Reason: "rota requires a stateful (planned) simulation"}
 	}
 	free, err := v.State.FreeResources()
 	if err != nil {
-		return Decision{Reason: err.Error(), Elapsed: time.Since(start)}
+		return Decision{Reason: err.Error()}
 	}
 	req := core.ConcurrentAt(job, v.Now)
 	var opts []schedule.Option
@@ -95,9 +108,9 @@ func (p *Rota) Decide(v View, job compute.Distributed) Decision {
 	}
 	plan, err := schedule.Concurrent(free, req, opts...)
 	if err != nil {
-		return Decision{Reason: fmt.Sprintf("no witness schedule: %v", err), Elapsed: time.Since(start)}
+		return Decision{Reason: fmt.Sprintf("no witness schedule: %v", err)}
 	}
-	return Decision{Admit: true, Plan: &plan, Elapsed: time.Since(start)}
+	return Decision{Admit: true, Plan: &plan}
 }
 
 // OnComplete implements Policy (the ROTA state tracks commitments
@@ -136,13 +149,12 @@ func (p *NaiveTotal) Name() string { return "naive-total" }
 
 // Decide implements Policy.
 func (p *NaiveTotal) Decide(v View, job compute.Distributed) Decision {
-	start := time.Now()
 	window := job.Window()
 	if v.Now > window.Start {
 		window = interval.New(v.Now, window.End)
 	}
 	if window.Empty() {
-		return Decision{Reason: "deadline passed", Elapsed: time.Since(start)}
+		return Decision{Reason: "deadline passed"}
 	}
 	need := job.TotalAmounts()
 	for lt, q := range need {
@@ -153,14 +165,11 @@ func (p *NaiveTotal) Decide(v View, job compute.Distributed) Decision {
 			}
 		}
 		if available < q {
-			return Decision{
-				Reason:  fmt.Sprintf("aggregate shortfall of %v", lt),
-				Elapsed: time.Since(start),
-			}
+			return Decision{Reason: fmt.Sprintf("aggregate shortfall of %v", lt)}
 		}
 	}
 	p.ledger[job.Name] = ledgerEntry{window: window, amounts: need}
-	return Decision{Admit: true, Elapsed: time.Since(start)}
+	return Decision{Admit: true}
 }
 
 // OnComplete implements Policy.
@@ -215,17 +224,16 @@ func (p *EDFFeasible) Name() string { return "edf-feasible" }
 
 // Decide implements Policy.
 func (p *EDFFeasible) Decide(v View, job compute.Distributed) Decision {
-	start := time.Now()
 	trial := make([]compute.Distributed, 0, len(p.admitted)+1)
 	for _, d := range p.admitted {
 		trial = append(trial, d)
 	}
 	trial = append(trial, job)
 	if !edfMeetsAll(v.Theta, v.Now, trial) {
-		return Decision{Reason: "EDF forward simulation misses a deadline", Elapsed: time.Since(start)}
+		return Decision{Reason: "EDF forward simulation misses a deadline"}
 	}
 	p.admitted[job.Name] = job
-	return Decision{Admit: true, Elapsed: time.Since(start)}
+	return Decision{Admit: true}
 }
 
 // OnComplete implements Policy.

@@ -1,0 +1,78 @@
+package admission
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interval"
+	"repro/internal/resource"
+)
+
+// loadedState builds a ROTA state whose ledger already carries n admitted
+// commitments, so FreeResources must subtract a realistic committed
+// demand before the candidate can be scheduled.
+func loadedState(tb testing.TB, n int) *core.State {
+	tb.Helper()
+	horizon := interval.Time(16 * (n + 4))
+	theta := resource.NewSet(
+		resource.NewTerm(u(4), cpuL1, interval.New(0, horizon)),
+		resource.NewTerm(u(2), netL12, interval.New(0, horizon)),
+	)
+	st := core.NewState(theta, 0)
+	p := &Rota{}
+	for i := 0; i < n; i++ {
+		job := evalJob(tb, fmt.Sprintf("bg-%d", i), "a1", 0, horizon)
+		v := View{Now: st.Now, Theta: st.Theta, State: &st}
+		dec := p.Decide(v, job)
+		if !dec.Admit {
+			tb.Fatalf("background job %d rejected: %s", i, dec.Reason)
+		}
+		next, _, err := core.Accommodate(st, core.ConcurrentAt(job, st.Now), *dec.Plan)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		st = next
+	}
+	return &st
+}
+
+// BenchmarkRotaDecideLoadedLedger measures rota decision latency against
+// ledgers of increasing commitment counts — the hot path of the rotad
+// admission daemon.
+func BenchmarkRotaDecideLoadedLedger(b *testing.B) {
+	for _, n := range []int{0, 10, 50, 200} {
+		b.Run(fmt.Sprintf("commitments=%d", n), func(b *testing.B) {
+			st := loadedState(b, n)
+			p := &Rota{}
+			job := evalJob(b, "candidate", "a1", 0, st.Theta.Hull().End)
+			v := View{Now: st.Now, Theta: st.Theta, State: st}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if dec := p.Decide(v, job); !dec.Admit {
+					b.Fatalf("candidate rejected: %s", dec.Reason)
+				}
+			}
+		})
+	}
+}
+
+func TestDecideStampsElapsedUniformly(t *testing.T) {
+	theta := resource.NewSet(resource.NewTerm(u(2), cpuL1, interval.New(0, 8)))
+	v, _ := viewFor(theta, 0)
+	policies := []Policy{&Rota{}, NewNaiveTotal(), NewEDFFeasible(), AlwaysAdmit{}}
+	for _, p := range policies {
+		// Policies themselves no longer measure latency...
+		if dec := p.Decide(v, evalJob(t, "raw-"+p.Name(), "a1", 0, 8)); dec.Elapsed != 0 {
+			t.Errorf("%s: policy filled Elapsed itself (%v)", p.Name(), dec.Elapsed)
+		}
+		// ...the caller-side wrapper does, for admits and rejects alike.
+		if dec := Decide(p, v, evalJob(t, "ok-"+p.Name(), "a1", 0, 8)); dec.Elapsed <= 0 {
+			t.Errorf("%s: wrapper left Elapsed at %v", p.Name(), dec.Elapsed)
+		}
+	}
+	rejecting := &Rota{}
+	if dec := Decide(rejecting, View{Now: 0, Theta: theta}, evalJob(t, "stateless", "a1", 0, 8)); dec.Admit || dec.Elapsed <= 0 {
+		t.Errorf("reject path not timed: %+v", dec)
+	}
+}

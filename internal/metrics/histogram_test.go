@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 {
+		t.Fatal("fresh histogram not empty")
+	}
+	s := h.Summary()
+	if s.Count != 0 || s.Mean != 0 || s.P99 != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	// Uniform 1..10000: quantiles are known, log-linear buckets promise
+	// ~6% relative error.
+	for v := 1; v <= 10000; v++ {
+		h.Observe(float64(v))
+	}
+	for _, tc := range []struct{ p, want float64 }{
+		{50, 5000}, {90, 9000}, {99, 9900},
+	} {
+		got := h.Quantile(tc.p)
+		if rel := math.Abs(got-tc.want) / tc.want; rel > 0.07 {
+			t.Errorf("p%v = %v, want within 7%% of %v", tc.p, got, tc.want)
+		}
+	}
+	s := h.Summary()
+	if s.Min != 1 || s.Max != 10000 || s.Count != 10000 {
+		t.Errorf("summary extremes wrong: %+v", s)
+	}
+	if math.Abs(s.Mean-5000.5) > 0.5 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+}
+
+func TestHistogramClampsJunk(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-5)
+	h.Observe(math.NaN())
+	h.Observe(0.25)
+	h.Observe(math.MaxFloat64) // far beyond the top bucket
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if q := h.Quantile(100); q != math.MaxFloat64 {
+		t.Errorf("max quantile = %v", q)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+}

@@ -1,0 +1,507 @@
+// Package server implements rotad, the ROTA admission-control daemon: a
+// live resource ledger sharded by location, a bounded worker pool that
+// runs Theorem-4 admission decisions against it, and an HTTP JSON API
+// (admit / release / acquire / advance / query / stats).
+//
+// The ledger realizes the paper's committed path online: every admitted
+// computation's witness plan is reserved against the shard(s) whose
+// located types it consumes, so FreeResources-style reasoning — Θ minus
+// the demand already spoken for — is a per-shard subtraction instead of a
+// global scan. Admissions whose resource footprints touch disjoint
+// location sets proceed concurrently; overlapping footprints serialize on
+// the shards they share, locked in a canonical order so concurrent
+// admissions cannot deadlock.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/admission"
+	"repro/internal/compute"
+	"repro/internal/core"
+	"repro/internal/interval"
+	"repro/internal/resource"
+	"repro/internal/schedule"
+	"repro/internal/workload"
+)
+
+// shardOf maps a located type to the shard that owns it. Node-local
+// resources live on their node's shard; directed links are owned by their
+// source, matching how the cost model charges sends and migrations.
+func shardOf(lt resource.LocatedType) resource.Location {
+	return lt.Loc
+}
+
+// splitByShard partitions a resource set into per-shard subsets. Located
+// types are disjoint across shards, so the split is exact: the union of
+// the parts is the original set.
+func splitByShard(s resource.Set) map[resource.Location]resource.Set {
+	out := make(map[resource.Location]resource.Set)
+	for _, term := range s.Terms() {
+		loc := shardOf(term.Type)
+		part := out[loc]
+		part.Add(term)
+		out[loc] = part
+	}
+	return out
+}
+
+// shard is one location's slice of the live ledger. Both sets are kept
+// trimmed to ≥ now: theta is the raw future availability, reserved the
+// union of the remaining demands of every commitment touching this shard.
+// The shard invariant — theta dominates reserved — is exactly "the sum of
+// reserved plans never exceeds Θ", and holding it is what makes every
+// admitted deadline assured on the committed path.
+type shard struct {
+	mu       sync.Mutex
+	loc      resource.Location
+	theta    resource.Set
+	reserved resource.Set
+	now      interval.Time
+}
+
+// commitment is one admitted computation in the live ledger.
+type commitment struct {
+	name     string
+	locs     []resource.Location // sorted resource footprint
+	plan     schedule.Plan
+	deadline interval.Time
+	admitted interval.Time
+	pending  bool // claimed but mid-decision
+}
+
+// Ledger is the daemon's live state: location shards plus an index of
+// admitted commitments. All methods are safe for concurrent use.
+type Ledger struct {
+	mu      sync.Mutex // guards shards and commits maps (not shard contents)
+	shards  map[resource.Location]*shard
+	commits map[string]*commitment
+	now     atomic.Int64
+}
+
+// NewLedger builds a ledger from the initial availability Θ at time now.
+func NewLedger(theta resource.Set, now interval.Time) *Ledger {
+	l := &Ledger{
+		shards:  make(map[resource.Location]*shard),
+		commits: make(map[string]*commitment),
+	}
+	l.now.Store(now)
+	trimmed := theta.Clone()
+	trimmed.TrimBefore(now)
+	for loc, part := range splitByShard(trimmed) {
+		l.shards[loc] = &shard{loc: loc, theta: part, now: now}
+	}
+	return l
+}
+
+// Now returns the ledger clock.
+func (l *Ledger) Now() interval.Time {
+	return l.now.Load()
+}
+
+// NumShards returns the number of location shards.
+func (l *Ledger) NumShards() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.shards)
+}
+
+// NumCommitments returns the number of live (non-pending) commitments.
+func (l *Ledger) NumCommitments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, c := range l.commits {
+		if !c.pending {
+			n++
+		}
+	}
+	return n
+}
+
+// lockedShards returns the shards for the given locations, creating any
+// that do not exist yet, locked in canonical (sorted) order. The caller
+// must call the returned unlock exactly once.
+func (l *Ledger) lockedShards(locs []resource.Location) ([]*shard, func()) {
+	sorted := append([]resource.Location(nil), locs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	l.mu.Lock()
+	shards := make([]*shard, 0, len(sorted))
+	var prev resource.Location
+	for i, loc := range sorted {
+		if i > 0 && loc == prev {
+			continue
+		}
+		prev = loc
+		sh, ok := l.shards[loc]
+		if !ok {
+			sh = &shard{loc: loc, now: l.now.Load()}
+			l.shards[loc] = sh
+		}
+		shards = append(shards, sh)
+	}
+	l.mu.Unlock()
+	for _, sh := range shards {
+		sh.mu.Lock()
+	}
+	return shards, func() {
+		for i := len(shards) - 1; i >= 0; i-- {
+			shards[i].mu.Unlock()
+		}
+	}
+}
+
+// footprint returns the sorted locations a requirement consumes from.
+func footprint(req compute.Concurrent) []resource.Location {
+	seen := make(map[resource.Location]bool)
+	for _, actor := range req.Actors {
+		for _, ph := range actor.Phases {
+			for lt := range ph.Amounts {
+				seen[shardOf(lt)] = true
+			}
+		}
+	}
+	locs := make([]resource.Location, 0, len(seen))
+	for loc := range seen {
+		locs = append(locs, loc)
+	}
+	sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
+	return locs
+}
+
+// Ledger errors surfaced to API callers.
+var (
+	// ErrDuplicate is returned for an admit of a name already admitted
+	// (or currently being decided).
+	ErrDuplicate = errors.New("server: computation already admitted")
+	// ErrUnknown is returned for a release of a name not in the ledger.
+	ErrUnknown = errors.New("server: unknown computation")
+	// ErrPlanless is returned when a policy admits without a witness
+	// plan; the live ledger cannot reserve what was never planned.
+	ErrPlanless = errors.New("server: policy admitted without a witness plan; rotad requires a plan-producing policy")
+	// ErrClockBackward is returned by Advance for a non-monotonic clock.
+	ErrClockBackward = errors.New("server: clock may not move backward")
+)
+
+// Admit claims the job's name, locks the shards of its resource
+// footprint, runs the policy against the merged free availability, and on
+// admission reserves the witness plan shard by shard. The returned
+// Decision has Elapsed stamped by admission.Decide (the uniform
+// measurement point). A non-nil error means the request never reached a
+// verdict (duplicate name, plan-less policy); rejections are not errors.
+func (l *Ledger) Admit(policy admission.Policy, job workload.Job) (admission.Decision, error) {
+	now := l.Now()
+	if now >= job.Dist.Deadline {
+		return admission.Decision{Reason: fmt.Sprintf("deadline %d already passed at t=%d", job.Dist.Deadline, now)}, nil
+	}
+
+	// Claim the name before deciding so two racing admits of the same
+	// computation cannot both reserve.
+	claim := &commitment{name: job.Dist.Name, pending: true}
+	l.mu.Lock()
+	if _, exists := l.commits[job.Dist.Name]; exists {
+		l.mu.Unlock()
+		return admission.Decision{}, fmt.Errorf("%w: %s", ErrDuplicate, job.Dist.Name)
+	}
+	l.commits[job.Dist.Name] = claim
+	l.mu.Unlock()
+	abandon := func() {
+		l.mu.Lock()
+		delete(l.commits, job.Dist.Name)
+		l.mu.Unlock()
+	}
+
+	req := core.ConcurrentAt(job.Dist, now)
+	locs := footprint(req)
+	shards, unlock := l.lockedShards(locs)
+
+	// Merged free availability across the footprint: Θ minus reserved,
+	// shard by shard. The shard invariant guarantees the subtraction is
+	// defined.
+	var free resource.Set
+	for _, sh := range shards {
+		part, err := sh.theta.Subtract(sh.reserved)
+		if err != nil {
+			unlock()
+			abandon()
+			return admission.Decision{}, fmt.Errorf("server: shard %s invariant broken: %w", sh.loc, err)
+		}
+		free = free.Union(part)
+	}
+
+	// The transient state presents the merged free set as Θ with no
+	// commitments, so State.FreeResources sees exactly the free capacity;
+	// reservations are already subtracted out.
+	state := core.State{Theta: free, Now: now}
+	view := admission.View{Now: now, Theta: free, State: &state}
+	dec := admission.Decide(policy, view, job.Dist)
+	if !dec.Admit {
+		unlock()
+		abandon()
+		return dec, nil
+	}
+	if dec.Plan == nil {
+		unlock()
+		abandon()
+		return admission.Decision{}, ErrPlanless
+	}
+
+	// Reserve the plan's demand on each shard it touches.
+	for loc, part := range splitByShard(dec.Plan.Demand()) {
+		var target *shard
+		for _, sh := range shards {
+			if sh.loc == loc {
+				target = sh
+				break
+			}
+		}
+		if target == nil {
+			// A plan may only consume from the footprint it was decided
+			// against; anything else is a scheduler bug.
+			unlock()
+			abandon()
+			return admission.Decision{}, fmt.Errorf("server: plan for %s consumes outside its footprint (shard %s)", job.Dist.Name, loc)
+		}
+		target.reserved = target.reserved.Union(part)
+		if !target.theta.Dominates(target.reserved) {
+			unlock()
+			abandon()
+			return admission.Decision{}, fmt.Errorf("server: reservation for %s overcommits shard %s", job.Dist.Name, loc)
+		}
+	}
+	unlock()
+
+	l.mu.Lock()
+	claim.locs = locs
+	claim.plan = *dec.Plan
+	claim.deadline = job.Dist.Deadline
+	claim.admitted = now
+	claim.pending = false
+	l.mu.Unlock()
+	return dec, nil
+}
+
+// Release removes a commitment and returns its not-yet-consumed demand to
+// the free pool (completion, cancellation, or an executor-side abort).
+func (l *Ledger) Release(name string) error {
+	l.mu.Lock()
+	c, ok := l.commits[name]
+	if !ok || c.pending {
+		l.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknown, name)
+	}
+	delete(l.commits, name)
+	locs, plan := c.locs, c.plan
+	l.mu.Unlock()
+
+	shards, unlock := l.lockedShards(locs)
+	defer unlock()
+	demand := splitByShard(plan.Demand())
+	for _, sh := range shards {
+		part, ok := demand[sh.loc]
+		if !ok {
+			continue
+		}
+		// Only the un-elapsed portion is still reserved; the consumed
+		// prefix was trimmed away as the clock advanced.
+		remaining := part.Clamp(interval.New(sh.now, interval.Infinity))
+		freed, err := sh.reserved.Subtract(remaining)
+		if err != nil {
+			return fmt.Errorf("server: shard %s reservation for %s inconsistent: %w", sh.loc, name, err)
+		}
+		sh.reserved = freed
+	}
+	return nil
+}
+
+// Acquire merges newly joined availability into the ledger (the paper's
+// resource acquisition rule). Availability before the current time is
+// discarded.
+func (l *Ledger) Acquire(theta resource.Set) {
+	now := l.Now()
+	usable := theta.Clone()
+	usable.TrimBefore(now)
+	for loc, part := range splitByShard(usable) {
+		shards, unlock := l.lockedShards([]resource.Location{loc})
+		sh := shards[0]
+		part.TrimBefore(sh.now) // the shard clock may have advanced since the read above
+		sh.theta = sh.theta.Union(part)
+		unlock()
+	}
+}
+
+// Advance moves the ledger clock to 'to', expiring availability and
+// reservation prefixes behind it and completing commitments whose plans
+// have finished. It returns the names of completed commitments.
+func (l *Ledger) Advance(to interval.Time) ([]string, error) {
+	for {
+		cur := l.now.Load()
+		if to < cur {
+			return nil, fmt.Errorf("%w: at t=%d, asked for t=%d", ErrClockBackward, cur, to)
+		}
+		if l.now.CompareAndSwap(cur, to) {
+			break
+		}
+	}
+
+	l.mu.Lock()
+	shards := make([]*shard, 0, len(l.shards))
+	for _, sh := range l.shards {
+		shards = append(shards, sh)
+	}
+	var done []string
+	for name, c := range l.commits {
+		if !c.pending && c.plan.Finish <= to {
+			done = append(done, name)
+			delete(l.commits, name)
+		}
+	}
+	l.mu.Unlock()
+
+	for _, sh := range shards {
+		sh.mu.Lock()
+		if to > sh.now {
+			sh.theta.TrimBefore(to)
+			sh.reserved.TrimBefore(to)
+			sh.now = to
+		}
+		sh.mu.Unlock()
+	}
+	sort.Strings(done)
+	return done, nil
+}
+
+// ShardInfo is one shard's slice of a ledger snapshot.
+type ShardInfo struct {
+	Location resource.Location `json:"location"`
+	// Theta and Reserved are the compact text renderings of the shard's
+	// availability and live reservations.
+	Theta        string `json:"theta"`
+	Reserved     string `json:"reserved"`
+	ThetaTerms   int    `json:"theta_terms"`
+	ReservedTerm int    `json:"reserved_terms"`
+}
+
+// CommitmentInfo is one commitment's slice of a ledger snapshot.
+type CommitmentInfo struct {
+	Name      string        `json:"name"`
+	Admitted  interval.Time `json:"admitted"`
+	Deadline  interval.Time `json:"deadline"`
+	Finish    interval.Time `json:"finish"`
+	Locations []string      `json:"locations"`
+}
+
+// Snapshot is a consistent-enough view of the ledger for the query API:
+// each shard is read under its own lock.
+type Snapshot struct {
+	Now         interval.Time    `json:"now"`
+	Shards      []ShardInfo      `json:"shards"`
+	Commitments []CommitmentInfo `json:"commitments"`
+}
+
+// Snapshot renders the ledger state.
+func (l *Ledger) Snapshot() Snapshot {
+	snap := Snapshot{Now: l.Now()}
+	l.mu.Lock()
+	shards := make([]*shard, 0, len(l.shards))
+	for _, sh := range l.shards {
+		shards = append(shards, sh)
+	}
+	for _, c := range l.commits {
+		if c.pending {
+			continue
+		}
+		locs := make([]string, len(c.locs))
+		for i, loc := range c.locs {
+			locs[i] = string(loc)
+		}
+		snap.Commitments = append(snap.Commitments, CommitmentInfo{
+			Name:      c.name,
+			Admitted:  c.admitted,
+			Deadline:  c.deadline,
+			Finish:    c.plan.Finish,
+			Locations: locs,
+		})
+	}
+	l.mu.Unlock()
+	sort.Slice(shards, func(i, j int) bool { return shards[i].loc < shards[j].loc })
+	for _, sh := range shards {
+		sh.mu.Lock()
+		snap.Shards = append(snap.Shards, ShardInfo{
+			Location:     sh.loc,
+			Theta:        sh.theta.Compact(),
+			Reserved:     sh.reserved.Compact(),
+			ThetaTerms:   sh.theta.NumTerms(),
+			ReservedTerm: sh.reserved.NumTerms(),
+		})
+		sh.mu.Unlock()
+	}
+	sort.Slice(snap.Commitments, func(i, j int) bool { return snap.Commitments[i].Name < snap.Commitments[j].Name })
+	return snap
+}
+
+// Commitment reports a live commitment by name.
+func (l *Ledger) Commitment(name string) (CommitmentInfo, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	c, ok := l.commits[name]
+	if !ok || c.pending {
+		return CommitmentInfo{}, false
+	}
+	locs := make([]string, len(c.locs))
+	for i, loc := range c.locs {
+		locs[i] = string(loc)
+	}
+	return CommitmentInfo{
+		Name:      c.name,
+		Admitted:  c.admitted,
+		Deadline:  c.deadline,
+		Finish:    c.plan.Finish,
+		Locations: locs,
+	}, true
+}
+
+// Audit verifies the ledger invariants, intended for tests and debugging
+// on a quiescent ledger: on every shard, (1) the recorded reservation
+// equals the union of the live commitments' remaining demands and (2) Θ
+// dominates it — no shard is overcommitted.
+func (l *Ledger) Audit() error {
+	l.mu.Lock()
+	commits := make([]*commitment, 0, len(l.commits))
+	for _, c := range l.commits {
+		if !c.pending {
+			commits = append(commits, c)
+		}
+	}
+	shards := make([]*shard, 0, len(l.shards))
+	for _, sh := range l.shards {
+		shards = append(shards, sh)
+	}
+	l.mu.Unlock()
+
+	expected := make(map[resource.Location]resource.Set)
+	for _, c := range commits {
+		for loc, part := range splitByShard(c.plan.Demand()) {
+			expected[loc] = expected[loc].Union(part)
+		}
+	}
+	for _, sh := range shards {
+		sh.mu.Lock()
+		want := expected[sh.loc].Clamp(interval.New(sh.now, interval.Infinity))
+		ok := sh.reserved.Equal(want)
+		dominated := sh.theta.Dominates(sh.reserved)
+		theta, reserved := sh.theta.Compact(), sh.reserved.Compact()
+		sh.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("server: shard %s reservation drift: ledger %q, commitments %q", sh.loc, reserved, want.Compact())
+		}
+		if !dominated {
+			return fmt.Errorf("server: shard %s overcommitted: theta %q does not dominate reserved %q", sh.loc, theta, reserved)
+		}
+	}
+	return nil
+}

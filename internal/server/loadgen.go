@@ -1,0 +1,216 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// LoadConfig parameterizes a load run against a live rotad instance.
+type LoadConfig struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Jobs is the synthetic admission stream. When Requests exceeds
+	// len(Jobs), jobs are replayed with fresh unique names.
+	Jobs []workload.Job
+	// Requests is the total number of admit requests; default len(Jobs).
+	Requests int
+	// Clients is the number of concurrent clients; default 4.
+	Clients int
+	// ReleaseAdmitted, when true (the load generator's default path),
+	// releases every admitted job right away so the ledger reaches a
+	// steady state instead of filling once and rejecting forever.
+	ReleaseAdmitted bool
+	// Timeout bounds each HTTP request; default 10s.
+	Timeout time.Duration
+}
+
+// LoadReport aggregates a load run. Latencies are client-observed
+// (network + queue + decision) in microseconds.
+type LoadReport struct {
+	Requests int
+	Admitted int
+	Rejected int
+	Errors   int
+	Released int
+
+	Duration   time.Duration
+	Throughput float64 // requests per second
+
+	MeanUS float64
+	P50US  float64
+	P90US  float64
+	P99US  float64
+	MaxUS  float64
+}
+
+// RunLoad drives the admission stream at the daemon from Clients
+// concurrent clients and reports throughput and latency percentiles.
+func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
+	if cfg.BaseURL == "" {
+		return LoadReport{}, fmt.Errorf("server: load needs a base URL")
+	}
+	if len(cfg.Jobs) == 0 {
+		return LoadReport{}, fmt.Errorf("server: load needs jobs")
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = len(cfg.Jobs)
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+
+	client := &http.Client{Timeout: cfg.Timeout}
+	hist := metrics.NewHistogram()
+	var next, admitted, rejected, errs, released atomic.Int64
+	var firstErr atomic.Value
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Requests || ctx.Err() != nil {
+					return
+				}
+				job := cfg.Jobs[i%len(cfg.Jobs)]
+				if i >= len(cfg.Jobs) {
+					// Replay round: fresh name, same shape.
+					job.Dist.Name = fmt.Sprintf("%s#r%d", job.Dist.Name, i/len(cfg.Jobs))
+				}
+				reqStart := time.Now()
+				resp, err := postAdmit(ctx, client, cfg.BaseURL, job)
+				hist.Observe(float64(time.Since(reqStart).Microseconds()))
+				if err != nil {
+					errs.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+					continue
+				}
+				if !resp.Admit {
+					rejected.Add(1)
+					continue
+				}
+				admitted.Add(1)
+				if cfg.ReleaseAdmitted {
+					if err := postRelease(ctx, client, cfg.BaseURL, job.Dist.Name); err != nil {
+						errs.Add(1)
+						firstErr.CompareAndSwap(nil, err)
+					} else {
+						released.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sum := hist.Summary()
+	report := LoadReport{
+		Requests: cfg.Requests,
+		Admitted: int(admitted.Load()),
+		Rejected: int(rejected.Load()),
+		Errors:   int(errs.Load()),
+		Released: int(released.Load()),
+		Duration: elapsed,
+		MeanUS:   sum.Mean,
+		P50US:    sum.P50,
+		P90US:    sum.P90,
+		P99US:    sum.P99,
+		MaxUS:    sum.Max,
+	}
+	if elapsed > 0 {
+		report.Throughput = float64(cfg.Requests) / elapsed.Seconds()
+	}
+	if err := ctx.Err(); err != nil {
+		return report, err
+	}
+	if report.Admitted+report.Rejected+report.Errors != report.Requests {
+		return report, fmt.Errorf("server: load accounting off: %d+%d+%d != %d",
+			report.Admitted, report.Rejected, report.Errors, report.Requests)
+	}
+	if err, ok := firstErr.Load().(error); ok && report.Admitted+report.Rejected == 0 {
+		// Nothing got through at all; surface why.
+		return report, fmt.Errorf("server: load failed entirely: %w", err)
+	}
+	return report, nil
+}
+
+func postAdmit(ctx context.Context, client *http.Client, base string, job workload.Job) (AdmitResponse, error) {
+	body, err := json.Marshal(job)
+	if err != nil {
+		return AdmitResponse{}, err
+	}
+	var out AdmitResponse
+	if err := postJSON(ctx, client, base+"/v1/admit", body, &out); err != nil {
+		return AdmitResponse{}, err
+	}
+	return out, nil
+}
+
+func postRelease(ctx context.Context, client *http.Client, base string, name string) error {
+	body, err := json.Marshal(releaseRequest{Name: name})
+	if err != nil {
+		return err
+	}
+	return postJSON(ctx, client, base+"/v1/release", body, nil)
+}
+
+func postJSON(ctx context.Context, client *http.Client, url string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: %s returned %d: %s", url, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("server: %s returned unparsable body: %w", url, err)
+		}
+	}
+	return nil
+}
+
+// FetchStats reads the daemon's /v1/stats endpoint.
+func FetchStats(ctx context.Context, baseURL string) (StatsResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/stats", nil)
+	if err != nil {
+		return StatsResponse{}, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return StatsResponse{}, err
+	}
+	defer resp.Body.Close()
+	var out StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return StatsResponse{}, err
+	}
+	return out, nil
+}

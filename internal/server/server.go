@@ -1,0 +1,489 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/interval"
+	"repro/internal/metrics"
+	"repro/internal/resource"
+	"repro/internal/workload"
+)
+
+// Config parameterizes the daemon.
+type Config struct {
+	// Policy makes admission decisions. It must be plan-producing (rota
+	// or rota-exhaustive): the live ledger reserves witness plans, and a
+	// policy that admits without one cannot be held to Theorem 4.
+	Policy admission.Policy
+	// Theta is the initial availability.
+	Theta resource.Set
+	// Now is the initial ledger clock.
+	Now interval.Time
+	// Workers bounds concurrent admission decisions; default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds decisions waiting for a worker; default
+	// 4×Workers. When the queue is full, admits block (backpressure)
+	// until their deadline.
+	QueueDepth int
+	// DecisionTimeout is the per-request deadline covering queue wait
+	// plus decision time; default 2s.
+	DecisionTimeout time.Duration
+	// MaxBodyBytes bounds request bodies; default 1 MiB.
+	MaxBodyBytes int64
+}
+
+func (c *Config) fill() error {
+	if c.Policy == nil {
+		c.Policy = &admission.Rota{}
+	}
+	switch c.Policy.(type) {
+	case *admission.Rota:
+	default:
+		return fmt.Errorf("server: policy %s is not plan-producing; rotad requires rota", c.Policy.Name())
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.DecisionTimeout <= 0 {
+		c.DecisionTimeout = 2 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return nil
+}
+
+// decideTask is one admission decision in flight through the worker pool.
+type decideTask struct {
+	ctx  context.Context
+	job  workload.Job
+	done chan decideResult
+}
+
+type decideResult struct {
+	dec admission.Decision
+	err error
+}
+
+// Server is the rotad daemon core: ledger + worker pool + HTTP handler.
+// Create with New, serve via the http.Handler interface, stop with
+// Shutdown.
+type Server struct {
+	cfg    Config
+	ledger *Ledger
+	mux    *http.ServeMux
+
+	queue    chan *decideTask
+	workerWg sync.WaitGroup
+
+	// drainMu serializes the draining flag against task enqueues: admits
+	// hold it shared for check-and-enqueue, Shutdown exclusively to flip
+	// the flag, so no task can slip in after the drain begins.
+	drainMu  sync.RWMutex
+	draining bool
+	inflight sync.WaitGroup
+
+	started   time.Time
+	admitted  atomic.Uint64
+	rejected  atomic.Uint64
+	errored   atomic.Uint64
+	timedOut  atomic.Uint64
+	released  atomic.Uint64
+	latencyUS *metrics.Histogram
+}
+
+// New builds and starts a daemon core (worker pool running, no listener —
+// the caller attaches it to an http.Server or httptest).
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:       cfg,
+		ledger:    NewLedger(cfg.Theta, cfg.Now),
+		queue:     make(chan *decideTask, cfg.QueueDepth),
+		started:   time.Now(),
+		latencyUS: metrics.NewHistogram(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/admit", s.handleAdmit)
+	s.mux.HandleFunc("POST /v1/release", s.handleRelease)
+	s.mux.HandleFunc("POST /v1/acquire", s.handleAcquire)
+	s.mux.HandleFunc("POST /v1/advance", s.handleAdvance)
+	s.mux.HandleFunc("GET /v1/ledger", s.handleLedger)
+	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	for i := 0; i < cfg.Workers; i++ {
+		s.workerWg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Ledger exposes the live ledger (selftest and tests).
+func (s *Server) Ledger() *Ledger {
+	return s.ledger
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// worker drains the decision queue. The pool bounds how many Theorem-4
+// searches run at once regardless of how many requests are in flight.
+func (s *Server) worker() {
+	defer s.workerWg.Done()
+	for task := range s.queue {
+		if task.ctx.Err() != nil {
+			// The requester gave up while the task sat in the queue.
+			s.inflight.Done()
+			continue
+		}
+		start := time.Now()
+		dec, err := s.ledger.Admit(s.cfg.Policy, task.job)
+		if err == nil {
+			// Only genuine verdicts feed the decision-latency histogram;
+			// duplicate names and internal errors never reach a verdict.
+			s.latencyUS.Observe(float64(time.Since(start).Microseconds()))
+		}
+		task.done <- decideResult{dec: dec, err: err}
+		s.inflight.Done()
+	}
+}
+
+// Shutdown gracefully stops the daemon: new admissions are rejected
+// immediately, queued and running decisions finish (bounded by ctx), then
+// the worker pool exits. Safe to call once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainMu.Lock()
+	already := s.draining
+	s.draining = true
+	s.drainMu.Unlock()
+	if already {
+		return nil
+	}
+	drained := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted: %w", ctx.Err())
+	}
+	close(s.queue)
+	s.workerWg.Wait()
+	return nil
+}
+
+// submit enqueues a decision unless the daemon is draining. It returns
+// false when draining.
+func (s *Server) submit(task *decideTask) bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	select {
+	case s.queue <- task:
+		return true
+	case <-task.ctx.Done():
+		s.inflight.Done()
+		return true // enqueued-or-expired; caller sees the ctx error
+	}
+}
+
+// API request/response bodies.
+
+// AdmitResponse is the verdict returned by POST /v1/admit.
+type AdmitResponse struct {
+	Job    string `json:"job"`
+	Admit  bool   `json:"admit"`
+	Reason string `json:"reason,omitempty"`
+	// Finish is the witness plan's completion time (admitted only).
+	Finish interval.Time `json:"finish,omitempty"`
+	// Deadline echoes the job's deadline.
+	Deadline interval.Time `json:"deadline"`
+	// ElapsedUS is the policy decision cost in microseconds, measured
+	// uniformly by admission.Decide.
+	ElapsedUS int64 `json:"elapsed_us"`
+}
+
+type releaseRequest struct {
+	Name string `json:"name"`
+}
+
+type acquireRequest struct {
+	// Theta is a compact resource-set literal, e.g. "5:cpu@l1:(0,100)".
+	Theta string `json:"theta"`
+}
+
+type advanceRequest struct {
+	Now interval.Time `json:"now"`
+}
+
+// StatsResponse is the digest returned by GET /v1/stats.
+type StatsResponse struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Now           int64   `json:"now"`
+	Shards        int     `json:"shards"`
+	Commitments   int     `json:"commitments"`
+
+	// Decisions = Admitted + Rejected, always.
+	Decisions uint64 `json:"decisions"`
+	Admitted  uint64 `json:"admitted"`
+	Rejected  uint64 `json:"rejected"`
+	Released  uint64 `json:"released"`
+	Errors    uint64 `json:"errors"`
+	TimedOut  uint64 `json:"timed_out"`
+
+	// DecisionLatencyUS digests worker-side decision service time
+	// (ledger lock + policy) in microseconds.
+	DecisionLatencyUS LatencyStats `json:"decision_latency_us"`
+}
+
+// LatencyStats is the JSON shape of a histogram summary.
+type LatencyStats struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+func latencyStats(s metrics.HistogramSummary) LatencyStats {
+	return LatencyStats{Count: s.Count, Mean: s.Mean, Min: s.Min, Max: s.Max, P50: s.P50, P90: s.P90, P99: s.P99}
+}
+
+// DecodeAdmitRequest decodes and validates one job from an admit body.
+// Exported so the fuzz harness exercises exactly the wire path.
+func DecodeAdmitRequest(body []byte) (workload.Job, error) {
+	var job workload.Job
+	if err := json.Unmarshal(body, &job); err != nil {
+		return workload.Job{}, fmt.Errorf("server: bad admit body: %w", err)
+	}
+	if err := workload.ValidateJob(job); err != nil {
+		return workload.Job{}, fmt.Errorf("server: bad admit body: %w", err)
+	}
+	return job, nil
+}
+
+func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r, s.cfg.MaxBodyBytes)
+	if err != nil {
+		s.errored.Add(1)
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := DecodeAdmitRequest(body)
+	if err != nil {
+		s.errored.Add(1)
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.DecisionTimeout)
+	defer cancel()
+	task := &decideTask{ctx: ctx, job: job, done: make(chan decideResult, 1)}
+	if !s.submit(task) {
+		httpError(w, http.StatusServiceUnavailable, errors.New("server: draining, not accepting new admissions"))
+		return
+	}
+
+	select {
+	case res := <-task.done:
+		if res.err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(res.err, ErrDuplicate) {
+				status = http.StatusConflict
+			}
+			s.errored.Add(1)
+			httpError(w, status, res.err)
+			return
+		}
+		if res.dec.Admit {
+			s.admitted.Add(1)
+		} else {
+			s.rejected.Add(1)
+		}
+		resp := AdmitResponse{
+			Job:       job.Dist.Name,
+			Admit:     res.dec.Admit,
+			Reason:    res.dec.Reason,
+			Deadline:  job.Dist.Deadline,
+			ElapsedUS: res.dec.Elapsed.Microseconds(),
+		}
+		if res.dec.Plan != nil {
+			resp.Finish = res.dec.Plan.Finish
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case <-ctx.Done():
+		s.timedOut.Add(1)
+		httpError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("server: decision for %s exceeded %v", job.Dist.Name, s.cfg.DecisionTimeout))
+	}
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	var req releaseRequest
+	if err := decodeInto(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Name == "" {
+		httpError(w, http.StatusBadRequest, errors.New("server: release needs a name"))
+		return
+	}
+	if err := s.ledger.Release(req.Name); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrUnknown) {
+			status = http.StatusNotFound
+		}
+		httpError(w, status, err)
+		return
+	}
+	s.released.Add(1)
+	writeJSON(w, http.StatusOK, map[string]string{"released": req.Name})
+}
+
+func (s *Server) handleAcquire(w http.ResponseWriter, r *http.Request) {
+	var req acquireRequest
+	if err := decodeInto(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	set, err := resource.ParseSet(req.Theta)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.ledger.Acquire(set)
+	writeJSON(w, http.StatusOK, map[string]any{"acquired": set.Compact()})
+}
+
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	var req advanceRequest
+	if err := decodeInto(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	completed, err := s.ledger.Advance(req.Now)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrClockBackward) {
+			status = http.StatusBadRequest
+		}
+		httpError(w, status, err)
+		return
+	}
+	if completed == nil {
+		completed = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"now": s.ledger.Now(), "completed": completed})
+}
+
+func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.ledger.Snapshot())
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		httpError(w, http.StatusBadRequest, errors.New("server: query needs ?name="))
+		return
+	}
+	info, ok := s.ledger.Commitment(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("%w: %s", ErrUnknown, name))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// Stats returns the daemon's counters and latency digest.
+func (s *Server) Stats() StatsResponse {
+	return StatsResponse{
+		UptimeSeconds:     time.Since(s.started).Seconds(),
+		Now:               s.ledger.Now(),
+		Shards:            s.ledger.NumShards(),
+		Commitments:       s.ledger.NumCommitments(),
+		Decisions:         s.admitted.Load() + s.rejected.Load(),
+		Admitted:          s.admitted.Load(),
+		Rejected:          s.rejected.Load(),
+		Released:          s.released.Load(),
+		Errors:            s.errored.Load(),
+		TimedOut:          s.timedOut.Load(),
+		DecisionLatencyUS: latencyStats(s.latencyUS.Summary()),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.drainMu.RLock()
+	draining := s.draining
+	s.drainMu.RUnlock()
+	if draining {
+		httpError(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// HTTP helpers.
+
+func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error) {
+	defer r.Body.Close()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, fmt.Errorf("server: body exceeds %d bytes", limit)
+		}
+		return nil, err
+	}
+	return body, nil
+}
+
+func decodeInto(w http.ResponseWriter, r *http.Request, limit int64, dst any) error {
+	body, err := readBody(w, r, limit)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, dst); err != nil {
+		return fmt.Errorf("server: bad request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

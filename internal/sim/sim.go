@@ -248,7 +248,7 @@ func runPlanned(cfg Config, jobs []workload.Job, churnTrace churn.Trace, horizon
 				res.OfferedWork += work
 				cfg.emit(trace.Event{At: t, Kind: trace.KindArrival, Job: job.Dist.Name, Quantity: work.Units()})
 				view := admission.View{Now: state.Now, Theta: state.Theta, State: &state}
-				dec := cfg.Policy.Decide(view, job.Dist)
+				dec := admission.Decide(cfg.Policy, view, job.Dist)
 				res.Decisions++
 				res.DecisionTime += dec.Elapsed
 				if !dec.Admit {
@@ -376,7 +376,7 @@ func runGreedy(cfg Config, jobs []workload.Job, churnTrace churn.Trace, horizon 
 			res.OfferedWork += work
 			cfg.emit(trace.Event{At: now, Kind: trace.KindArrival, Job: job.Dist.Name, Quantity: work.Units()})
 			view := admission.View{Now: now, Theta: avail}
-			dec := cfg.Policy.Decide(view, job.Dist)
+			dec := admission.Decide(cfg.Policy, view, job.Dist)
 			res.Decisions++
 			res.DecisionTime += dec.Elapsed
 			if !dec.Admit {

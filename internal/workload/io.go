@@ -18,9 +18,12 @@ func WriteJSON(jobs []Job, w io.Writer) error {
 }
 
 // ReadJSON parses a job list written by WriteJSON (or by hand),
-// validating every job: windows must be non-empty, arrivals must not
-// follow deadlines, and every action must be well-formed and owned by its
-// actor.
+// validating every job so a malformed file fails loudly instead of
+// producing a silently-broken job list: names must be present, windows
+// non-empty with the deadline strictly after the release (earliest
+// start), arrivals non-negative and no later than the deadline, every
+// step's required amounts non-negative, and every action well-formed and
+// owned by its actor.
 func ReadJSON(r io.Reader) ([]Job, error) {
 	var jobs []Job
 	dec := json.NewDecoder(r)
@@ -28,32 +31,51 @@ func ReadJSON(r io.Reader) ([]Job, error) {
 		return nil, fmt.Errorf("workload: read: %w", err)
 	}
 	for i, j := range jobs {
-		if j.Dist.Name == "" {
-			return nil, fmt.Errorf("workload: job %d has no name", i)
+		if err := ValidateJob(j); err != nil {
+			return nil, fmt.Errorf("workload: job %d: %w", i, err)
 		}
-		if j.Dist.Deadline <= j.Dist.Start {
-			return nil, fmt.Errorf("workload: job %q has empty window", j.Dist.Name)
+	}
+	return jobs, nil
+}
+
+// ValidateJob checks one job the way ReadJSON does. It is exported so
+// servers accepting jobs over the wire can apply the identical rules to
+// a single decoded job.
+func ValidateJob(j Job) error {
+	if j.Dist.Name == "" {
+		return fmt.Errorf("job has no name")
+	}
+	if j.Arrival < 0 {
+		return fmt.Errorf("job %q has negative arrival time %d", j.Dist.Name, j.Arrival)
+	}
+	if j.Dist.Deadline <= j.Dist.Start {
+		return fmt.Errorf("job %q has deadline %d at or before its release %d (empty window)",
+			j.Dist.Name, j.Dist.Deadline, j.Dist.Start)
+	}
+	if j.Arrival > j.Dist.Deadline {
+		return fmt.Errorf("job %q arrives at %d, after its deadline %d", j.Dist.Name, j.Arrival, j.Dist.Deadline)
+	}
+	seen := make(map[string]bool, len(j.Dist.Actors))
+	for _, a := range j.Dist.Actors {
+		if seen[string(a.Actor)] {
+			return fmt.Errorf("job %q has duplicate actor %s", j.Dist.Name, a.Actor)
 		}
-		if j.Arrival > j.Dist.Deadline {
-			return nil, fmt.Errorf("workload: job %q arrives after its deadline", j.Dist.Name)
-		}
-		seen := make(map[string]bool, len(j.Dist.Actors))
-		for _, a := range j.Dist.Actors {
-			if seen[string(a.Actor)] {
-				return nil, fmt.Errorf("workload: job %q has duplicate actor %s", j.Dist.Name, a.Actor)
+		seen[string(a.Actor)] = true
+		for si, st := range a.Steps {
+			if err := st.Action.Validate(); err != nil {
+				return fmt.Errorf("job %q actor %s step %d: %w", j.Dist.Name, a.Actor, si, err)
 			}
-			seen[string(a.Actor)] = true
-			for si, st := range a.Steps {
-				if err := st.Action.Validate(); err != nil {
-					return nil, fmt.Errorf("workload: job %q actor %s step %d: %w",
-						j.Dist.Name, a.Actor, si, err)
-				}
-				if st.Action.Actor != a.Actor {
-					return nil, fmt.Errorf("workload: job %q actor %s step %d belongs to %s",
-						j.Dist.Name, a.Actor, si, st.Action.Actor)
+			if st.Action.Actor != a.Actor {
+				return fmt.Errorf("job %q actor %s step %d belongs to %s",
+					j.Dist.Name, a.Actor, si, st.Action.Actor)
+			}
+			for lt, q := range st.Amounts {
+				if q < 0 {
+					return fmt.Errorf("job %q actor %s step %d requires a negative rate of %v (%v)",
+						j.Dist.Name, a.Actor, si, lt, q)
 				}
 			}
 		}
 	}
-	return jobs, nil
+	return nil
 }

@@ -44,7 +44,15 @@ func TestReadJSONValidation(t *testing.T) {
 		{"not json", "zzz"},
 		{"nameless", `[{"Dist":{"Name":"","Start":0,"Deadline":5},"Arrival":0}]`},
 		{"empty window", `[{"Dist":{"Name":"j","Start":5,"Deadline":5},"Arrival":0}]`},
+		{"deadline before release", `[{"Dist":{"Name":"j","Start":7,"Deadline":3},"Arrival":0}]`},
 		{"arrival past deadline", `[{"Dist":{"Name":"j","Start":0,"Deadline":5},"Arrival":9}]`},
+		{"negative arrival", `[{"Dist":{"Name":"j","Start":0,"Deadline":5},"Arrival":-1}]`},
+		{
+			"negative rate",
+			`[{"Dist":{"Name":"j","Start":0,"Deadline":5,"Actors":[
+				{"Actor":"a","Steps":[{"Action":{"Op":2,"Actor":"a","Loc":"l1","Size":1},"Amounts":{"cpu@l1":-8000}}]}
+			]},"Arrival":0}]`,
+		},
 		{
 			"invalid action",
 			`[{"Dist":{"Name":"j","Start":0,"Deadline":5,"Actors":[
@@ -75,5 +83,31 @@ func TestReadJSONValidation(t *testing.T) {
 	jobs, err := ReadJSON(strings.NewReader("[]"))
 	if err != nil || len(jobs) != 0 {
 		t.Errorf("empty list: %v, %v", jobs, err)
+	}
+}
+
+func TestReadJSONErrorsAreDescriptive(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{`[{"Dist":{"Name":"j","Start":7,"Deadline":3},"Arrival":0}]`, "deadline 3 at or before its release 7"},
+		{`[{"Dist":{"Name":"j","Start":0,"Deadline":5},"Arrival":-1}]`, "negative arrival"},
+		{
+			`[{"Dist":{"Name":"j","Start":0,"Deadline":5,"Actors":[
+				{"Actor":"a","Steps":[{"Action":{"Op":2,"Actor":"a","Loc":"l1","Size":1},"Amounts":{"cpu@l1":-1}}]}
+			]},"Arrival":0}]`,
+			"negative rate",
+		},
+	}
+	for _, tc := range cases {
+		_, err := ReadJSON(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("accepted %s", tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("error %q does not mention %q", err, tc.want)
+		}
 	}
 }
