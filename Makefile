@@ -1,11 +1,13 @@
 GO ?= go
 
 # Packages whose concurrency matters enough to pay for -race on every run:
-# the daemon (sharded ledger + HTTP server), its metrics histogram, and
-# the core decision path it drives.
-RACE_PKGS = ./internal/server/ ./internal/metrics/ ./internal/admission/ ./internal/core/ ./internal/schedule/ ./cmd/rotad/
+# the daemon (sharded ledger + HTTP server), the cluster federation layer
+# (two-phase coordination + gossip, including the injected-crash and
+# drain integration tests), the metrics histogram, and the core decision
+# path they drive.
+RACE_PKGS = ./internal/server/ ./internal/cluster/ ./internal/metrics/ ./internal/admission/ ./internal/core/ ./internal/schedule/ ./cmd/rotad/
 
-.PHONY: ci fmt vet build test race selftest bench clean
+.PHONY: ci fmt vet build test race selftest cluster-selftest bench clean
 
 ci: fmt vet build test race
 
@@ -28,6 +30,11 @@ race:
 # End-to-end: daemon + ≥1000 requests through the HTTP API.
 selftest:
 	$(GO) run ./cmd/rotad -selftest -requests 1000 -clients 8
+
+# End-to-end: 3-node loopback cluster + coordinator-crash injection +
+# ≥1000 mixed admits + lease-sweep and per-node audit verification.
+cluster-selftest:
+	$(GO) run ./cmd/rotad -selftest -cluster 3 -requests 1000 -clients 8 -locations 6
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

@@ -1,0 +1,316 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/compute"
+	"repro/internal/cost"
+	"repro/internal/interval"
+	"repro/internal/metrics"
+	"repro/internal/resource"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// clusterSelftestConfig parameterizes the -selftest -cluster N mode: an
+// N-node loopback federation hammered through the real HTTP stack, with
+// a deterministic coordinator-crash probe and a migration probe around
+// the main load.
+type clusterSelftestConfig struct {
+	nodes    int
+	locs     []resource.Location
+	server   server.Config
+	leaseTTL interval.Time
+	requests int
+	clients  int
+	seed     int64
+	slack    float64
+	horizon  interval.Time
+	csv      bool
+}
+
+// runClusterSelftest boots the loopback cluster, injects a coordinator
+// crash between prepare and commit of a cross-node job, drives the main
+// load at every node, advances every ledger past the lease TTL, and then
+// verifies the Theorem-4 invariant: every surviving node's audit passes
+// and no lease outlives its TTL past the advance.
+func runClusterSelftest(out io.Writer, cfg clusterSelftestConfig) error {
+	if len(cfg.locs) < cfg.nodes {
+		return fmt.Errorf("cluster selftest: %d nodes need at least %d locations (raise -locations)", cfg.nodes, cfg.nodes)
+	}
+	if cfg.leaseTTL <= 0 {
+		cfg.leaseTTL = 50
+	}
+
+	// Listeners first, so every peer URL is known before any node starts.
+	listeners := make([]net.Listener, cfg.nodes)
+	peers := make([]cluster.Peer, cfg.nodes)
+	parts := cluster.PartitionLocations(cfg.locs, cfg.nodes)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		listeners[i] = ln
+		peers[i] = cluster.Peer{
+			ID:        fmt.Sprintf("n%d", i+1),
+			URL:       "http://" + ln.Addr().String(),
+			Locations: parts[i],
+		}
+	}
+
+	nodes := make([]*cluster.Node, cfg.nodes)
+	httpSrvs := make([]*http.Server, cfg.nodes)
+	for i := range nodes {
+		nd, err := cluster.New(cluster.Config{
+			Self:           peers[i].ID,
+			Peers:          peers,
+			Server:         cfg.server,
+			LeaseTTL:       cfg.leaseTTL,
+			GossipInterval: 100 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		nodes[i] = nd
+		httpSrvs[i] = &http.Server{Handler: nd}
+		go func(i int) { _ = httpSrvs[i].Serve(listeners[i]) }(i)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		for i := range nodes {
+			_ = nodes[i].Shutdown(ctx)
+			_ = httpSrvs[i].Shutdown(ctx)
+		}
+	}()
+
+	httpc := &http.Client{Timeout: 10 * time.Second}
+	ctx := context.Background()
+
+	// Probe 1: coordinator crash. A job spanning n1's and n2's locations
+	// forces two-phase coordination on n1; the armed crash stops the
+	// coordinator dead after its prepares succeed, leaving leased holds
+	// on both participants for the expiry sweep to reclaim.
+	crashJob, err := spanningJob("probe-crash", parts[0][0], parts[1][0], cfg.horizon)
+	if err != nil {
+		return err
+	}
+	nodes[0].InjectCrashBeforeCommit()
+	status, _, err := postJSON(ctx, httpc, peers[0].URL+"/v1/admit", crashJob)
+	if err != nil {
+		return fmt.Errorf("cluster selftest: crash probe: %w", err)
+	}
+	if status != http.StatusInternalServerError {
+		return fmt.Errorf("cluster selftest: crash probe returned %d, want 500 (injected crash)", status)
+	}
+	if got := nodes[0].Stats().Cluster.InjectedCrashes; got != 1 {
+		return fmt.Errorf("cluster selftest: crash probe left %d injected crashes, want 1", got)
+	}
+	orphaned := nodes[0].Server().Ledger().NumHolds() + nodes[1].Server().Ledger().NumHolds()
+	if orphaned < 2 {
+		return fmt.Errorf("cluster selftest: crash probe left %d orphaned holds, want >= 2", orphaned)
+	}
+
+	// Main load: mixed single- and multi-location jobs at every node.
+	jobs, err := workload.Generate(workload.Config{
+		Seed:             cfg.seed,
+		Locations:        cfg.locs,
+		NumJobs:          cfg.requests,
+		MeanInterarrival: float64(cfg.horizon) / float64(cfg.requests+1) / 4,
+		ActorsMin:        1,
+		ActorsMax:        3,
+		StepsMin:         1,
+		StepsMax:         4,
+		SendProb:         0.2,
+		MigrateProb:      0.05,
+		EvalWeightMax:    3,
+		SlackFactor:      cfg.slack,
+	})
+	if err != nil {
+		return err
+	}
+	urls := make([]string, len(peers))
+	for i, p := range peers {
+		urls[i] = p.URL
+	}
+	report, err := server.RunLoad(ctx, server.LoadConfig{
+		BaseURLs:        urls,
+		Jobs:            jobs,
+		Requests:        cfg.requests,
+		Clients:         cfg.clients,
+		ReleaseAdmitted: true,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Every node's invariant must hold while the orphaned leases are
+	// still live (they are accounted reservations until they expire).
+	for i, nd := range nodes {
+		if err := nd.Server().Ledger().Audit(); err != nil {
+			return fmt.Errorf("cluster selftest: node %s audit before sweep: %w", peers[i].ID, err)
+		}
+	}
+
+	// Advance every ledger past the TTL through the fan-out endpoint:
+	// the sweep must reclaim the crash probe's holds on every node.
+	sweepAt := cfg.leaseTTL * 2
+	status, _, err = postJSON(ctx, httpc, peers[0].URL+"/v1/cluster/advance", map[string]any{"now": sweepAt})
+	if err != nil {
+		return fmt.Errorf("cluster selftest: advance: %w", err)
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("cluster selftest: advance returned %d", status)
+	}
+	for i, nd := range nodes {
+		if holds := nd.Server().Ledger().NumHolds(); holds != 0 {
+			return fmt.Errorf("cluster selftest: node %s still has %d holds after sweep at t=%d", peers[i].ID, holds, sweepAt)
+		}
+		if err := nd.Server().Ledger().Audit(); err != nil {
+			return fmt.Errorf("cluster selftest: node %s audit after sweep: %w", peers[i].ID, err)
+		}
+	}
+
+	// Probe 2: migration. Admit a job owned wholly by n2 (forwarded from
+	// n1), re-home it to the next node via the migrate rule, release it
+	// cluster-wide.
+	migrateJob, err := pinnedJob("probe-migrate", parts[1][0], sweepAt, cfg.horizon)
+	if err != nil {
+		return err
+	}
+	status, data, err := postJSON(ctx, httpc, peers[0].URL+"/v1/admit", migrateJob)
+	if err != nil {
+		return fmt.Errorf("cluster selftest: migrate probe admit: %w", err)
+	}
+	var verdict server.AdmitResponse
+	if jerr := json.Unmarshal(data, &verdict); status != http.StatusOK || jerr != nil || !verdict.Admit {
+		return fmt.Errorf("cluster selftest: migrate probe not admitted (status %d, body %s)", status, bytes.TrimSpace(data))
+	}
+	target := peers[2%cfg.nodes].ID
+	status, data, err = postJSON(ctx, httpc, peers[1].URL+"/v1/cluster/migrate",
+		cluster.MigrateRequest{Name: "probe-migrate", Target: target})
+	if err != nil {
+		return fmt.Errorf("cluster selftest: migrate probe: %w", err)
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("cluster selftest: migrate to %s returned %d: %s", target, status, bytes.TrimSpace(data))
+	}
+	status, data, err = postJSON(ctx, httpc, peers[0].URL+"/v1/release", map[string]string{"name": "probe-migrate"})
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("cluster selftest: releasing migrated job: status %d, err %v, body %s", status, err, bytes.TrimSpace(data))
+	}
+
+	// Report.
+	t := metrics.NewTable(
+		fmt.Sprintf("rotad cluster selftest: %d nodes, %d requests, %d clients", cfg.nodes, cfg.requests, cfg.clients),
+		"metric", "value")
+	t.AddRow("requests", report.Requests)
+	t.AddRow("admitted", report.Admitted)
+	t.AddRow("rejected", report.Rejected)
+	t.AddRow("released", report.Released)
+	t.AddRow("errors", report.Errors)
+	t.AddRow("duration ms", float64(report.Duration.Microseconds())/1000)
+	t.AddRow("throughput req/s", report.Throughput)
+	t.AddRow("client p50 µs", report.P50US)
+	t.AddRow("client p99 µs", report.P99US)
+	var coords, coordAdmitted, forwarded, migrations uint64
+	for i, nd := range nodes {
+		st := nd.Stats()
+		coords += st.Cluster.Coordinations
+		coordAdmitted += st.Cluster.CoordAdmitted
+		forwarded += st.Cluster.Forwarded
+		migrations += st.Cluster.Migrations
+		t.AddRow(fmt.Sprintf("%s decisions", peers[i].ID), st.Decisions)
+		t.AddRow(fmt.Sprintf("%s shards", peers[i].ID), st.Shards)
+	}
+	t.AddRow("coordinations", coords)
+	t.AddRow("coordinated admits", coordAdmitted)
+	t.AddRow("forwarded", forwarded)
+	t.AddRow("migrations", migrations)
+	t.AddRow("injected crashes", nodes[0].Stats().Cluster.InjectedCrashes)
+	t.AddRow("orphaned holds swept", orphaned)
+	if cfg.csv {
+		t.RenderCSV(out)
+	} else {
+		t.Render(out)
+	}
+
+	if report.Errors > 0 {
+		return fmt.Errorf("cluster selftest: %d requests errored", report.Errors)
+	}
+	if report.Admitted == 0 {
+		return errors.New("cluster selftest: nothing admitted; workload or availability misconfigured")
+	}
+	if migrations != 1 {
+		return fmt.Errorf("cluster selftest: %d migrations recorded, want 1", migrations)
+	}
+	fmt.Fprintln(out, "cluster selftest ok")
+	return nil
+}
+
+// spanningJob builds a two-actor job whose footprint spans two locations
+// (and thus, in the selftest partition, two owners), forcing two-phase
+// coordination.
+func spanningJob(name string, locA, locB resource.Location, deadline interval.Time) (workload.Job, error) {
+	model := cost.Paper()
+	c1, err := cost.Realize(model, "a1", compute.Evaluate("a1", locA, 1))
+	if err != nil {
+		return workload.Job{}, err
+	}
+	c2, err := cost.Realize(model, "a2", compute.Evaluate("a2", locB, 1))
+	if err != nil {
+		return workload.Job{}, err
+	}
+	dist, err := compute.NewDistributed(name, 0, deadline, c1, c2)
+	if err != nil {
+		return workload.Job{}, err
+	}
+	return workload.Job{Dist: dist}, nil
+}
+
+// pinnedJob builds a single-actor job confined to one location.
+func pinnedJob(name string, loc resource.Location, start, deadline interval.Time) (workload.Job, error) {
+	c, err := cost.Realize(cost.Paper(), "a1", compute.Evaluate("a1", loc, 1))
+	if err != nil {
+		return workload.Job{}, err
+	}
+	dist, err := compute.NewDistributed(name, start, deadline, c)
+	if err != nil {
+		return workload.Job{}, err
+	}
+	return workload.Job{Dist: dist}, nil
+}
+
+// postJSON posts a JSON body and returns (status, body) without treating
+// non-2xx as an error — the selftest asserts on exact statuses.
+func postJSON(ctx context.Context, client *http.Client, url string, v any) (int, []byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return 0, nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, data, nil
+}

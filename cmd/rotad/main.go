@@ -8,11 +8,21 @@
 //
 //	rotad -addr :8080 -locations 4 -base 4 -horizon 100000
 //	rotad -selftest -requests 1000 -clients 8
+//	rotad -addr :8081 -node n1 -peers 'n1=http://h:8081=l1,l2;n2=http://h:8082=l3,l4'
+//	rotad -selftest -cluster 3 -requests 1000 -clients 8
 //
 // In -selftest mode the daemon starts on a loopback port, hammers itself
 // with a synthetic workload through the real HTTP stack, prints a
 // throughput/latency table, audits the ledger invariant, and exits
 // non-zero on any inconsistency.
+//
+// With -node/-peers (or -cluster-config) the daemon joins a static
+// federation: it owns its peer-table locations, forwards jobs owned
+// elsewhere, and coordinates jobs spanning owners with a two-phase
+// leased reservation. -selftest -cluster N boots an N-node loopback
+// cluster, injects a coordinator crash between prepare and commit,
+// drives the load at every node, and verifies each node's
+// no-overcommitment audit plus the lease-expiry sweep.
 package main
 
 import (
@@ -29,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/admission"
+	"repro/internal/cluster"
 	"repro/internal/interval"
 	"repro/internal/metrics"
 	"repro/internal/resource"
@@ -61,6 +72,12 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 42, "selftest: workload seed")
 	slack := fs.Float64("slack", 3, "selftest: deadline slack factor")
 	csv := fs.Bool("csv", false, "selftest: emit CSV")
+	node := fs.String("node", "", "cluster: this node's ID (must appear in the peer table)")
+	peersSpec := fs.String("peers", "", "cluster: static peer table, id=url=l1,l2;id=url=l3,... (includes self)")
+	clusterConfig := fs.String("cluster-config", "", "cluster: JSON peer-table file {\"nodes\":[{id,url,locations}]} (overrides -peers)")
+	leaseTTL := fs.Int64("lease-ttl", 50, "cluster: prepare-lease TTL in ledger ticks")
+	gossip := fs.Duration("gossip", time.Second, "cluster: gossip interval (negative disables)")
+	clusterN := fs.Int("cluster", 0, "selftest: boot an N-node loopback cluster instead of a single daemon")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,21 +105,68 @@ func run(args []string, out io.Writer) error {
 		theta = theta.Union(extra)
 	}
 
-	srv, err := server.New(server.Config{
+	scfg := server.Config{
 		Policy:          policy,
 		Theta:           theta,
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		DecisionTimeout: *timeout,
-	})
+	}
+
+	if *selftest && *clusterN > 1 {
+		return runClusterSelftest(out, clusterSelftestConfig{
+			nodes:    *clusterN,
+			locs:     locs,
+			server:   scfg,
+			leaseTTL: interval.Time(*leaseTTL),
+			requests: *requests,
+			clients:  *clients,
+			seed:     *seed,
+			slack:    *slack,
+			horizon:  interval.Time(*horizon),
+			csv:      *csv,
+		})
+	}
+
+	var peers []cluster.Peer
+	var err error
+	switch {
+	case *clusterConfig != "":
+		peers, err = cluster.LoadPeersFile(*clusterConfig)
+	case *peersSpec != "":
+		peers, err = cluster.ParsePeers(*peersSpec)
+	}
 	if err != nil {
 		return err
 	}
+	if len(peers) > 0 {
+		if *node == "" {
+			return errors.New("cluster mode needs -node naming this daemon in the peer table")
+		}
+		nd, err := cluster.New(cluster.Config{
+			Self:           *node,
+			Peers:          peers,
+			Server:         scfg,
+			LeaseTTL:       interval.Time(*leaseTTL),
+			GossipInterval: *gossip,
+		})
+		if err != nil {
+			return err
+		}
+		return serveHandler(out, nd, nd.Shutdown, *addr,
+			fmt.Sprintf("rotad: node %s listening on %s (%d shards, %d peers)",
+				nd.ID(), *addr, nd.Server().Ledger().NumShards(), len(peers)))
+	}
 
+	srv, err := server.New(scfg)
+	if err != nil {
+		return err
+	}
 	if *selftest {
 		return runSelftest(out, srv, locs, *requests, *clients, *seed, *slack, interval.Time(*horizon), *csv)
 	}
-	return serve(out, srv, *addr)
+	return serveHandler(out, srv, srv.Shutdown, *addr,
+		fmt.Sprintf("rotad: listening on %s (%d shards)", *addr, srv.Ledger().NumShards()))
 }
 
 // baseTheta builds the initial availability: baseRate cpu per location
@@ -127,10 +191,11 @@ func baseTheta(locs []resource.Location, baseRate, linkRate int64, horizon inter
 	return theta
 }
 
-// serve runs the daemon until SIGINT/SIGTERM, then drains gracefully:
-// in-flight decisions finish, new ones are refused, the listener closes.
-func serve(out io.Writer, srv *server.Server, addr string) error {
-	httpSrv := &http.Server{Addr: addr, Handler: srv}
+// serveHandler runs a daemon (single-node server or cluster node) until
+// SIGINT/SIGTERM, then drains gracefully: in-flight work finishes, new
+// requests are refused, the listener closes.
+func serveHandler(out io.Writer, handler http.Handler, shutdown func(context.Context) error, addr, banner string) error {
+	httpSrv := &http.Server{Addr: addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() {
 		err := httpSrv.ListenAndServe()
@@ -138,7 +203,7 @@ func serve(out io.Writer, srv *server.Server, addr string) error {
 			errCh <- err
 		}
 	}()
-	fmt.Fprintf(out, "rotad: listening on %s (%d shards)\n", addr, srv.Ledger().NumShards())
+	fmt.Fprintln(out, banner)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
@@ -150,7 +215,7 @@ func serve(out io.Writer, srv *server.Server, addr string) error {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
+	if err := shutdown(ctx); err != nil {
 		return err
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil {

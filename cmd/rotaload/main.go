@@ -33,7 +33,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rotaload", flag.ContinueOnError)
-	addr := fs.String("addr", "http://localhost:8080", "base URL of the rotad daemon")
+	addr := fs.String("addr", "http://localhost:8080", "base URL of the rotad daemon; comma-separated list spreads load across a cluster's nodes")
 	n := fs.Int("n", 1000, "total admit requests")
 	clients := fs.Int("clients", 4, "concurrent clients")
 	seed := fs.Int64("seed", 1, "workload seed")
@@ -45,10 +45,21 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	baseURL := strings.TrimSuffix(*addr, "/")
-	if !strings.Contains(baseURL, "://") {
-		baseURL = "http://" + baseURL
+	var baseURLs []string
+	for _, a := range strings.Split(*addr, ",") {
+		a = strings.TrimSuffix(strings.TrimSpace(a), "/")
+		if a == "" {
+			continue
+		}
+		if !strings.Contains(a, "://") {
+			a = "http://" + a
+		}
+		baseURLs = append(baseURLs, a)
 	}
+	if len(baseURLs) == 0 {
+		return fmt.Errorf("-addr names no targets")
+	}
+	baseURL := baseURLs[0]
 
 	locs := make([]resource.Location, *locations)
 	for i := range locs {
@@ -73,7 +84,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	report, err := server.RunLoad(context.Background(), server.LoadConfig{
-		BaseURL:         baseURL,
+		BaseURLs:        baseURLs,
 		Jobs:            jobs,
 		Requests:        *n,
 		Clients:         *clients,
@@ -85,7 +96,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	t := metrics.NewTable(
-		fmt.Sprintf("rotaload: %d requests, %d clients -> %s", *n, *clients, baseURL),
+		fmt.Sprintf("rotaload: %d requests, %d clients -> %s", *n, *clients, strings.Join(baseURLs, ",")),
 		"metric", "value")
 	t.AddRow("requests", report.Requests)
 	t.AddRow("admitted", report.Admitted)

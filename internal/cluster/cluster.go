@@ -1,0 +1,1035 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/compute"
+	"repro/internal/core"
+	"repro/internal/interval"
+	"repro/internal/metrics"
+	"repro/internal/resource"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// Config parameterizes one cluster node.
+type Config struct {
+	// Self is this node's ID; it must appear in Peers.
+	Self string
+	// Peers is the full static membership, including self. Location
+	// ownership must be disjoint (ValidatePeers).
+	Peers []Peer
+	// Server configures the embedded rotad core. Theta may be the whole
+	// cluster's availability: it is filtered to this node's locations,
+	// and Owned is overwritten with them.
+	Server server.Config
+	// LeaseTTL is how long a prepared hold lives on the owner's ledger
+	// clock before the expiry sweep reclaims it; default 50 ticks.
+	LeaseTTL interval.Time
+	// GossipInterval paces the Θ/reserved summary broadcast; default 1s,
+	// negative disables.
+	GossipInterval time.Duration
+	// RPCTimeout bounds each peer RPC attempt; default 2s.
+	RPCTimeout time.Duration
+	// RPCRetries is how many times a failed peer RPC is retried with
+	// jittered backoff; default 2.
+	RPCRetries int
+}
+
+// peerState is one peer plus everything this node has learned about it.
+type peerState struct {
+	Peer
+	isSelf bool
+	rpc    *metrics.RPCStats
+
+	mu        sync.Mutex
+	lastHeard time.Time
+	lastNow   interval.Time
+	lastHolds int
+}
+
+// Node is one member of a rotad federation: an embedded rotad core that
+// owns a subset of locations, plus the peer layer that routes and
+// coordinates admissions across the cluster. Create with New, serve via
+// the http.Handler interface, stop with Shutdown.
+type Node struct {
+	cfg    Config
+	self   *peerState
+	peers  []*peerState // membership order, including self
+	byID   map[string]*peerState
+	owners map[resource.Location]*peerState
+	srv    *server.Server
+	policy admission.Policy
+	client *rpcClient
+	mux    *http.ServeMux
+
+	maxBody  int64
+	leaseTTL interval.Time
+	seq      atomic.Uint64
+
+	shutdownOnce sync.Once
+	shutdownCh   chan struct{}
+	coordWg      sync.WaitGroup
+	gossipWg     sync.WaitGroup
+
+	forwarded     atomic.Uint64
+	misrouted     atomic.Uint64
+	coordinations atomic.Uint64
+	coordAdmitted atomic.Uint64
+	coordRejected atomic.Uint64
+	coordFailed   atomic.Uint64
+	crashes       atomic.Uint64
+	migrations    atomic.Uint64
+	releases      atomic.Uint64
+	coordLatency  *metrics.Histogram
+
+	// Test instrumentation (see InjectCrashBeforeCommit / SetGate).
+	crashNext atomic.Bool
+	gate      func(stage, key string)
+}
+
+// New builds and starts a cluster node. The embedded server's Theta is
+// filtered to this node's owned locations, so every node may be handed
+// the same cluster-wide availability.
+func New(cfg Config) (*Node, error) {
+	if err := ValidatePeers(cfg.Peers); err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:          cfg,
+		byID:         make(map[string]*peerState),
+		owners:       make(map[resource.Location]*peerState),
+		policy:       &admission.Rota{},
+		client:       newRPCClient(cfg.RPCTimeout, pickRetries(cfg.RPCRetries)),
+		shutdownCh:   make(chan struct{}),
+		leaseTTL:     cfg.LeaseTTL,
+		coordLatency: metrics.NewHistogram(),
+	}
+	if n.leaseTTL <= 0 {
+		n.leaseTTL = 50
+	}
+	for i := range cfg.Peers {
+		ps := &peerState{Peer: cfg.Peers[i], rpc: metrics.NewRPCStats()}
+		ps.isSelf = ps.ID == cfg.Self
+		if ps.isSelf {
+			n.self = ps
+		}
+		n.peers = append(n.peers, ps)
+		n.byID[ps.ID] = ps
+		for _, loc := range ps.Locations {
+			n.owners[loc] = ps
+		}
+	}
+	if n.self == nil {
+		return nil, fmt.Errorf("cluster: self %q not in peer table", cfg.Self)
+	}
+
+	scfg := cfg.Server
+	scfg.Owned = n.self.Locations
+	scfg.Theta = filterTheta(scfg.Theta, n.owners, n.self)
+	srv, err := server.New(scfg)
+	if err != nil {
+		return nil, err
+	}
+	n.srv = srv
+	n.maxBody = 1 << 20
+
+	n.mux = http.NewServeMux()
+	n.mux.HandleFunc("POST /v1/admit", n.handleAdmit)
+	n.mux.HandleFunc("POST /v1/release", n.handleRelease)
+	n.mux.HandleFunc("GET /v1/stats", n.handleStats)
+	n.mux.HandleFunc("POST /v1/cluster/gossip", n.handleGossip)
+	n.mux.HandleFunc("GET /v1/cluster/peers", n.handlePeers)
+	n.mux.HandleFunc("POST /v1/cluster/migrate", n.handleMigrate)
+	n.mux.HandleFunc("POST /v1/cluster/advance", n.handleClusterAdvance)
+	n.mux.Handle("/", srv)
+
+	interval := cfg.GossipInterval
+	if interval == 0 {
+		interval = time.Second
+	}
+	if interval > 0 {
+		n.gossipWg.Add(1)
+		go n.gossipLoop(interval)
+	}
+	return n, nil
+}
+
+func pickRetries(r int) int {
+	if r == 0 {
+		return 2
+	}
+	return r
+}
+
+// filterTheta keeps only the terms whose owning shard belongs to self.
+func filterTheta(theta resource.Set, owners map[resource.Location]*peerState, self *peerState) resource.Set {
+	var out resource.Set
+	for _, t := range theta.Terms() {
+		if ps, ok := owners[t.Type.Loc]; ok && ps == self {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// Server exposes the embedded rotad core (selftest and tests).
+func (n *Node) Server() *server.Server { return n.srv }
+
+// ID returns this node's identity.
+func (n *Node) ID() string { return n.self.ID }
+
+// ServeHTTP implements http.Handler: the cluster layer intercepts the
+// routed endpoints and delegates everything else (including the
+// node-local /v1/cluster/prepare|commit|abort|free protocol half) to the
+// embedded server.
+func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n.mux.ServeHTTP(w, r)
+}
+
+// InjectCrashBeforeCommit arms a one-shot simulated coordinator crash:
+// the next federated admission this node coordinates stops dead after
+// its prepares succeed — no commit, no abort — leaving the leases to
+// expire on the participants. Test-only instrumentation for the
+// crash-safety property.
+func (n *Node) InjectCrashBeforeCommit() { n.crashNext.Store(true) }
+
+// SetGate installs a test hook invoked at named protocol stages
+// (currently "prepared", between the prepare and commit phases). Must be
+// set before the node serves traffic.
+func (n *Node) SetGate(gate func(stage, key string)) { n.gate = gate }
+
+func (n *Node) draining() bool {
+	select {
+	case <-n.shutdownCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// Shutdown drains the node: gossip stops, in-flight coordinations abort
+// their outstanding prepares instead of leaking them, and the embedded
+// server drains its decision pool.
+func (n *Node) Shutdown(ctx context.Context) error {
+	n.shutdownOnce.Do(func() { close(n.shutdownCh) })
+	done := make(chan struct{})
+	go func() {
+		n.coordWg.Wait()
+		n.gossipWg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("cluster: drain interrupted: %w", ctx.Err())
+	}
+	return n.srv.Shutdown(ctx)
+}
+
+// jobFootprint returns the sorted locations a job's resource demands
+// touch (links are owned by their source, like ledger shards).
+func jobFootprint(dist compute.Distributed) []resource.Location {
+	seen := make(map[resource.Location]bool)
+	for _, a := range dist.Actors {
+		for _, st := range a.Steps {
+			for lt := range st.Amounts {
+				seen[lt.Loc] = true
+			}
+		}
+	}
+	locs := make([]resource.Location, 0, len(seen))
+	for loc := range seen {
+		locs = append(locs, loc)
+	}
+	sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
+	return locs
+}
+
+// ownersOf groups a job's footprint by owning peer.
+func (n *Node) ownersOf(dist compute.Distributed) (map[*peerState][]resource.Location, error) {
+	out := make(map[*peerState][]resource.Location)
+	for _, loc := range jobFootprint(dist) {
+		ps, ok := n.owners[loc]
+		if !ok {
+			return nil, fmt.Errorf("cluster: no node owns location %s", loc)
+		}
+		out[ps] = append(out[ps], loc)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("cluster: job consumes no resources")
+	}
+	return out, nil
+}
+
+// handleAdmit is the cluster-aware admission entry point: local jobs go
+// through the embedded worker pool, single-remote-owner jobs are
+// forwarded to their owner, and jobs spanning owners are coordinated
+// with the two-phase protocol. Forwarded requests (peer-routed) are
+// validated again and never re-forwarded.
+func (n *Node) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	if n.draining() {
+		httpError(w, http.StatusServiceUnavailable, errors.New("cluster: draining, not accepting new admissions"))
+		return
+	}
+	body, err := readBody(w, r, n.maxBody)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Validation runs here for locally submitted AND peer-forwarded
+	// jobs: a misbehaving peer cannot push an invalid job past the wire.
+	job, err := server.DecodeAdmitRequest(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	owners, err := n.ownersOf(job.Dist)
+	if err != nil {
+		n.misrouted.Add(1)
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	_, ownsSelf := owners[n.self]
+	forwarded := r.Header.Get(headerForwarded) != ""
+	if forwarded && (len(owners) != 1 || !ownsSelf) {
+		// A peer routed this here, but we are not its sole owner: count
+		// and refuse rather than bouncing it around the cluster.
+		n.misrouted.Add(1)
+		httpError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("cluster: %s forwarded %s here, but %s does not own its whole footprint",
+				r.Header.Get(headerForwarded), job.Dist.Name, n.self.ID))
+		return
+	}
+	if len(owners) == 1 && ownsSelf {
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		r.ContentLength = int64(len(body))
+		n.srv.ServeHTTP(w, r)
+		return
+	}
+	if len(owners) == 1 {
+		for ps := range owners {
+			n.forward(w, r, ps, body)
+			return
+		}
+	}
+	n.coordinate(w, r, job, owners)
+}
+
+// forward relays a single-owner admit to the owning peer and relays the
+// peer's verdict back verbatim.
+func (n *Node) forward(w http.ResponseWriter, r *http.Request, ps *peerState, body []byte) {
+	n.forwarded.Add(1)
+	headers := map[string]string{
+		headerForwarded:   n.self.ID,
+		headerIdempotency: n.nextKey("fwd"),
+	}
+	status, data, err := n.client.proxy(r.Context(), ps.URL+"/v1/admit", body, headers, ps.rpc)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, fmt.Errorf("cluster: forwarding to %s: %w", ps.ID, err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(data)
+}
+
+// nextKey mints a cluster-unique idempotency key.
+func (n *Node) nextKey(kind string) string {
+	return fmt.Sprintf("%s.%s.%d", n.self.ID, kind, n.seq.Add(1))
+}
+
+// participant is one owner's slice of a federated admission.
+type participant struct {
+	ps     *peerState
+	locs   []resource.Location
+	demand resource.Set
+	now    interval.Time
+	held   bool
+}
+
+// freeOn fetches one owner's free availability for the given locations.
+func (n *Node) freeOn(ctx context.Context, ps *peerState, locs []resource.Location) (resource.Set, interval.Time, error) {
+	if ps.isSelf {
+		return n.srv.Ledger().FreeView(locs)
+	}
+	parts := make([]string, len(locs))
+	for i, loc := range locs {
+		parts[i] = string(loc)
+	}
+	var resp server.FreeResponse
+	url := ps.URL + "/v1/cluster/free?locs=" + strings.Join(parts, ",")
+	if err := n.client.call(ctx, http.MethodGet, url, nil, &resp, nil, ps.rpc); err != nil {
+		return resource.Set{}, 0, fmt.Errorf("cluster: free view from %s: %w", ps.ID, err)
+	}
+	free, err := resource.ParseSet(resp.Free)
+	if err != nil {
+		return resource.Set{}, 0, fmt.Errorf("cluster: free view from %s unparsable: %w", ps.ID, err)
+	}
+	return free, resp.Now, nil
+}
+
+// prepareOn asks one owner to hold a sub-plan. held=false with a reason
+// is a capacity rejection; err is a protocol failure.
+func (n *Node) prepareOn(ctx context.Context, p *participant, key, name string, finish, deadline, expiry interval.Time) (held bool, reason string, err error) {
+	if p.ps.isSelf {
+		err := n.srv.Ledger().Prepare(key, name, p.demand, finish, deadline, expiry)
+		if errors.Is(err, server.ErrOvercommit) {
+			return false, err.Error(), nil
+		}
+		return err == nil, "", err
+	}
+	req := server.PrepareRequest{Key: key, Name: name, Demand: p.demand.Compact(),
+		Finish: finish, Deadline: deadline, Expiry: expiry}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return false, "", err
+	}
+	var resp server.PrepareResponse
+	headers := map[string]string{headerIdempotency: key}
+	if err := n.client.call(ctx, http.MethodPost, p.ps.URL+"/v1/cluster/prepare", body, &resp, headers, p.ps.rpc); err != nil {
+		return false, "", fmt.Errorf("cluster: prepare on %s: %w", p.ps.ID, err)
+	}
+	return resp.Held, resp.Reason, nil
+}
+
+// commitOn promotes one owner's hold.
+func (n *Node) commitOn(ctx context.Context, ps *peerState, key string) error {
+	if ps.isSelf {
+		return n.srv.Ledger().Commit(key)
+	}
+	body, _ := json.Marshal(server.FinishRequest{Key: key})
+	headers := map[string]string{headerIdempotency: key}
+	if err := n.client.call(ctx, http.MethodPost, ps.URL+"/v1/cluster/commit", body, nil, headers, ps.rpc); err != nil {
+		return fmt.Errorf("cluster: commit on %s: %w", ps.ID, err)
+	}
+	return nil
+}
+
+// abortOn best-effort releases one owner's hold (or rolls back its
+// commit). It runs on a detached context so aborts still go out while
+// the triggering request is being cancelled or the node is draining;
+// a lost abort is reclaimed by the lease sweep.
+func (n *Node) abortOn(ps *peerState, key string) {
+	ctx, cancel := context.WithTimeout(context.Background(), n.client.timeout*2)
+	defer cancel()
+	if ps.isSelf {
+		_ = n.srv.Ledger().Abort(key)
+		return
+	}
+	body, _ := json.Marshal(server.FinishRequest{Key: key})
+	headers := map[string]string{headerIdempotency: key}
+	_ = n.client.call(ctx, http.MethodPost, ps.URL+"/v1/cluster/abort", body, nil, headers, ps.rpc)
+}
+
+// coordinate admits a job spanning several owners: plan against the
+// merged free views, prepare each owner's sub-plan under a TTL lease,
+// then commit everywhere. Any prepare failure aborts the rest; a commit
+// failure (an expired lease) rolls everything back. If this coordinator
+// dies between prepare and commit, every participant's lease expires and
+// the sweep reclaims the holds — no node is ever overcommitted.
+func (n *Node) coordinate(w http.ResponseWriter, r *http.Request, job workload.Job, owners map[*peerState][]resource.Location) {
+	n.coordWg.Add(1)
+	defer n.coordWg.Done()
+	n.coordinations.Add(1)
+	start := time.Now()
+	ctx := r.Context()
+	key := n.nextKey("2pc." + job.Dist.Name)
+
+	// Phase 0: merged free view across the footprint. Staleness is safe:
+	// prepare re-checks under the owners' shard locks.
+	parts := make([]*participant, 0, len(owners))
+	for ps, locs := range owners {
+		parts = append(parts, &participant{ps: ps, locs: locs})
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i].ps.ID < parts[j].ps.ID })
+	var free resource.Set
+	var now interval.Time
+	for _, p := range parts {
+		set, pnow, err := n.freeOn(ctx, p.ps, p.locs)
+		if err != nil {
+			n.coordFailed.Add(1)
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		free = free.Union(set)
+		p.now = pnow
+		if pnow > now {
+			now = pnow
+		}
+	}
+	if now >= job.Dist.Deadline {
+		n.finishCoordination(w, job, start, admission.Decision{
+			Reason: fmt.Sprintf("deadline %d already passed at t=%d", job.Dist.Deadline, now)})
+		return
+	}
+
+	// Phase 1: decide against the merged view, exactly like a local
+	// admission against one big ledger.
+	state := core.State{Theta: free, Now: now}
+	view := admission.View{Now: now, Theta: free, State: &state}
+	dec := admission.Decide(n.policy, view, job.Dist)
+	if !dec.Admit {
+		n.finishCoordination(w, job, start, dec)
+		return
+	}
+	if dec.Plan == nil {
+		n.coordFailed.Add(1)
+		httpError(w, http.StatusInternalServerError, server.ErrPlanless)
+		return
+	}
+
+	// Split the witness plan's demand by owner.
+	split := make(map[*peerState]resource.Set)
+	for _, t := range dec.Plan.Demand().Terms() {
+		ps, ok := n.owners[t.Type.Loc]
+		if !ok {
+			n.coordFailed.Add(1)
+			httpError(w, http.StatusInternalServerError,
+				fmt.Errorf("cluster: plan for %s consumes unowned location %s", job.Dist.Name, t.Type.Loc))
+			return
+		}
+		set := split[ps]
+		set.Add(t)
+		split[ps] = set
+	}
+	active := parts[:0]
+	for _, p := range parts {
+		if demand, ok := split[p.ps]; ok {
+			p.demand = demand
+			active = append(active, p)
+		}
+	}
+	parts = active
+
+	// Phase 2: prepare everywhere, in parallel. Each owner's lease runs
+	// on its own ledger clock.
+	var wg sync.WaitGroup
+	type prepResult struct {
+		p      *participant
+		held   bool
+		reason string
+		err    error
+	}
+	results := make([]prepResult, len(parts))
+	for i, p := range parts {
+		expiry := p.now
+		if now > expiry {
+			expiry = now
+		}
+		expiry += n.leaseTTL
+		wg.Add(1)
+		go func(i int, p *participant, expiry interval.Time) {
+			defer wg.Done()
+			held, reason, err := n.prepareOn(ctx, p, key, job.Dist.Name, dec.Plan.Finish, job.Dist.Deadline, expiry)
+			results[i] = prepResult{p: p, held: held, reason: reason, err: err}
+		}(i, p, expiry)
+	}
+	wg.Wait()
+	var rejectReason string
+	var protoErr error
+	for _, res := range results {
+		res.p.held = res.held
+		if res.err != nil {
+			protoErr = res.err
+		} else if !res.held && rejectReason == "" {
+			rejectReason = res.reason
+		}
+	}
+	abortHeld := func() {
+		for _, p := range parts {
+			if p.held {
+				n.abortOn(p.ps, key)
+			}
+		}
+	}
+	if protoErr != nil {
+		abortHeld()
+		n.coordFailed.Add(1)
+		httpError(w, http.StatusServiceUnavailable, protoErr)
+		return
+	}
+	if rejectReason != "" {
+		abortHeld()
+		n.finishCoordination(w, job, start, admission.Decision{Reason: rejectReason, Elapsed: dec.Elapsed})
+		return
+	}
+
+	if n.gate != nil {
+		n.gate("prepared", key)
+	}
+	if n.crashNext.CompareAndSwap(true, false) {
+		// Simulated coordinator crash: walk away with every participant
+		// holding a leased prepare. The lease sweep cleans up.
+		n.crashes.Add(1)
+		httpError(w, http.StatusInternalServerError,
+			fmt.Errorf("cluster: injected coordinator crash before commit of %s", key))
+		return
+	}
+	if n.draining() {
+		// Graceful drain: never leave prepares for the sweep when we can
+		// still abort them explicitly.
+		abortHeld()
+		n.coordFailed.Add(1)
+		httpError(w, http.StatusServiceUnavailable, errors.New("cluster: draining, aborted in-flight prepare"))
+		return
+	}
+
+	// Phase 3: commit everywhere. Commits are idempotent and retried;
+	// a definitive failure (lease expired first) rolls everything back,
+	// including participants already committed.
+	var commitErr error
+	for _, p := range parts {
+		if err := n.commitOn(ctx, p.ps, key); err != nil {
+			commitErr = err
+			break
+		}
+	}
+	if commitErr != nil {
+		for _, p := range parts {
+			n.abortOn(p.ps, key)
+		}
+		n.coordFailed.Add(1)
+		httpError(w, http.StatusServiceUnavailable, commitErr)
+		return
+	}
+	n.finishCoordination(w, job, start, dec)
+}
+
+// finishCoordination records the verdict and writes the admit response.
+func (n *Node) finishCoordination(w http.ResponseWriter, job workload.Job, start time.Time, dec admission.Decision) {
+	n.coordLatency.Observe(float64(time.Since(start).Microseconds()))
+	if dec.Admit {
+		n.coordAdmitted.Add(1)
+	} else {
+		n.coordRejected.Add(1)
+	}
+	resp := server.AdmitResponse{
+		Job:       job.Dist.Name,
+		Admit:     dec.Admit,
+		Reason:    dec.Reason,
+		Deadline:  job.Dist.Deadline,
+		ElapsedUS: dec.Elapsed.Microseconds(),
+	}
+	if dec.Plan != nil {
+		resp.Finish = dec.Plan.Finish
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRelease releases a job cluster-wide: a federated admission
+// leaves one commitment per owning node, so the release fans out to
+// every member (forwarded requests stay local — no loops).
+func (n *Node) handleRelease(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r, n.maxBody)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if r.Header.Get(headerForwarded) != "" {
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		r.ContentLength = int64(len(body))
+		n.srv.ServeHTTP(w, r)
+		return
+	}
+	var req struct {
+		Name string `json:"name"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil || req.Name == "" {
+		httpError(w, http.StatusBadRequest, errors.New("cluster: release needs a name"))
+		return
+	}
+	released := 0
+	var lastErr error
+	for _, ps := range n.peers {
+		if ps.isSelf {
+			if err := n.srv.Ledger().Release(req.Name); err == nil {
+				released++
+			}
+			continue
+		}
+		headers := map[string]string{headerForwarded: n.self.ID}
+		if err := n.client.call(r.Context(), http.MethodPost, ps.URL+"/v1/release", body, nil, headers, ps.rpc); err != nil {
+			var se *httpStatusError
+			if !errors.As(err, &se) || se.status != http.StatusNotFound {
+				lastErr = err
+			}
+			continue
+		}
+		released++
+	}
+	if released == 0 {
+		if lastErr != nil {
+			httpError(w, http.StatusBadGateway, lastErr)
+			return
+		}
+		httpError(w, http.StatusNotFound, fmt.Errorf("cluster: %s not committed on any node", req.Name))
+		return
+	}
+	n.releases.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{"released": req.Name, "nodes": released})
+}
+
+// Gossip is the periodic Θ/reserved summary a node broadcasts: enough
+// for peers to see its clock, load, and per-location availability
+// without another RPC.
+type Gossip struct {
+	Node        string            `json:"node"`
+	Now         interval.Time     `json:"now"`
+	Shards      int               `json:"shards"`
+	Commitments int               `json:"commitments"`
+	Holds       int               `json:"holds"`
+	Theta       map[string]string `json:"theta"`
+	Reserved    map[string]string `json:"reserved"`
+}
+
+func (n *Node) buildGossip() Gossip {
+	snap := n.srv.Ledger().Snapshot()
+	g := Gossip{
+		Node:        n.self.ID,
+		Now:         snap.Now,
+		Shards:      len(snap.Shards),
+		Commitments: len(snap.Commitments),
+		Holds:       len(snap.Holds),
+		Theta:       make(map[string]string, len(snap.Shards)),
+		Reserved:    make(map[string]string, len(snap.Shards)),
+	}
+	for _, sh := range snap.Shards {
+		g.Theta[string(sh.Location)] = sh.Theta
+		g.Reserved[string(sh.Location)] = sh.Reserved
+	}
+	return g
+}
+
+// gossipLoop periodically pushes this node's summary to every peer.
+func (n *Node) gossipLoop(every time.Duration) {
+	defer n.gossipWg.Done()
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.shutdownCh:
+			return
+		case <-ticker.C:
+		}
+		body, err := json.Marshal(n.buildGossip())
+		if err != nil {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), n.client.timeout)
+		for _, ps := range n.peers {
+			if ps.isSelf {
+				continue
+			}
+			_ = n.client.call(ctx, http.MethodPost, ps.URL+"/v1/cluster/gossip", body, nil, nil, ps.rpc)
+		}
+		cancel()
+	}
+}
+
+func (n *Node) handleGossip(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r, n.maxBody)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	var g Gossip
+	if err := json.Unmarshal(body, &g); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("cluster: bad gossip body: %w", err))
+		return
+	}
+	ps, ok := n.byID[g.Node]
+	if !ok || ps.isSelf {
+		httpError(w, http.StatusUnprocessableEntity, fmt.Errorf("cluster: gossip from unknown node %q", g.Node))
+		return
+	}
+	ps.mu.Lock()
+	ps.lastHeard = time.Now()
+	ps.lastNow = g.Now
+	ps.lastHolds = g.Holds
+	ps.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]string{"ok": g.Node})
+}
+
+// PeerStatus is one row of the peer table as surfaced by /v1/stats and
+// /v1/cluster/peers.
+type PeerStatus struct {
+	ID           string             `json:"id"`
+	URL          string             `json:"url"`
+	Locations    []string           `json:"locations"`
+	Self         bool               `json:"self,omitempty"`
+	LastHeardMS  int64              `json:"last_heard_ms,omitempty"` // ms since last gossip, -1 never
+	GossipNow    interval.Time      `json:"gossip_now,omitempty"`
+	GossipHolds  int                `json:"gossip_holds,omitempty"`
+	RPC          metrics.RPCSummary `json:"rpc"`
+	OwnShardView int                `json:"-"`
+}
+
+func (n *Node) peerStatuses() []PeerStatus {
+	out := make([]PeerStatus, 0, len(n.peers))
+	for _, ps := range n.peers {
+		locs := make([]string, len(ps.Locations))
+		for i, loc := range ps.Locations {
+			locs[i] = string(loc)
+		}
+		st := PeerStatus{ID: ps.ID, URL: ps.URL, Locations: locs, Self: ps.isSelf, RPC: ps.rpc.Summary()}
+		ps.mu.Lock()
+		if ps.lastHeard.IsZero() {
+			st.LastHeardMS = -1
+		} else {
+			st.LastHeardMS = time.Since(ps.lastHeard).Milliseconds()
+		}
+		st.GossipNow = ps.lastNow
+		st.GossipHolds = ps.lastHolds
+		ps.mu.Unlock()
+		out = append(out, st)
+	}
+	return out
+}
+
+func (n *Node) handlePeers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"self": n.self.ID, "peers": n.peerStatuses()})
+}
+
+// ClusterCounters digests this node's federation-layer activity.
+type ClusterCounters struct {
+	Forwarded       uint64 `json:"forwarded"`
+	Misrouted       uint64 `json:"misrouted"`
+	Coordinations   uint64 `json:"coordinations"`
+	CoordAdmitted   uint64 `json:"coord_admitted"`
+	CoordRejected   uint64 `json:"coord_rejected"`
+	CoordFailed     uint64 `json:"coord_failed"`
+	InjectedCrashes uint64 `json:"injected_crashes"`
+	Migrations      uint64 `json:"migrations"`
+	Releases        uint64 `json:"releases"`
+
+	CoordLatencyMeanUS float64 `json:"coord_latency_mean_us"`
+	CoordLatencyP50US  float64 `json:"coord_latency_p50_us"`
+	CoordLatencyP99US  float64 `json:"coord_latency_p99_us"`
+}
+
+// NodeStats is the combined /v1/stats body in cluster mode: the embedded
+// server's digest plus the federation layer's counters and peer table.
+type NodeStats struct {
+	server.StatsResponse
+	Node    string          `json:"node"`
+	Cluster ClusterCounters `json:"cluster"`
+	Peers   []PeerStatus    `json:"peers"`
+}
+
+// Stats returns the node's combined digest.
+func (n *Node) Stats() NodeStats {
+	lat := n.coordLatency.Summary()
+	return NodeStats{
+		StatsResponse: n.srv.Stats(),
+		Node:          n.self.ID,
+		Cluster: ClusterCounters{
+			Forwarded:          n.forwarded.Load(),
+			Misrouted:          n.misrouted.Load(),
+			Coordinations:      n.coordinations.Load(),
+			CoordAdmitted:      n.coordAdmitted.Load(),
+			CoordRejected:      n.coordRejected.Load(),
+			CoordFailed:        n.coordFailed.Load(),
+			InjectedCrashes:    n.crashes.Load(),
+			Migrations:         n.migrations.Load(),
+			Releases:           n.releases.Load(),
+			CoordLatencyMeanUS: lat.Mean,
+			CoordLatencyP50US:  lat.P50,
+			CoordLatencyP99US:  lat.P99,
+		},
+		Peers: n.peerStatuses(),
+	}
+}
+
+func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, n.Stats())
+}
+
+// MigrateRequest asks this node to re-home a committed job's remaining
+// plan onto the target peer — the paper's migrate rule at system scale.
+type MigrateRequest struct {
+	Name   string `json:"name"`
+	Target string `json:"target"`
+}
+
+// handleMigrate re-homes a commitment: the remaining demand is re-mapped
+// onto the target's locations, prepared and committed there through the
+// standard two-phase path, and only then released locally
+// (make-before-break: capacity is briefly double-held, never
+// double-promised).
+func (n *Node) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	var req MigrateRequest
+	body, err := readBody(w, r, n.maxBody)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := json.Unmarshal(body, &req); err != nil || req.Name == "" || req.Target == "" {
+		httpError(w, http.StatusBadRequest, errors.New("cluster: migrate needs {name, target}"))
+		return
+	}
+	target, ok := n.byID[req.Target]
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("cluster: unknown target node %s", req.Target))
+		return
+	}
+	if target.isSelf {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("cluster: %s already lives here", req.Name))
+		return
+	}
+	demand, info, err := n.srv.Ledger().RemainingDemand(req.Name)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	remapped, mapping := remapDemand(demand, n.self.Locations, target.Locations)
+
+	// Lease against the target's clock, then prepare/commit there.
+	_, targetNow, err := n.freeOn(r.Context(), target, target.Locations)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	key := n.nextKey("migrate." + req.Name)
+	p := &participant{ps: target, demand: remapped}
+	held, reason, err := n.prepareOn(r.Context(), p, key, req.Name, info.Finish, info.Deadline, targetNow+n.leaseTTL)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if !held {
+		httpError(w, http.StatusConflict, fmt.Errorf("cluster: %s cannot accommodate %s: %s", target.ID, req.Name, reason))
+		return
+	}
+	if err := n.commitOn(r.Context(), target, key); err != nil {
+		n.abortOn(target, key)
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if err := n.srv.Ledger().Release(req.Name); err != nil {
+		// The job now lives on both nodes; roll the target back so the
+		// original commitment remains the single source of truth.
+		n.abortOn(target, key)
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	n.migrations.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"migrated": req.Name,
+		"from":     n.self.ID,
+		"to":       target.ID,
+		"mapping":  mapping,
+		"demand":   remapped.Compact(),
+	})
+}
+
+// remapDemand substitutes source locations with target locations
+// (round-robin over the sorted lists), preserving kinds, rates and
+// windows — the resource-level meaning of moving a computation.
+func remapDemand(demand resource.Set, from, to []resource.Location) (resource.Set, map[string]string) {
+	srcs := append([]resource.Location(nil), from...)
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	dsts := append([]resource.Location(nil), to...)
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	m := make(map[resource.Location]resource.Location, len(srcs))
+	mapping := make(map[string]string, len(srcs))
+	for i, src := range srcs {
+		dst := dsts[i%len(dsts)]
+		m[src] = dst
+		mapping[string(src)] = string(dst)
+	}
+	var out resource.Set
+	for _, t := range demand.Terms() {
+		lt := t.Type
+		if dst, ok := m[lt.Loc]; ok {
+			lt.Loc = dst
+		}
+		if lt.Dst != "" {
+			if dst, ok := m[lt.Dst]; ok {
+				lt.Dst = dst
+			}
+		}
+		out.Add(resource.NewTerm(t.Rate, lt, t.Span))
+	}
+	return out, mapping
+}
+
+// handleClusterAdvance fans a clock advance out to every member, so one
+// call moves the whole federation's time forward (and with it, every
+// node's lease-expiry sweep).
+func (n *Node) handleClusterAdvance(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Now interval.Time `json:"now"`
+	}
+	body, err := readBody(w, r, n.maxBody)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("cluster: bad advance body: %w", err))
+		return
+	}
+	results := make(map[string]any, len(n.peers))
+	failed := false
+	for _, ps := range n.peers {
+		if ps.isSelf {
+			completed, err := n.srv.Ledger().Advance(req.Now)
+			if err != nil {
+				results[ps.ID] = map[string]string{"error": err.Error()}
+				failed = true
+				continue
+			}
+			results[ps.ID] = map[string]any{"now": req.Now, "completed": len(completed)}
+			continue
+		}
+		if err := n.client.call(r.Context(), http.MethodPost, ps.URL+"/v1/advance", body, nil, nil, ps.rpc); err != nil {
+			results[ps.ID] = map[string]string{"error": err.Error()}
+			failed = true
+			continue
+		}
+		results[ps.ID] = map[string]any{"now": req.Now}
+	}
+	status := http.StatusOK
+	if failed {
+		status = http.StatusBadGateway
+	}
+	writeJSON(w, status, map[string]any{"nodes": results})
+}
+
+// HTTP helpers (the server's equivalents are unexported).
+
+func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error) {
+	defer r.Body.Close()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, fmt.Errorf("cluster: body exceeds %d bytes", limit)
+		}
+		return nil, err
+	}
+	return body, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

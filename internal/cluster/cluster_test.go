@@ -1,0 +1,390 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/compute"
+	"repro/internal/cost"
+	"repro/internal/interval"
+	"repro/internal/resource"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// testCluster is an in-process loopback federation serving over real
+// HTTP listeners.
+type testCluster struct {
+	peers []Peer
+	nodes []*Node
+	urls  []string
+}
+
+// newTestCluster boots nNodes nodes owning locsPerNode cpu locations
+// each (rate units/tick over (0, horizon)), with the given lease TTL and
+// fast gossip.
+func newTestCluster(t *testing.T, nNodes, locsPerNode int, rate int64, horizon, ttl interval.Time) *testCluster {
+	t.Helper()
+	var locs []resource.Location
+	for i := 0; i < nNodes*locsPerNode; i++ {
+		locs = append(locs, resource.Location(fmt.Sprintf("l%d", i+1)))
+	}
+	var theta resource.Set
+	for _, loc := range locs {
+		theta.Add(resource.NewTerm(resource.FromUnits(rate), resource.CPUAt(loc), interval.New(0, horizon)))
+	}
+
+	parts := PartitionLocations(locs, nNodes)
+	tc := &testCluster{}
+	listeners := make([]net.Listener, nNodes)
+	for i := 0; i < nNodes; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		url := "http://" + ln.Addr().String()
+		tc.urls = append(tc.urls, url)
+		tc.peers = append(tc.peers, Peer{ID: fmt.Sprintf("n%d", i+1), URL: url, Locations: parts[i]})
+	}
+	httpSrvs := make([]*http.Server, nNodes)
+	for i := 0; i < nNodes; i++ {
+		nd, err := New(Config{
+			Self:           tc.peers[i].ID,
+			Peers:          tc.peers,
+			Server:         server.Config{Policy: &admission.Rota{}, Theta: theta},
+			LeaseTTL:       ttl,
+			GossipInterval: 50 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.nodes = append(tc.nodes, nd)
+		httpSrvs[i] = &http.Server{Handler: nd}
+		go func(i int) { _ = httpSrvs[i].Serve(listeners[i]) }(i)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for i := range tc.nodes {
+			_ = tc.nodes[i].Shutdown(ctx)
+			_ = httpSrvs[i].Shutdown(ctx)
+		}
+	})
+	return tc
+}
+
+// spanningJob builds a two-actor job evaluating at two locations.
+func spanningJob(t testing.TB, name string, locA, locB resource.Location, deadline interval.Time) workload.Job {
+	t.Helper()
+	model := cost.Paper()
+	a1 := compute.ActorName(name + ".a1")
+	a2 := compute.ActorName(name + ".a2")
+	c1, err := cost.Realize(model, a1, compute.Evaluate(a1, locA, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := cost.Realize(model, a2, compute.Evaluate(a2, locB, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := compute.NewDistributed(name, 0, deadline, c1, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return workload.Job{Dist: dist}
+}
+
+// pinnedJob builds a one-actor job confined to one location.
+func pinnedJob(t testing.TB, name string, loc resource.Location, deadline interval.Time) workload.Job {
+	t.Helper()
+	actor := compute.ActorName(name + ".a")
+	c, err := cost.Realize(cost.Paper(), actor, compute.Evaluate(actor, loc, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := compute.NewDistributed(name, 0, deadline, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return workload.Job{Dist: dist}
+}
+
+// post sends a JSON body and returns (status, response bytes).
+func post(t testing.TB, url string, v any, headers map[string]string) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, val := range headers {
+		req.Header.Set(k, val)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func admitVerdict(t testing.TB, url string, job workload.Job) (int, server.AdmitResponse) {
+	t.Helper()
+	status, data := post(t, url+"/v1/admit", job, nil)
+	var out server.AdmitResponse
+	if status == http.StatusOK {
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatalf("unparsable admit response %s: %v", data, err)
+		}
+	}
+	return status, out
+}
+
+func auditAll(t testing.TB, tc *testCluster, when string) {
+	t.Helper()
+	for i, nd := range tc.nodes {
+		if err := nd.Server().Ledger().Audit(); err != nil {
+			t.Fatalf("%s: node %s audit: %v", when, tc.peers[i].ID, err)
+		}
+	}
+}
+
+// TestClusterFederatedAdmissionUnderCrash is the crash-safety
+// integration test: a 3-node cluster takes concurrent single- and
+// multi-location admissions while a coordinator crash is injected
+// between prepare and commit of a cross-node job. Afterwards every
+// node's no-overcommitment audit must pass, and once the clock passes
+// the lease TTL the orphaned holds must be swept on every node.
+func TestClusterFederatedAdmissionUnderCrash(t *testing.T) {
+	const ttl = interval.Time(50)
+	tc := newTestCluster(t, 3, 2, 4, 100000, ttl)
+
+	// Inject the coordinator crash mid-protocol on n1.
+	tc.nodes[0].InjectCrashBeforeCommit()
+	crash := spanningJob(t, "crash-probe", tc.peers[0].Locations[0], tc.peers[1].Locations[0], 100000)
+	status, _ := admitVerdict(t, tc.urls[0], crash)
+	if status != http.StatusInternalServerError {
+		t.Fatalf("crash probe returned %d, want 500", status)
+	}
+	orphans := 0
+	for _, nd := range tc.nodes {
+		orphans += nd.Server().Ledger().NumHolds()
+	}
+	if orphans < 2 {
+		t.Fatalf("crash left %d orphaned holds, want >= 2 (both participants)", orphans)
+	}
+
+	// Concurrent mixed load against all three nodes.
+	const clients, perClient = 8, 30
+	var admitted, rejected atomic.Int64
+	var wg sync.WaitGroup
+	allLocs := []resource.Location{}
+	for _, p := range tc.peers {
+		allLocs = append(allLocs, p.Locations...)
+	}
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				name := fmt.Sprintf("job-%d-%d", c, i)
+				var job workload.Job
+				switch i % 3 {
+				case 0: // spans two owners: coordinated
+					job = spanningJob(t, name, allLocs[i%len(allLocs)], allLocs[(i+3)%len(allLocs)], 100000)
+				default: // single owner: local or forwarded
+					job = pinnedJob(t, name, allLocs[(c+i)%len(allLocs)], 100000)
+				}
+				status, verdict := admitVerdict(t, tc.urls[(c+i)%len(tc.urls)], job)
+				if status != http.StatusOK {
+					t.Errorf("admit %s returned %d", name, status)
+					return
+				}
+				if verdict.Admit {
+					admitted.Add(1)
+				} else {
+					rejected.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if admitted.Load() == 0 {
+		t.Fatal("nothing admitted")
+	}
+	auditAll(t, tc, "after load")
+
+	var coords, forwarded uint64
+	for _, nd := range tc.nodes {
+		st := nd.Stats()
+		coords += st.Cluster.Coordinations
+		forwarded += st.Cluster.Forwarded
+	}
+	if coords == 0 || forwarded == 0 {
+		t.Fatalf("load exercised no federation paths: coordinations=%d forwarded=%d", coords, forwarded)
+	}
+
+	// Advance every ledger past the TTL through the fan-out endpoint;
+	// the sweep must reclaim the crash's holds everywhere.
+	status, data := post(t, tc.urls[0]+"/v1/cluster/advance", map[string]any{"now": ttl * 2}, nil)
+	if status != http.StatusOK {
+		t.Fatalf("cluster advance returned %d: %s", status, data)
+	}
+	swept := uint64(0)
+	for i, nd := range tc.nodes {
+		if holds := nd.Server().Ledger().NumHolds(); holds != 0 {
+			t.Fatalf("node %s has %d holds after sweep — a lease outlived its TTL", tc.peers[i].ID, holds)
+		}
+		swept += nd.Server().Ledger().TwoPhase().LeasesExpired
+	}
+	if swept < 2 {
+		t.Fatalf("sweeps reclaimed %d leases, want >= 2", swept)
+	}
+	auditAll(t, tc, "after sweep")
+}
+
+// TestClusterForwardingAndMisroute checks single-owner routing: a job
+// pinned to another node's location is forwarded to its owner and
+// admitted there, while a forwarded request landing on a non-owner is
+// refused (422) instead of bouncing around the cluster.
+func TestClusterForwardingAndMisroute(t *testing.T) {
+	tc := newTestCluster(t, 3, 1, 4, 1000, 50)
+	job := pinnedJob(t, "fwd-1", tc.peers[1].Locations[0], 1000)
+	status, verdict := admitVerdict(t, tc.urls[0], job)
+	if status != http.StatusOK || !verdict.Admit {
+		t.Fatalf("forwarded admit: status %d, verdict %+v", status, verdict)
+	}
+	if got := tc.nodes[0].Stats().Cluster.Forwarded; got != 1 {
+		t.Fatalf("n1 forwarded = %d, want 1", got)
+	}
+	// The commitment lives on the owner, not the router.
+	if tc.nodes[1].Server().Ledger().NumCommitments() != 1 {
+		t.Fatal("owner has no commitment")
+	}
+	if tc.nodes[0].Server().Ledger().NumCommitments() != 0 {
+		t.Fatal("router kept a commitment")
+	}
+
+	// A forwarded request whose footprint the receiver does not own.
+	bad := pinnedJob(t, "fwd-2", tc.peers[2].Locations[0], 1000)
+	status, _ = post(t, tc.urls[0]+"/v1/admit", bad, map[string]string{headerForwarded: "n9"})
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("misrouted admit returned %d, want 422", status)
+	}
+	if got := tc.nodes[0].Stats().Cluster.Misrouted; got != 1 {
+		t.Fatalf("n1 misrouted = %d, want 1", got)
+	}
+	// A job naming a location nobody owns is rejected with a clear error.
+	ghost := pinnedJob(t, "fwd-3", "l99", 1000)
+	status, data := post(t, tc.urls[0]+"/v1/admit", ghost, nil)
+	if status != http.StatusUnprocessableEntity || !bytes.Contains(data, []byte("no node owns")) {
+		t.Fatalf("unowned-location admit: status %d body %s", status, data)
+	}
+
+	// Cluster-wide release finds the forwarded job on its owner.
+	status, _ = post(t, tc.urls[2]+"/v1/release", map[string]string{"name": "fwd-1"}, nil)
+	if status != http.StatusOK {
+		t.Fatalf("cluster release returned %d", status)
+	}
+	if tc.nodes[1].Server().Ledger().NumCommitments() != 0 {
+		t.Fatal("release did not reach the owner")
+	}
+	auditAll(t, tc, "after release")
+}
+
+// TestClusterMigrate re-homes a committed job: prepare/commit on the
+// target through the standard two-phase path, then release at the
+// source. The remaining demand must end up owned by the target.
+func TestClusterMigrate(t *testing.T) {
+	tc := newTestCluster(t, 3, 1, 4, 1000, 50)
+	job := pinnedJob(t, "mig-1", tc.peers[1].Locations[0], 1000)
+	status, verdict := admitVerdict(t, tc.urls[1], job)
+	if status != http.StatusOK || !verdict.Admit {
+		t.Fatalf("admit: status %d, verdict %+v", status, verdict)
+	}
+
+	status, data := post(t, tc.urls[1]+"/v1/cluster/migrate", MigrateRequest{Name: "mig-1", Target: "n3"}, nil)
+	if status != http.StatusOK {
+		t.Fatalf("migrate returned %d: %s", status, data)
+	}
+	if tc.nodes[1].Server().Ledger().NumCommitments() != 0 {
+		t.Fatal("source still holds the commitment")
+	}
+	if tc.nodes[2].Server().Ledger().NumCommitments() != 1 {
+		t.Fatal("target did not receive the commitment")
+	}
+	if got := tc.nodes[1].Stats().Cluster.Migrations; got != 1 {
+		t.Fatalf("migrations = %d, want 1", got)
+	}
+	demand, _, err := tc.nodes[2].Server().Ledger().RemainingDemand("mig-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, term := range demand.Terms() {
+		if term.Type.Loc != tc.peers[2].Locations[0] {
+			t.Fatalf("migrated demand still at %s: %s", term.Type.Loc, demand.Compact())
+		}
+	}
+	auditAll(t, tc, "after migrate")
+
+	// Error surface: unknown job, unknown target, self target.
+	if status, _ := post(t, tc.urls[1]+"/v1/cluster/migrate", MigrateRequest{Name: "ghost", Target: "n3"}, nil); status != http.StatusNotFound {
+		t.Fatalf("unknown job: %d, want 404", status)
+	}
+	if status, _ := post(t, tc.urls[2]+"/v1/cluster/migrate", MigrateRequest{Name: "mig-1", Target: "n9"}, nil); status != http.StatusNotFound {
+		t.Fatalf("unknown target: %d, want 404", status)
+	}
+	if status, _ := post(t, tc.urls[2]+"/v1/cluster/migrate", MigrateRequest{Name: "mig-1", Target: "n3"}, nil); status != http.StatusBadRequest {
+		t.Fatalf("self target: %d, want 400", status)
+	}
+
+	// The migrated job releases cluster-wide like any other.
+	if status, _ := post(t, tc.urls[0]+"/v1/release", map[string]string{"name": "mig-1"}, nil); status != http.StatusOK {
+		t.Fatalf("release returned %d", status)
+	}
+	auditAll(t, tc, "after release")
+}
+
+// TestClusterGossip waits for the periodic summaries to propagate and
+// checks they land in the peer table.
+func TestClusterGossip(t *testing.T) {
+	tc := newTestCluster(t, 2, 1, 4, 1000, 50)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		heard := 0
+		for _, st := range tc.nodes[0].Stats().Peers {
+			if !st.Self && st.LastHeardMS >= 0 {
+				heard++
+			}
+		}
+		if heard == 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no gossip heard from peer within 5s")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

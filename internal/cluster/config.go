@@ -1,0 +1,124 @@
+// Package cluster federates rotad daemons into a multi-node admission
+// system: each node owns a disjoint set of locations, gossips ledger
+// summaries to its peers, routes single-owner jobs to their owner, and
+// admits jobs spanning several owners with a two-phase leased
+// reservation protocol (prepare / commit / abort) that preserves each
+// node's Theorem-4 no-overcommitment invariant even when a coordinator
+// crashes mid-admission. It also implements the paper's migrate rule at
+// system scale: a committed job's remaining plan can be re-homed to
+// another node through the same prepare/commit path.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/resource"
+)
+
+// Peer is one cluster member: its identity, its base URL, and the
+// locations it owns. Ownership is static and disjoint across peers.
+type Peer struct {
+	ID        string              `json:"id"`
+	URL       string              `json:"url"`
+	Locations []resource.Location `json:"locations"`
+}
+
+// ParsePeers parses the flag syntax for a static peer table:
+//
+//	n1=http://host:8081=l1,l2;n2=http://host:8082=l3,l4
+//
+// Entries are ';'-separated; each is id=url=comma-separated-locations.
+func ParsePeers(spec string) ([]Peer, error) {
+	var peers []Peer
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.SplitN(entry, "=", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("cluster: bad peer entry %q (want id=url=l1,l2)", entry)
+		}
+		p := Peer{ID: strings.TrimSpace(parts[0]), URL: strings.TrimSuffix(strings.TrimSpace(parts[1]), "/")}
+		for _, loc := range strings.Split(parts[2], ",") {
+			loc = strings.TrimSpace(loc)
+			if loc != "" {
+				p.Locations = append(p.Locations, resource.Location(loc))
+			}
+		}
+		peers = append(peers, p)
+	}
+	if err := ValidatePeers(peers); err != nil {
+		return nil, err
+	}
+	return peers, nil
+}
+
+// peersFile is the JSON config-file shape: {"nodes":[{id,url,locations}]}.
+type peersFile struct {
+	Nodes []Peer `json:"nodes"`
+}
+
+// LoadPeersFile reads a peer table from a JSON config file.
+func LoadPeersFile(path string) ([]Peer, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	var f peersFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("cluster: bad config %s: %w", path, err)
+	}
+	if err := ValidatePeers(f.Nodes); err != nil {
+		return nil, fmt.Errorf("cluster: config %s: %w", path, err)
+	}
+	return f.Nodes, nil
+}
+
+// ValidatePeers checks a peer table: at least one peer, unique non-empty
+// IDs and URLs, at least one location each, and disjoint ownership.
+func ValidatePeers(peers []Peer) error {
+	if len(peers) == 0 {
+		return fmt.Errorf("cluster: empty peer table")
+	}
+	ids := make(map[string]bool, len(peers))
+	owners := make(map[resource.Location]string)
+	for _, p := range peers {
+		if p.ID == "" {
+			return fmt.Errorf("cluster: peer with empty id")
+		}
+		if ids[p.ID] {
+			return fmt.Errorf("cluster: duplicate peer id %s", p.ID)
+		}
+		ids[p.ID] = true
+		if p.URL == "" {
+			return fmt.Errorf("cluster: peer %s has no URL", p.ID)
+		}
+		if len(p.Locations) == 0 {
+			return fmt.Errorf("cluster: peer %s owns no locations", p.ID)
+		}
+		for _, loc := range p.Locations {
+			if other, taken := owners[loc]; taken {
+				return fmt.Errorf("cluster: location %s owned by both %s and %s", loc, other, p.ID)
+			}
+			owners[loc] = p.ID
+		}
+	}
+	return nil
+}
+
+// PartitionLocations assigns locations l1..lM round-robin across n node
+// slots — the default static assignment used by the cluster selftest.
+func PartitionLocations(locs []resource.Location, n int) [][]resource.Location {
+	parts := make([][]resource.Location, n)
+	sorted := append([]resource.Location(nil), locs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, loc := range sorted {
+		parts[i%n] = append(parts[i%n], loc)
+	}
+	return parts
+}

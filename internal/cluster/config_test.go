@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/resource"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("n1=http://h:8081=l1,l2; n2=http://h:8082/=l3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Peer{
+		{ID: "n1", URL: "http://h:8081", Locations: []resource.Location{"l1", "l2"}},
+		{ID: "n2", URL: "http://h:8082", Locations: []resource.Location{"l3"}},
+	}
+	if !reflect.DeepEqual(peers, want) {
+		t.Fatalf("peers = %+v, want %+v", peers, want)
+	}
+}
+
+func TestParsePeersRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"",                                      // empty table
+		"n1=http://h:1",                         // missing locations
+		"n1=http://h:1=l1;n1=http://h:2=l2",     // duplicate id
+		"n1=http://h:1=l1;n2=http://h:2=l1",     // shared location
+		"n1==l1",                                // empty URL
+		"=http://h:1=l1",                        // empty id
+		"n1=http://h:1=l1;n2=http://h:2=,,",     // no usable locations
+		"n1=http://h:1=l1;;;n2=http://h:2=l2=x", // SplitN folds into locations "l2=x"? still 3 parts, ok
+	} {
+		if spec == "n1=http://h:1=l1;;;n2=http://h:2=l2=x" {
+			// This one parses ("l2=x" is a legal if odd location name);
+			// it documents that '=' only delimits the first two fields.
+			if _, err := ParsePeers(spec); err != nil {
+				t.Fatalf("ParsePeers(%q) = %v, want nil", spec, err)
+			}
+			continue
+		}
+		if _, err := ParsePeers(spec); err == nil {
+			t.Fatalf("ParsePeers(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestLoadPeersFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "peers.json")
+	body := `{"nodes":[
+		{"id":"n1","url":"http://h:8081","locations":["l1","l2"]},
+		{"id":"n2","url":"http://h:8082","locations":["l3"]}
+	]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	peers, err := LoadPeersFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[0].ID != "n1" || len(peers[0].Locations) != 2 {
+		t.Fatalf("peers = %+v", peers)
+	}
+	if _, err := LoadPeersFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file: want error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"nodes":[{"id":"n1","url":"u","locations":[]}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPeersFile(bad); err == nil {
+		t.Fatal("peer without locations: want error")
+	}
+}
+
+func TestPartitionLocations(t *testing.T) {
+	locs := []resource.Location{"l3", "l1", "l2", "l5", "l4"}
+	parts := PartitionLocations(locs, 3)
+	want := [][]resource.Location{{"l1", "l4"}, {"l2", "l5"}, {"l3"}}
+	if !reflect.DeepEqual(parts, want) {
+		t.Fatalf("parts = %v, want %v", parts, want)
+	}
+}
+
+func TestNewRejectsBadMembership(t *testing.T) {
+	peers := []Peer{{ID: "n1", URL: "http://h:1", Locations: []resource.Location{"l1"}}}
+	if _, err := New(Config{Self: "n2", Peers: peers}); err == nil {
+		t.Fatal("self missing from table: want error")
+	}
+	if _, err := New(Config{Self: "n1"}); err == nil {
+		t.Fatal("empty table: want error")
+	}
+}

@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Peer RPC rides the same HTTP JSON stack the public API uses, hardened
+// for the federation path: every call carries a per-call timeout, is
+// retried a bounded number of times with jittered exponential backoff on
+// transport errors and 5xx responses, and carries an idempotency key so
+// a retry that races its predecessor cannot double-apply (prepare,
+// commit and abort are all idempotent on their key server-side).
+
+// headerForwarded marks a request already routed by a peer, so the
+// receiver treats it as node-local and never re-forwards (no loops).
+const headerForwarded = "X-Rota-Forwarded"
+
+// headerIdempotency carries the logical call's idempotency key, for log
+// correlation on the receiving side.
+const headerIdempotency = "X-Rota-Idempotency-Key"
+
+// httpStatusError is a non-2xx response that reached us intact: the
+// request was received and refused, so it is not retried (except 5xx,
+// handled by the retry loop).
+type httpStatusError struct {
+	status int
+	body   string
+}
+
+func (e *httpStatusError) Error() string {
+	return fmt.Sprintf("peer returned %d: %s", e.status, e.body)
+}
+
+// rpcClient is the shared retrying transport for all peer calls.
+type rpcClient struct {
+	http    *http.Client
+	timeout time.Duration // per attempt
+	retries int           // additional attempts after the first
+}
+
+func newRPCClient(timeout time.Duration, retries int) *rpcClient {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	return &rpcClient{
+		// The client timeout is a backstop; each attempt's context is
+		// the real per-call deadline.
+		http:    &http.Client{Timeout: 2 * timeout},
+		timeout: timeout,
+		retries: retries,
+	}
+}
+
+// backoff sleeps before retry attempt i (1-based) with ±50% jitter,
+// respecting ctx.
+func backoff(ctx context.Context, i int) error {
+	base := 25 * time.Millisecond << (i - 1)
+	if base > 400*time.Millisecond {
+		base = 400 * time.Millisecond
+	}
+	d := base/2 + time.Duration(rand.Int63n(int64(base)))
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retryable reports whether an attempt's failure is worth another try:
+// transport errors (the peer may not have seen the request) and 5xx
+// responses (the peer is briefly unhealthy). 4xx verdicts are final.
+func retryable(err error) bool {
+	var se *httpStatusError
+	if errors.As(err, &se) {
+		return se.status >= 500
+	}
+	return true // transport-level failure
+}
+
+// call POSTs (or GETs, with a nil body) one peer endpoint, decoding a
+// 2xx JSON response into out. It records the logical call — duration
+// across all attempts, outcome, retries used — into rec.
+func (c *rpcClient) call(ctx context.Context, method, url string, body []byte, out any, headers map[string]string, rec *metrics.RPCStats) error {
+	start := time.Now()
+	var err error
+	attempts := 0
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			if berr := backoff(ctx, attempt); berr != nil {
+				err = berr
+				break
+			}
+		}
+		attempts++
+		_, _, err = c.once(ctx, method, url, body, out, headers)
+		if err == nil || !retryable(err) {
+			break
+		}
+	}
+	if rec != nil {
+		timedOut := errors.Is(err, context.DeadlineExceeded)
+		rec.Observe(time.Since(start), err == nil, timedOut, attempts-1)
+	}
+	return err
+}
+
+// proxy forwards a request body to a peer and returns the raw response
+// (status + body) so the caller can relay it verbatim.
+func (c *rpcClient) proxy(ctx context.Context, url string, body []byte, headers map[string]string, rec *metrics.RPCStats) (int, []byte, error) {
+	start := time.Now()
+	var (
+		status int
+		data   []byte
+		err    error
+	)
+	attempts := 0
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			if berr := backoff(ctx, attempt); berr != nil {
+				err = berr
+				break
+			}
+		}
+		attempts++
+		status, data, err = c.once(ctx, http.MethodPost, url, body, nil, headers)
+		if err == nil || !retryable(err) {
+			break
+		}
+	}
+	if rec != nil {
+		timedOut := errors.Is(err, context.DeadlineExceeded)
+		rec.Observe(time.Since(start), err == nil, timedOut, attempts-1)
+	}
+	var se *httpStatusError
+	if errors.As(err, &se) {
+		// The peer answered; relay its verdict rather than wrapping it.
+		return se.status, []byte(se.body), nil
+	}
+	return status, data, err
+}
+
+// once runs a single attempt under the per-call timeout.
+func (c *rpcClient) once(ctx context.Context, method, url string, body []byte, out any, headers map[string]string) (int, []byte, error) {
+	actx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, url, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, nil, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return resp.StatusCode, data, &httpStatusError{status: resp.StatusCode, body: string(bytes.TrimSpace(data))}
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, data, fmt.Errorf("cluster: %s returned unparsable body: %w", url, err)
+		}
+	}
+	return resp.StatusCode, data, nil
+}

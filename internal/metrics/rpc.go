@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// RPCStats aggregates one peer's RPC traffic: a latency histogram over
+// completed calls plus outcome counters. All methods are safe for
+// concurrent use; the zero value is not usable — use NewRPCStats.
+type RPCStats struct {
+	latencyUS *Histogram
+	ok        atomic.Uint64
+	errors    atomic.Uint64
+	timeouts  atomic.Uint64
+	retries   atomic.Uint64
+}
+
+// NewRPCStats builds an empty per-peer recorder.
+func NewRPCStats() *RPCStats {
+	return &RPCStats{latencyUS: NewHistogram()}
+}
+
+// Observe records one logical call: its total duration (across all
+// attempts), its outcome, and how many retries it took. Timeouts are
+// counted separately from other errors because they are the signal that
+// a peer is slow rather than broken.
+func (r *RPCStats) Observe(d time.Duration, ok, timedOut bool, retries int) {
+	r.latencyUS.Observe(float64(d.Microseconds()))
+	switch {
+	case ok:
+		r.ok.Add(1)
+	case timedOut:
+		r.timeouts.Add(1)
+	default:
+		r.errors.Add(1)
+	}
+	if retries > 0 {
+		r.retries.Add(uint64(retries))
+	}
+}
+
+// RPCSummary is the JSON shape of a peer's RPC digest.
+type RPCSummary struct {
+	Calls    uint64  `json:"calls"`
+	OK       uint64  `json:"ok"`
+	Errors   uint64  `json:"errors"`
+	Timeouts uint64  `json:"timeouts"`
+	Retries  uint64  `json:"retries"`
+	MeanUS   float64 `json:"latency_mean_us"`
+	P50US    float64 `json:"latency_p50_us"`
+	P99US    float64 `json:"latency_p99_us"`
+	MaxUS    float64 `json:"latency_max_us"`
+}
+
+// Summary digests the recorder.
+func (r *RPCStats) Summary() RPCSummary {
+	ok, errs, timeouts := r.ok.Load(), r.errors.Load(), r.timeouts.Load()
+	lat := r.latencyUS.Summary()
+	return RPCSummary{
+		Calls:    ok + errs + timeouts,
+		OK:       ok,
+		Errors:   errs,
+		Timeouts: timeouts,
+		Retries:  r.retries.Load(),
+		MeanUS:   lat.Mean,
+		P50US:    lat.P50,
+		P99US:    lat.P99,
+		MaxUS:    lat.Max,
+	}
+}

@@ -58,6 +58,65 @@ func FuzzDecodeAdmitRequest(f *testing.F) {
 	})
 }
 
+// FuzzDecodePrepareRequest throws arbitrary bytes at the federation wire
+// path — decode, validate, and (when a prepare survives validation) a
+// full prepare/commit/abort cycle — asserting none of it panics and the
+// ledger invariant survives whatever a malicious peer sends.
+func FuzzDecodePrepareRequest(f *testing.F) {
+	f.Add([]byte(`{"key":"n1.2pc.1","name":"j1","demand":"2:cpu@l1:(0,10)","finish":10,"deadline":20,"lease_expiry":50}`))
+	f.Add([]byte(`{"key":"k","name":"j","demand":"1:cpu@l1:(0,5),1:network@l1>l2:(2,4)","finish":5,"deadline":8,"lease_expiry":9}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"key":"k","name":"j","demand":"","finish":1,"deadline":1,"lease_expiry":1}`))
+	f.Add([]byte(`{"key":"k","name":"j","demand":"9223372036854775807:cpu@l1:(0,9223372036854775807)","finish":3,"deadline":2,"lease_expiry":1}`))
+	f.Add([]byte(`{"key":"k","name":"j","demand":"-1:cpu@l1:(0,3)","finish":3,"deadline":4,"lease_expiry":5}`))
+	f.Add([]byte(`{"key":"k","name":"j","demand":"2:cpu@l9:(0,3)","finish":3,"deadline":4,"lease_expiry":5}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, demand, err := DecodePrepareRequest(data)
+		if err != nil {
+			return
+		}
+		l := NewLedger(cpuTheta(2, 64, "l1", "l2"), 0)
+		l.RestrictOwned([]resource.Location{"l1", "l2"})
+		if err := l.Prepare(req.Key, req.Name, demand, req.Finish, req.Deadline, req.Expiry); err == nil {
+			if err := l.Audit(); err != nil {
+				t.Fatalf("invariant broken by prepare %q: %v", data, err)
+			}
+			if err := l.Commit(req.Key); err == nil {
+				if err := l.Abort(req.Key); err != nil {
+					t.Fatalf("rollback of %q failed: %v", data, err)
+				}
+			}
+			if err := l.Audit(); err != nil {
+				t.Fatalf("invariant broken after cycle %q: %v", data, err)
+			}
+		}
+	})
+}
+
+// FuzzDecodeFinishRequest fuzzes the commit/abort decoder: whatever
+// decodes must be safe to commit (unknown) and abort (no-op) cold.
+func FuzzDecodeFinishRequest(f *testing.F) {
+	f.Add([]byte(`{"key":"n1.2pc.1"}`))
+	f.Add([]byte(`{"key":""}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`garbage`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeFinishRequest(data)
+		if err != nil {
+			return
+		}
+		l := NewLedger(cpuTheta(2, 64, "l1"), 0)
+		if err := l.Commit(req.Key); err == nil {
+			t.Fatalf("cold commit of %q succeeded", req.Key)
+		}
+		if err := l.Abort(req.Key); err != nil {
+			t.Fatalf("cold abort of %q failed: %v", req.Key, err)
+		}
+	})
+}
+
 // FuzzParseAcquireTheta fuzzes the acquire endpoint's resource-set
 // literal parser (malformed terms, nested parens, huge rates).
 func FuzzParseAcquireTheta(f *testing.F) {

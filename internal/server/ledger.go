@@ -71,23 +71,42 @@ type commitment struct {
 	plan     schedule.Plan
 	deadline interval.Time
 	admitted interval.Time
-	pending  bool // claimed but mid-decision
+	pending  bool   // claimed but mid-decision
+	key      string // two-phase idempotency key, "" for direct admits
 }
 
 // Ledger is the daemon's live state: location shards plus an index of
-// admitted commitments. All methods are safe for concurrent use.
+// admitted commitments and leased two-phase holds. All methods are safe
+// for concurrent use.
 type Ledger struct {
-	mu      sync.Mutex // guards shards and commits maps (not shard contents)
+	mu      sync.Mutex // guards shards/commits/holds maps (not shard contents)
 	shards  map[resource.Location]*shard
 	commits map[string]*commitment
-	now     atomic.Int64
+	// holds are prepared-but-uncommitted reservations keyed by their
+	// idempotency key; committedKeys remembers which keys were promoted
+	// so a retried commit is a no-op.
+	holds         map[string]*hold
+	committedKeys map[string]string // key -> commitment name
+	// owned restricts this ledger to a subset of locations (cluster
+	// mode); nil means the node owns every location it hears about.
+	owned map[resource.Location]bool
+	now   atomic.Int64
+
+	// Two-phase traffic counters, surfaced in /v1/stats.
+	prepares      atomic.Uint64
+	commitCount   atomic.Uint64
+	aborts        atomic.Uint64
+	leasesExpired atomic.Uint64
+	notOwned      atomic.Uint64
 }
 
 // NewLedger builds a ledger from the initial availability Θ at time now.
 func NewLedger(theta resource.Set, now interval.Time) *Ledger {
 	l := &Ledger{
-		shards:  make(map[resource.Location]*shard),
-		commits: make(map[string]*commitment),
+		shards:        make(map[resource.Location]*shard),
+		commits:       make(map[string]*commitment),
+		holds:         make(map[string]*hold),
+		committedKeys: make(map[string]string),
 	}
 	l.now.Store(now)
 	trimmed := theta.Clone()
@@ -185,7 +204,34 @@ var (
 	ErrPlanless = errors.New("server: policy admitted without a witness plan; rotad requires a plan-producing policy")
 	// ErrClockBackward is returned by Advance for a non-monotonic clock.
 	ErrClockBackward = errors.New("server: clock may not move backward")
+	// ErrNotOwned is returned when a request names a location this node
+	// does not own (cluster mode only).
+	ErrNotOwned = errors.New("server: location not owned by this node")
+	// ErrOvercommit is returned by Prepare when holding the demand would
+	// break the shard invariant — a capacity rejection, not a fault.
+	ErrOvercommit = errors.New("server: demand exceeds free availability")
+	// ErrUnknownHold is returned by Commit for a key never prepared here
+	// (or already swept by lease expiry).
+	ErrUnknownHold = errors.New("server: unknown or expired prepare key")
+	// ErrLeaseExpired is returned by Commit when the hold's lease ran out
+	// before the commit arrived; the sweep will reclaim it.
+	ErrLeaseExpired = errors.New("server: prepare lease expired")
 )
+
+// checkOwned verifies every location is owned by this node, counting
+// rejections. A nil owned set (standalone mode) accepts everything.
+func (l *Ledger) checkOwned(locs []resource.Location) error {
+	if l.owned == nil {
+		return nil
+	}
+	for _, loc := range locs {
+		if !l.owned[loc] {
+			l.notOwned.Add(1)
+			return fmt.Errorf("%w: %s", ErrNotOwned, loc)
+		}
+	}
+	return nil
+}
 
 // Admit claims the job's name, locks the shards of its resource
 // footprint, runs the policy against the merged free availability, and on
@@ -207,6 +253,12 @@ func (l *Ledger) Admit(policy admission.Policy, job workload.Job) (admission.Dec
 		l.mu.Unlock()
 		return admission.Decision{}, fmt.Errorf("%w: %s", ErrDuplicate, job.Dist.Name)
 	}
+	for _, h := range l.holds {
+		if h.name == job.Dist.Name {
+			l.mu.Unlock()
+			return admission.Decision{}, fmt.Errorf("%w: %s (held by prepare %s)", ErrDuplicate, job.Dist.Name, h.key)
+		}
+	}
 	l.commits[job.Dist.Name] = claim
 	l.mu.Unlock()
 	abandon := func() {
@@ -217,6 +269,10 @@ func (l *Ledger) Admit(policy admission.Policy, job workload.Job) (admission.Dec
 
 	req := core.ConcurrentAt(job.Dist, now)
 	locs := footprint(req)
+	if err := l.checkOwned(locs); err != nil {
+		abandon()
+		return admission.Decision{}, err
+	}
 	shards, unlock := l.lockedShards(locs)
 
 	// Merged free availability across the footprint: Θ minus reserved,
@@ -295,23 +351,34 @@ func (l *Ledger) Release(name string) error {
 		return fmt.Errorf("%w: %s", ErrUnknown, name)
 	}
 	delete(l.commits, name)
+	if c.key != "" {
+		delete(l.committedKeys, c.key)
+	}
 	locs, plan := c.locs, c.plan
 	l.mu.Unlock()
 
+	if err := l.releaseDemand(locs, plan.Demand()); err != nil {
+		return fmt.Errorf("server: releasing %s: %w", name, err)
+	}
+	return nil
+}
+
+// releaseDemand returns a reservation's not-yet-consumed portion to the
+// free pool, shard by shard. Only the un-elapsed part is still reserved;
+// the consumed prefix was trimmed away as the clock advanced.
+func (l *Ledger) releaseDemand(locs []resource.Location, demand resource.Set) error {
 	shards, unlock := l.lockedShards(locs)
 	defer unlock()
-	demand := splitByShard(plan.Demand())
+	parts := splitByShard(demand)
 	for _, sh := range shards {
-		part, ok := demand[sh.loc]
+		part, ok := parts[sh.loc]
 		if !ok {
 			continue
 		}
-		// Only the un-elapsed portion is still reserved; the consumed
-		// prefix was trimmed away as the clock advanced.
 		remaining := part.Clamp(interval.New(sh.now, interval.Infinity))
 		freed, err := sh.reserved.Subtract(remaining)
 		if err != nil {
-			return fmt.Errorf("server: shard %s reservation for %s inconsistent: %w", sh.loc, name, err)
+			return fmt.Errorf("server: shard %s reservation inconsistent: %w", sh.loc, err)
 		}
 		sh.reserved = freed
 	}
@@ -358,6 +425,19 @@ func (l *Ledger) Advance(to interval.Time) ([]string, error) {
 		if !c.pending && c.plan.Finish <= to {
 			done = append(done, name)
 			delete(l.commits, name)
+			if c.key != "" {
+				delete(l.committedKeys, c.key)
+			}
+		}
+	}
+	// Lease-expiry sweep: prepares whose lease ran out without a commit
+	// or abort (a crashed coordinator) are reclaimed here, so no lease
+	// outlives its TTL past this Advance.
+	var expired []*hold
+	for key, h := range l.holds {
+		if !h.pending && h.expiry <= to {
+			expired = append(expired, h)
+			delete(l.holds, key)
 		}
 	}
 	l.mu.Unlock()
@@ -370,6 +450,12 @@ func (l *Ledger) Advance(to interval.Time) ([]string, error) {
 			sh.now = to
 		}
 		sh.mu.Unlock()
+	}
+	for _, h := range expired {
+		if err := l.releaseDemand(h.locs, h.demand); err != nil {
+			return nil, fmt.Errorf("server: sweeping expired lease %s: %w", h.key, err)
+		}
+		l.leasesExpired.Add(1)
 	}
 	sort.Strings(done)
 	return done, nil
@@ -395,12 +481,23 @@ type CommitmentInfo struct {
 	Locations []string      `json:"locations"`
 }
 
+// HoldInfo is one leased two-phase hold in a ledger snapshot.
+type HoldInfo struct {
+	Key      string        `json:"key"`
+	Name     string        `json:"name"`
+	Expiry   interval.Time `json:"lease_expiry"`
+	Finish   interval.Time `json:"finish"`
+	Demand   string        `json:"demand"`
+	Location []string      `json:"locations"`
+}
+
 // Snapshot is a consistent-enough view of the ledger for the query API:
 // each shard is read under its own lock.
 type Snapshot struct {
 	Now         interval.Time    `json:"now"`
 	Shards      []ShardInfo      `json:"shards"`
 	Commitments []CommitmentInfo `json:"commitments"`
+	Holds       []HoldInfo       `json:"holds,omitempty"`
 }
 
 // Snapshot renders the ledger state.
@@ -410,6 +507,23 @@ func (l *Ledger) Snapshot() Snapshot {
 	shards := make([]*shard, 0, len(l.shards))
 	for _, sh := range l.shards {
 		shards = append(shards, sh)
+	}
+	for _, h := range l.holds {
+		if h.pending {
+			continue
+		}
+		locs := make([]string, len(h.locs))
+		for i, loc := range h.locs {
+			locs[i] = string(loc)
+		}
+		snap.Holds = append(snap.Holds, HoldInfo{
+			Key:      h.key,
+			Name:     h.name,
+			Expiry:   h.expiry,
+			Finish:   h.finish,
+			Demand:   h.demand.Compact(),
+			Location: locs,
+		})
 	}
 	for _, c := range l.commits {
 		if c.pending {
@@ -441,6 +555,7 @@ func (l *Ledger) Snapshot() Snapshot {
 		sh.mu.Unlock()
 	}
 	sort.Slice(snap.Commitments, func(i, j int) bool { return snap.Commitments[i].Name < snap.Commitments[j].Name })
+	sort.Slice(snap.Holds, func(i, j int) bool { return snap.Holds[i].Key < snap.Holds[j].Key })
 	return snap
 }
 
@@ -467,14 +582,23 @@ func (l *Ledger) Commitment(name string) (CommitmentInfo, bool) {
 
 // Audit verifies the ledger invariants, intended for tests and debugging
 // on a quiescent ledger: on every shard, (1) the recorded reservation
-// equals the union of the live commitments' remaining demands and (2) Θ
-// dominates it — no shard is overcommitted.
+// equals the union of the live commitments' remaining demands plus the
+// leased (prepared) holds' demands, (2) Θ dominates it — no shard is
+// overcommitted even counting uncommitted holds — and (3) no hold's
+// lease has already expired (Advance must have swept it).
 func (l *Ledger) Audit() error {
+	now := l.Now()
 	l.mu.Lock()
 	commits := make([]*commitment, 0, len(l.commits))
 	for _, c := range l.commits {
 		if !c.pending {
 			commits = append(commits, c)
+		}
+	}
+	holds := make([]*hold, 0, len(l.holds))
+	for _, h := range l.holds {
+		if !h.pending {
+			holds = append(holds, h)
 		}
 	}
 	shards := make([]*shard, 0, len(l.shards))
@@ -486,6 +610,15 @@ func (l *Ledger) Audit() error {
 	expected := make(map[resource.Location]resource.Set)
 	for _, c := range commits {
 		for loc, part := range splitByShard(c.plan.Demand()) {
+			expected[loc] = expected[loc].Union(part)
+		}
+	}
+	for _, h := range holds {
+		if h.expiry <= now {
+			return fmt.Errorf("server: hold %s (%s) outlived its lease: expired at t=%d, now t=%d",
+				h.key, h.name, h.expiry, now)
+		}
+		for loc, part := range splitByShard(h.demand) {
 			expected[loc] = expected[loc].Union(part)
 		}
 	}

@@ -19,6 +19,10 @@ import (
 type LoadConfig struct {
 	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// BaseURLs, when set, spreads requests round-robin across several
+	// daemons (a cluster's nodes); BaseURL is ignored. Each admitted
+	// job is released through the same node that admitted it.
+	BaseURLs []string
 	// Jobs is the synthetic admission stream. When Requests exceeds
 	// len(Jobs), jobs are replayed with fresh unique names.
 	Jobs []workload.Job
@@ -56,7 +60,11 @@ type LoadReport struct {
 // RunLoad drives the admission stream at the daemon from Clients
 // concurrent clients and reports throughput and latency percentiles.
 func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
-	if cfg.BaseURL == "" {
+	urls := cfg.BaseURLs
+	if len(urls) == 0 && cfg.BaseURL != "" {
+		urls = []string{cfg.BaseURL}
+	}
+	if len(urls) == 0 {
 		return LoadReport{}, fmt.Errorf("server: load needs a base URL")
 	}
 	if len(cfg.Jobs) == 0 {
@@ -93,8 +101,9 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 					// Replay round: fresh name, same shape.
 					job.Dist.Name = fmt.Sprintf("%s#r%d", job.Dist.Name, i/len(cfg.Jobs))
 				}
+				url := urls[i%len(urls)]
 				reqStart := time.Now()
-				resp, err := postAdmit(ctx, client, cfg.BaseURL, job)
+				resp, err := postAdmit(ctx, client, url, job)
 				hist.Observe(float64(time.Since(reqStart).Microseconds()))
 				if err != nil {
 					errs.Add(1)
@@ -107,7 +116,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 				}
 				admitted.Add(1)
 				if cfg.ReleaseAdmitted {
-					if err := postRelease(ctx, client, cfg.BaseURL, job.Dist.Name); err != nil {
+					if err := postRelease(ctx, client, url, job.Dist.Name); err != nil {
 						errs.Add(1)
 						firstErr.CompareAndSwap(nil, err)
 					} else {

@@ -40,6 +40,10 @@ type Config struct {
 	DecisionTimeout time.Duration
 	// MaxBodyBytes bounds request bodies; default 1 MiB.
 	MaxBodyBytes int64
+	// Owned restricts the ledger to these locations (cluster mode):
+	// admissions and prepares naming any other location are rejected
+	// with ErrNotOwned. Empty means standalone — own everything.
+	Owned []resource.Location
 }
 
 func (c *Config) fill() error {
@@ -118,6 +122,9 @@ func New(cfg Config) (*Server, error) {
 		started:   time.Now(),
 		latencyUS: metrics.NewHistogram(),
 	}
+	if len(cfg.Owned) > 0 {
+		s.ledger.RestrictOwned(cfg.Owned)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/admit", s.handleAdmit)
 	s.mux.HandleFunc("POST /v1/release", s.handleRelease)
@@ -127,6 +134,12 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	// The node-local half of the federation protocol (internal/cluster
+	// drives these on peers).
+	s.mux.HandleFunc("POST /v1/cluster/prepare", s.handlePrepare)
+	s.mux.HandleFunc("POST /v1/cluster/commit", s.handleCommit)
+	s.mux.HandleFunc("POST /v1/cluster/abort", s.handleAbort)
+	s.mux.HandleFunc("GET /v1/cluster/free", s.handleFree)
 	for i := 0; i < cfg.Workers; i++ {
 		s.workerWg.Add(1)
 		go s.worker()
@@ -253,6 +266,11 @@ type StatsResponse struct {
 	Released  uint64 `json:"released"`
 	Errors    uint64 `json:"errors"`
 	TimedOut  uint64 `json:"timed_out"`
+
+	// Holds counts live leased two-phase holds; TwoPhase digests the
+	// federation traffic this node served as a participant.
+	Holds    int              `json:"holds"`
+	TwoPhase TwoPhaseCounters `json:"two_phase"`
 
 	// DecisionLatencyUS digests worker-side decision service time
 	// (ledger lock + policy) in microseconds.
@@ -432,6 +450,8 @@ func (s *Server) Stats() StatsResponse {
 		Released:          s.released.Load(),
 		Errors:            s.errored.Load(),
 		TimedOut:          s.timedOut.Load(),
+		Holds:             s.ledger.NumHolds(),
+		TwoPhase:          s.ledger.TwoPhase(),
 		DecisionLatencyUS: latencyStats(s.latencyUS.Summary()),
 	}
 }
