@@ -1,15 +1,17 @@
 GO ?= go
 
 # Packages whose concurrency matters enough to pay for -race on every run:
-# the daemon (sharded ledger + HTTP server), the cluster federation layer
-# (two-phase coordination + gossip, including the injected-crash and
-# drain integration tests), the metrics histogram, and the core decision
-# path they drive.
-RACE_PKGS = ./internal/server/ ./internal/cluster/ ./internal/metrics/ ./internal/admission/ ./internal/core/ ./internal/schedule/ ./cmd/rotad/
+# the daemon (sharded ledger + HTTP server, including the admit-timeout
+# rollback regression), the cluster federation layer (two-phase
+# coordination + gossip, including the injected-crash and drain
+# integration tests), the observability layer (shared Observer +
+# per-endpoint stats), the metrics histogram, and the core decision path
+# they drive.
+RACE_PKGS = ./internal/server/ ./internal/cluster/ ./internal/obs/ ./internal/metrics/ ./internal/admission/ ./internal/core/ ./internal/schedule/ ./cmd/rotad/
 
-.PHONY: ci fmt vet build test race selftest cluster-selftest bench clean
+.PHONY: ci fmt vet build test race metrics-lint selftest cluster-selftest bench clean
 
-ci: fmt vet build test race
+ci: fmt vet build test race metrics-lint
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -26,6 +28,11 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Fails when a stat field surfaced by /v1/stats has no counterpart
+# family in the Prometheus exposition (see internal/obs/lint_test.go).
+metrics-lint:
+	$(GO) test -run 'TestMetricsLint' -count=1 ./internal/obs/
 
 # End-to-end: daemon + ≥1000 requests through the HTTP API.
 selftest:

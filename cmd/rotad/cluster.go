@@ -11,11 +11,14 @@ import (
 	"net/http"
 	"time"
 
+	"strings"
+
 	"repro/internal/cluster"
 	"repro/internal/compute"
 	"repro/internal/cost"
 	"repro/internal/interval"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/resource"
 	"repro/internal/server"
 	"repro/internal/workload"
@@ -68,15 +71,21 @@ func runClusterSelftest(out io.Writer, cfg clusterSelftestConfig) error {
 		}
 	}
 
+	// Each node gets its own event-log sink so the trace probe below can
+	// assert one trace ID shows up on every node a federated admission
+	// touches. The buffers are only read while no traffic is in flight.
 	nodes := make([]*cluster.Node, cfg.nodes)
 	httpSrvs := make([]*http.Server, cfg.nodes)
+	logs := make([]*bytes.Buffer, cfg.nodes)
 	for i := range nodes {
+		logs[i] = &bytes.Buffer{}
 		nd, err := cluster.New(cluster.Config{
 			Self:           peers[i].ID,
 			Peers:          peers,
 			Server:         cfg.server,
 			LeaseTTL:       cfg.leaseTTL,
 			GossipInterval: 100 * time.Millisecond,
+			Obs:            obs.New(obs.Options{Log: logs[i], Node: peers[i].ID}),
 		})
 		if err != nil {
 			return err
@@ -119,6 +128,35 @@ func runClusterSelftest(out io.Writer, cfg clusterSelftestConfig) error {
 	orphaned := nodes[0].Server().Ledger().NumHolds() + nodes[1].Server().Ledger().NumHolds()
 	if orphaned < 2 {
 		return fmt.Errorf("cluster selftest: crash probe left %d orphaned holds, want >= 2", orphaned)
+	}
+
+	// Probe 2: trace correlation. A job spanning n1 and n2, submitted to
+	// the LAST node with an explicit trace ID, exercises the full
+	// federation path: coordination there, prepares and commits over HTTP
+	// on both owners. The one trace ID must appear in the event log of
+	// every node it touched.
+	const probeTrace = "selftest-trace-0001"
+	coordIdx := cfg.nodes - 1
+	traceJob, err := spanningJob("probe-trace", parts[0][0], parts[1][0], cfg.horizon)
+	if err != nil {
+		return err
+	}
+	status, data, err := postJSONTrace(ctx, httpc, peers[coordIdx].URL+"/v1/admit", probeTrace, traceJob)
+	if err != nil {
+		return fmt.Errorf("cluster selftest: trace probe: %w", err)
+	}
+	var traceVerdict server.AdmitResponse
+	if jerr := json.Unmarshal(data, &traceVerdict); status != http.StatusOK || jerr != nil || !traceVerdict.Admit {
+		return fmt.Errorf("cluster selftest: trace probe not admitted (status %d, body %s)", status, bytes.TrimSpace(data))
+	}
+	for _, i := range []int{0, 1, coordIdx} {
+		if !strings.Contains(logs[i].String(), "trace="+probeTrace) {
+			return fmt.Errorf("cluster selftest: node %s never logged trace %s (log:\n%s)",
+				peers[i].ID, probeTrace, logs[i].String())
+		}
+	}
+	if status, _, err := postJSON(ctx, httpc, peers[coordIdx].URL+"/v1/release", map[string]string{"name": "probe-trace"}); err != nil || status != http.StatusOK {
+		return fmt.Errorf("cluster selftest: releasing trace probe: status %d, err %v", status, err)
 	}
 
 	// Main load: mixed single- and multi-location jobs at every node.
@@ -181,14 +219,14 @@ func runClusterSelftest(out io.Writer, cfg clusterSelftestConfig) error {
 		}
 	}
 
-	// Probe 2: migration. Admit a job owned wholly by n2 (forwarded from
+	// Probe 3: migration. Admit a job owned wholly by n2 (forwarded from
 	// n1), re-home it to the next node via the migrate rule, release it
 	// cluster-wide.
 	migrateJob, err := pinnedJob("probe-migrate", parts[1][0], sweepAt, cfg.horizon)
 	if err != nil {
 		return err
 	}
-	status, data, err := postJSON(ctx, httpc, peers[0].URL+"/v1/admit", migrateJob)
+	status, data, err = postJSON(ctx, httpc, peers[0].URL+"/v1/admit", migrateJob)
 	if err != nil {
 		return fmt.Errorf("cluster selftest: migrate probe admit: %w", err)
 	}
@@ -294,6 +332,12 @@ func pinnedJob(name string, loc resource.Location, start, deadline interval.Time
 // postJSON posts a JSON body and returns (status, body) without treating
 // non-2xx as an error — the selftest asserts on exact statuses.
 func postJSON(ctx context.Context, client *http.Client, url string, v any) (int, []byte, error) {
+	return postJSONTrace(ctx, client, url, "", v)
+}
+
+// postJSONTrace is postJSON with an explicit trace ID on the request, so
+// the selftest can follow one admission across the cluster's event logs.
+func postJSONTrace(ctx context.Context, client *http.Client, url, trace string, v any) (int, []byte, error) {
 	body, err := json.Marshal(v)
 	if err != nil {
 		return 0, nil, err
@@ -303,6 +347,9 @@ func postJSON(ctx context.Context, client *http.Client, url string, v any) (int,
 		return 0, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if trace != "" {
+		req.Header.Set(obs.HeaderTraceID, trace)
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return 0, nil, err

@@ -33,8 +33,10 @@ import (
 	"io"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux; gated by -pprof
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -42,6 +44,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/interval"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/resource"
 	"repro/internal/server"
 	"repro/internal/workload"
@@ -78,9 +81,30 @@ func run(args []string, out io.Writer) error {
 	leaseTTL := fs.Int64("lease-ttl", 50, "cluster: prepare-lease TTL in ledger ticks")
 	gossip := fs.Duration("gossip", time.Second, "cluster: gossip interval (negative disables)")
 	clusterN := fs.Int("cluster", 0, "selftest: boot an N-node loopback cluster instead of a single daemon")
+	metricsOn := fs.Bool("metrics", true, "serve the Prometheus text exposition on GET /metrics")
+	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	slowMS := fs.Int("slow-ms", 0, "log admission decisions slower than this many milliseconds, with per-phase timings (0 disables)")
+	logFormat := fs.String("log-format", "kv", "structured event log format: kv or json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	format, err := obs.ParseFormat(*logFormat)
+	if err != nil {
+		return err
+	}
+	// The daemon logs events to stderr; selftest modes keep the event
+	// stream off (the cluster selftest wires its own per-node sinks).
+	var logSink io.Writer
+	if !*selftest {
+		logSink = os.Stderr
+	}
+	observer := obs.New(obs.Options{
+		Log:          logSink,
+		Format:       format,
+		Node:         *node,
+		SlowDecision: time.Duration(*slowMS) * time.Millisecond,
+	})
 
 	var policy admission.Policy
 	switch *policyName {
@@ -111,6 +135,7 @@ func run(args []string, out io.Writer) error {
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		DecisionTimeout: *timeout,
+		Obs:             observer,
 	}
 
 	if *selftest && *clusterN > 1 {
@@ -129,7 +154,6 @@ func run(args []string, out io.Writer) error {
 	}
 
 	var peers []cluster.Peer
-	var err error
 	switch {
 	case *clusterConfig != "":
 		peers, err = cluster.LoadPeersFile(*clusterConfig)
@@ -149,11 +173,12 @@ func run(args []string, out io.Writer) error {
 			Server:         scfg,
 			LeaseTTL:       interval.Time(*leaseTTL),
 			GossipInterval: *gossip,
+			Obs:            observer,
 		})
 		if err != nil {
 			return err
 		}
-		return serveHandler(out, nd, nd.Shutdown, *addr,
+		return serveHandler(out, debugHandler(nd, *metricsOn, *pprofOn), nd.Shutdown, *addr,
 			fmt.Sprintf("rotad: node %s listening on %s (%d shards, %d peers)",
 				nd.ID(), *addr, nd.Server().Ledger().NumShards(), len(peers)))
 	}
@@ -165,7 +190,7 @@ func run(args []string, out io.Writer) error {
 	if *selftest {
 		return runSelftest(out, srv, locs, *requests, *clients, *seed, *slack, interval.Time(*horizon), *csv)
 	}
-	return serveHandler(out, srv, srv.Shutdown, *addr,
+	return serveHandler(out, debugHandler(srv, *metricsOn, *pprofOn), srv.Shutdown, *addr,
 		fmt.Sprintf("rotad: listening on %s (%d shards)", *addr, srv.Ledger().NumShards()))
 }
 
@@ -189,6 +214,26 @@ func baseTheta(locs []resource.Location, baseRate, linkRate int64, horizon inter
 		}
 	}
 	return theta
+}
+
+// debugHandler layers the cmd-level debug surface over the daemon
+// handler: /debug/pprof/* is served from DefaultServeMux only when
+// enabled, and GET /metrics can be switched off entirely.
+func debugHandler(h http.Handler, metricsOn, pprofOn bool) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case strings.HasPrefix(r.URL.Path, "/debug/pprof"):
+			if !pprofOn {
+				http.NotFound(w, r)
+				return
+			}
+			http.DefaultServeMux.ServeHTTP(w, r)
+		case r.URL.Path == "/metrics" && !metricsOn:
+			http.NotFound(w, r)
+		default:
+			h.ServeHTTP(w, r)
+		}
+	})
 }
 
 // serveHandler runs a daemon (single-node server or cluster node) until

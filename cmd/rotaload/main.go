@@ -14,11 +14,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/resource"
 	"repro/internal/server"
 	"repro/internal/workload"
@@ -117,6 +119,21 @@ func run(args []string, out io.Writer) error {
 		t.AddRow("server decision p50 µs", stats.DecisionLatencyUS.P50)
 		t.AddRow("server decision p99 µs", stats.DecisionLatencyUS.P99)
 	}
+	// And the Prometheus exposition, when the daemon serves one: the
+	// counters a dashboard would scrape, read back over the same wire.
+	if m, err := scrapeMetrics(context.Background(), baseURL, *timeout); err == nil {
+		for _, row := range []struct{ label, family string }{
+			{"scrape admitted_total", "rota_admitted_total"},
+			{"scrape rejected_total", "rota_rejected_total"},
+			{"scrape late_decisions_total", "rota_late_decisions_total"},
+			{"scrape queue_depth", "rota_queue_depth"},
+			{"scrape ledger commitments", "rota_ledger_commitments"},
+		} {
+			if v, ok := obs.MetricValue(m, row.family, ""); ok {
+				t.AddRow(row.label, v)
+			}
+		}
+	}
 	if *csv {
 		t.RenderCSV(out)
 	} else {
@@ -127,4 +144,23 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("%d of %d requests errored", report.Errors, report.Requests)
 	}
 	return nil
+}
+
+// scrapeMetrics fetches and parses the daemon's Prometheus exposition.
+func scrapeMetrics(ctx context.Context, baseURL string, timeout time.Duration) (map[string]float64, error) {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("rotaload: %s/metrics returned %d", baseURL, resp.StatusCode)
+	}
+	return obs.ParseMetrics(io.LimitReader(resp.Body, 4<<20))
 }

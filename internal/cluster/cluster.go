@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/interval"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/resource"
 	"repro/internal/server"
 	"repro/internal/workload"
@@ -46,6 +47,10 @@ type Config struct {
 	// RPCRetries is how many times a failed peer RPC is retried with
 	// jittered backoff; default 2.
 	RPCRetries int
+	// Obs is the observability sink shared with the embedded server:
+	// structured event logging and trace correlation across the
+	// federation protocol. Nil disables event logging.
+	Obs *obs.Observer
 }
 
 // peerState is one peer plus everything this node has learned about it.
@@ -74,6 +79,9 @@ type Node struct {
 	policy admission.Policy
 	client *rpcClient
 	mux    *http.ServeMux
+	obs    *obs.Observer
+
+	httpStats map[string]*obs.EndpointStats
 
 	maxBody  int64
 	leaseTTL interval.Time
@@ -112,10 +120,12 @@ func New(cfg Config) (*Node, error) {
 		byID:         make(map[string]*peerState),
 		owners:       make(map[resource.Location]*peerState),
 		policy:       &admission.Rota{},
-		client:       newRPCClient(cfg.RPCTimeout, pickRetries(cfg.RPCRetries)),
+		client:       newRPCClient(cfg.RPCTimeout, pickRetries(cfg.RPCRetries), cfg.Obs),
 		shutdownCh:   make(chan struct{}),
 		leaseTTL:     cfg.LeaseTTL,
 		coordLatency: metrics.NewHistogram(),
+		obs:          cfg.Obs,
+		httpStats:    make(map[string]*obs.EndpointStats),
 	}
 	if n.leaseTTL <= 0 {
 		n.leaseTTL = 50
@@ -139,6 +149,7 @@ func New(cfg Config) (*Node, error) {
 	scfg := cfg.Server
 	scfg.Owned = n.self.Locations
 	scfg.Theta = filterTheta(scfg.Theta, n.owners, n.self)
+	scfg.Obs = cfg.Obs
 	srv, err := server.New(scfg)
 	if err != nil {
 		return nil, err
@@ -147,13 +158,14 @@ func New(cfg Config) (*Node, error) {
 	n.maxBody = 1 << 20
 
 	n.mux = http.NewServeMux()
-	n.mux.HandleFunc("POST /v1/admit", n.handleAdmit)
-	n.mux.HandleFunc("POST /v1/release", n.handleRelease)
-	n.mux.HandleFunc("GET /v1/stats", n.handleStats)
-	n.mux.HandleFunc("POST /v1/cluster/gossip", n.handleGossip)
-	n.mux.HandleFunc("GET /v1/cluster/peers", n.handlePeers)
-	n.mux.HandleFunc("POST /v1/cluster/migrate", n.handleMigrate)
-	n.mux.HandleFunc("POST /v1/cluster/advance", n.handleClusterAdvance)
+	n.route("POST /v1/admit", "admit", n.handleAdmit)
+	n.route("POST /v1/release", "release", n.handleRelease)
+	n.route("GET /v1/stats", "stats", n.handleStats)
+	n.route("POST /v1/cluster/gossip", "cluster.gossip", n.handleGossip)
+	n.route("GET /v1/cluster/peers", "cluster.peers", n.handlePeers)
+	n.route("POST /v1/cluster/migrate", "cluster.migrate", n.handleMigrate)
+	n.route("POST /v1/cluster/advance", "cluster.advance", n.handleClusterAdvance)
+	n.mux.HandleFunc("GET /metrics", obs.Handler(n))
 	n.mux.Handle("/", srv)
 
 	interval := cfg.GossipInterval
@@ -165,6 +177,16 @@ func New(cfg Config) (*Node, error) {
 		go n.gossipLoop(interval)
 	}
 	return n, nil
+}
+
+// route registers an instrumented cluster-layer handler: per-endpoint
+// request/latency/status counters plus trace-ID minting. Requests the
+// node delegates to the embedded server are instrumented again there
+// under layer="server" labels; the trace ID minted here carries through.
+func (n *Node) route(pattern, endpoint string, h http.HandlerFunc) {
+	es := obs.NewEndpointStats(endpoint)
+	n.httpStats[endpoint] = es
+	n.mux.HandleFunc(pattern, obs.Instrument(es, h))
 }
 
 func pickRetries(r int) int {
@@ -420,10 +442,11 @@ func (n *Node) commitOn(ctx context.Context, ps *peerState, key string) error {
 
 // abortOn best-effort releases one owner's hold (or rolls back its
 // commit). It runs on a detached context so aborts still go out while
-// the triggering request is being cancelled or the node is draining;
-// a lost abort is reclaimed by the lease sweep.
-func (n *Node) abortOn(ps *peerState, key string) {
-	ctx, cancel := context.WithTimeout(context.Background(), n.client.timeout*2)
+// the triggering request is being cancelled or the node is draining —
+// only the parent's trace ID is carried over, not its cancellation; a
+// lost abort is reclaimed by the lease sweep.
+func (n *Node) abortOn(parent context.Context, ps *peerState, key string) {
+	ctx, cancel := context.WithTimeout(obs.WithTrace(context.Background(), obs.Trace(parent)), n.client.timeout*2)
 	defer cancel()
 	if ps.isSelf {
 		_ = n.srv.Ledger().Abort(key)
@@ -446,7 +469,10 @@ func (n *Node) coordinate(w http.ResponseWriter, r *http.Request, job workload.J
 	n.coordinations.Add(1)
 	start := time.Now()
 	ctx := r.Context()
+	trace := obs.Trace(ctx)
 	key := n.nextKey("2pc." + job.Dist.Name)
+	n.obs.Log("coordinate.start",
+		"trace", trace, "key", key, "job", job.Dist.Name, "owners", len(owners))
 
 	// Phase 0: merged free view across the footprint. Staleness is safe:
 	// prepare re-checks under the owners' shard locks.
@@ -471,7 +497,7 @@ func (n *Node) coordinate(w http.ResponseWriter, r *http.Request, job workload.J
 		}
 	}
 	if now >= job.Dist.Deadline {
-		n.finishCoordination(w, job, start, admission.Decision{
+		n.finishCoordination(w, trace, job, start, admission.Decision{
 			Reason: fmt.Sprintf("deadline %d already passed at t=%d", job.Dist.Deadline, now)})
 		return
 	}
@@ -482,7 +508,7 @@ func (n *Node) coordinate(w http.ResponseWriter, r *http.Request, job workload.J
 	view := admission.View{Now: now, Theta: free, State: &state}
 	dec := admission.Decide(n.policy, view, job.Dist)
 	if !dec.Admit {
-		n.finishCoordination(w, job, start, dec)
+		n.finishCoordination(w, trace, job, start, dec)
 		return
 	}
 	if dec.Plan == nil {
@@ -551,7 +577,7 @@ func (n *Node) coordinate(w http.ResponseWriter, r *http.Request, job workload.J
 	abortHeld := func() {
 		for _, p := range parts {
 			if p.held {
-				n.abortOn(p.ps, key)
+				n.abortOn(ctx, p.ps, key)
 			}
 		}
 	}
@@ -563,7 +589,7 @@ func (n *Node) coordinate(w http.ResponseWriter, r *http.Request, job workload.J
 	}
 	if rejectReason != "" {
 		abortHeld()
-		n.finishCoordination(w, job, start, admission.Decision{Reason: rejectReason, Elapsed: dec.Elapsed})
+		n.finishCoordination(w, trace, job, start, admission.Decision{Reason: rejectReason, Elapsed: dec.Elapsed})
 		return
 	}
 
@@ -599,23 +625,29 @@ func (n *Node) coordinate(w http.ResponseWriter, r *http.Request, job workload.J
 	}
 	if commitErr != nil {
 		for _, p := range parts {
-			n.abortOn(p.ps, key)
+			n.abortOn(ctx, p.ps, key)
 		}
 		n.coordFailed.Add(1)
 		httpError(w, http.StatusServiceUnavailable, commitErr)
 		return
 	}
-	n.finishCoordination(w, job, start, dec)
+	n.finishCoordination(w, trace, job, start, dec)
 }
 
 // finishCoordination records the verdict and writes the admit response.
-func (n *Node) finishCoordination(w http.ResponseWriter, job workload.Job, start time.Time, dec admission.Decision) {
+func (n *Node) finishCoordination(w http.ResponseWriter, trace string, job workload.Job, start time.Time, dec admission.Decision) {
 	n.coordLatency.Observe(float64(time.Since(start).Microseconds()))
 	if dec.Admit {
 		n.coordAdmitted.Add(1)
 	} else {
 		n.coordRejected.Add(1)
 	}
+	n.obs.Log("coordinate.verdict",
+		"trace", trace,
+		"job", job.Dist.Name,
+		"admit", dec.Admit,
+		"reason", dec.Reason,
+		"total_us", time.Since(start).Microseconds())
 	resp := server.AdmitResponse{
 		Job:       job.Dist.Name,
 		Admit:     dec.Admit,
@@ -914,18 +946,20 @@ func (n *Node) handleMigrate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := n.commitOn(r.Context(), target, key); err != nil {
-		n.abortOn(target, key)
+		n.abortOn(r.Context(), target, key)
 		httpError(w, http.StatusServiceUnavailable, err)
 		return
 	}
 	if err := n.srv.Ledger().Release(req.Name); err != nil {
 		// The job now lives on both nodes; roll the target back so the
 		// original commitment remains the single source of truth.
-		n.abortOn(target, key)
+		n.abortOn(r.Context(), target, key)
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
 	n.migrations.Add(1)
+	n.obs.Log("migrate.done",
+		"trace", obs.Trace(r.Context()), "job", req.Name, "target", target.ID, "key", key)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"migrated": req.Name,
 		"from":     n.self.ID,

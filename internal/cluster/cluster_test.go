@@ -17,17 +17,20 @@ import (
 	"repro/internal/compute"
 	"repro/internal/cost"
 	"repro/internal/interval"
+	"repro/internal/obs"
 	"repro/internal/resource"
 	"repro/internal/server"
 	"repro/internal/workload"
 )
 
 // testCluster is an in-process loopback federation serving over real
-// HTTP listeners.
+// HTTP listeners. Each node's structured event log lands in its logs
+// buffer; read them only while no traffic is in flight.
 type testCluster struct {
 	peers []Peer
 	nodes []*Node
 	urls  []string
+	logs  []*bytes.Buffer
 }
 
 // newTestCluster boots nNodes nodes owning locsPerNode cpu locations
@@ -59,12 +62,15 @@ func newTestCluster(t *testing.T, nNodes, locsPerNode int, rate int64, horizon, 
 	}
 	httpSrvs := make([]*http.Server, nNodes)
 	for i := 0; i < nNodes; i++ {
+		buf := &bytes.Buffer{}
+		tc.logs = append(tc.logs, buf)
 		nd, err := New(Config{
 			Self:           tc.peers[i].ID,
 			Peers:          tc.peers,
 			Server:         server.Config{Policy: &admission.Rota{}, Theta: theta},
 			LeaseTTL:       ttl,
 			GossipInterval: 50 * time.Millisecond,
+			Obs:            obs.New(obs.Options{Log: buf, Node: tc.peers[i].ID}),
 		})
 		if err != nil {
 			t.Fatal(err)

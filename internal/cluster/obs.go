@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"repro/internal/obs"
+)
+
+// Prometheus exposition for the federation layer. Every exported field
+// of ClusterCounters has a counterpart family here (the latency trio is
+// covered by the coordination-latency summary); the obs metrics-lint
+// test enforces the mapping just as it does for the server layer.
+
+// CollectMetrics implements obs.Collector: the embedded server's
+// families first, then the federation layer's. One scrape of a cluster
+// node therefore covers both layers; shared HTTP families are
+// disambiguated by the layer label.
+func (n *Node) CollectMetrics(e *obs.Exposition) {
+	n.srv.CollectMetrics(e)
+
+	e.Gauge("rota_cluster_peers", "Static cluster membership size, including self.", nil, float64(len(n.peers)))
+
+	e.Counter("rota_cluster_forwarded_total", "Single-owner admissions relayed to the owning peer.", nil, float64(n.forwarded.Load()))
+	e.Counter("rota_cluster_misrouted_total", "Forwarded admissions refused because this node does not own the footprint.", nil, float64(n.misrouted.Load()))
+	e.Counter("rota_cluster_coordinations_total", "Two-phase federated admissions coordinated by this node.", nil, float64(n.coordinations.Load()))
+	e.Counter("rota_cluster_coord_admitted_total", "Federated admissions that committed on every owner.", nil, float64(n.coordAdmitted.Load()))
+	e.Counter("rota_cluster_coord_rejected_total", "Federated admissions rejected on capacity.", nil, float64(n.coordRejected.Load()))
+	e.Counter("rota_cluster_coord_failed_total", "Federated admissions that failed on protocol or transport errors.", nil, float64(n.coordFailed.Load()))
+	e.Counter("rota_cluster_injected_crashes_total", "Simulated coordinator crashes (test instrumentation).", nil, float64(n.crashes.Load()))
+	e.Counter("rota_cluster_migrations_total", "Commitments re-homed onto another node (make-before-break).", nil, float64(n.migrations.Load()))
+	e.Counter("rota_cluster_releases_total", "Cluster-wide releases fanned out from this node.", nil, float64(n.releases.Load()))
+
+	e.Summary("rota_cluster_coordination_latency_us", "End-to-end federated admission latency in microseconds (free view through commit).", nil, n.coordLatency.Summary())
+
+	for _, ps := range n.peers {
+		if ps.isSelf {
+			continue
+		}
+		base := obs.L("peer", ps.ID)
+		sum := ps.rpc.Summary()
+		for _, oc := range []struct {
+			outcome string
+			n       uint64
+		}{{"ok", sum.OK}, {"error", sum.Errors}, {"timeout", sum.Timeouts}} {
+			e.Counter("rota_cluster_peer_rpc_total", "Peer RPCs issued, by peer and outcome.",
+				base.With("outcome", oc.outcome), float64(oc.n))
+		}
+		e.Counter("rota_cluster_peer_rpc_retries_total", "Retry attempts spent on peer RPCs, by peer.", base, float64(sum.Retries))
+		e.Summary("rota_cluster_peer_rpc_latency_us", "Peer RPC latency in microseconds (all attempts of a logical call), by peer.",
+			base, ps.rpc.LatencySummary())
+	}
+
+	for _, es := range obs.SortedEndpoints(n.httpStats) {
+		es.Collect(e, obs.L("layer", "cluster"))
+	}
+}

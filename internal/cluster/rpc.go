@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Peer RPC rides the same HTTP JSON stack the public API uses, hardened
@@ -46,9 +47,10 @@ type rpcClient struct {
 	http    *http.Client
 	timeout time.Duration // per attempt
 	retries int           // additional attempts after the first
+	obs     *obs.Observer
 }
 
-func newRPCClient(timeout time.Duration, retries int) *rpcClient {
+func newRPCClient(timeout time.Duration, retries int, o *obs.Observer) *rpcClient {
 	if timeout <= 0 {
 		timeout = 2 * time.Second
 	}
@@ -61,6 +63,7 @@ func newRPCClient(timeout time.Duration, retries int) *rpcClient {
 		http:    &http.Client{Timeout: 2 * timeout},
 		timeout: timeout,
 		retries: retries,
+		obs:     o,
 	}
 }
 
@@ -82,13 +85,50 @@ func backoff(ctx context.Context, i int) error {
 
 // retryable reports whether an attempt's failure is worth another try:
 // transport errors (the peer may not have seen the request) and 5xx
-// responses (the peer is briefly unhealthy). 4xx verdicts are final.
+// responses (the peer is briefly unhealthy). 4xx verdicts are final,
+// and so is the caller's own cancellation — the requester is gone, so
+// another attempt could only succeed on nobody's behalf.
 func retryable(err error) bool {
 	var se *httpStatusError
 	if errors.As(err, &se) {
 		return se.status >= 500
 	}
-	return true // transport-level failure
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	return true // transport-level failure (including per-attempt timeout)
+}
+
+// attemptLoop runs one logical call: up to 1+retries attempts with
+// jittered backoff. It returns the number of attempts made and the LAST
+// attempt's error — never a bare ctx.Err() that would mask the peer's
+// actual failure. Once the caller's context is done, no further
+// attempts are made: a retry the caller cannot consume is futile.
+func (c *rpcClient) attemptLoop(ctx context.Context, method, url string, body []byte, out any, headers map[string]string) (status int, data []byte, attempts int, err error) {
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			if berr := backoff(ctx, attempt); berr != nil {
+				// The caller went away mid-backoff. Keep the real attempt
+				// failure as the error chain; the abandonment is a note,
+				// not the verdict.
+				err = fmt.Errorf("cluster: retry abandoned (%v): %w", berr, err)
+				return
+			}
+			c.obs.Log("rpc.retry",
+				"trace", obs.Trace(ctx), "url", url, "attempt", attempt, "error", err)
+		}
+		attempts++
+		status, data, err = c.once(ctx, method, url, body, out, headers)
+		if err == nil || !retryable(err) {
+			return
+		}
+		if ctx.Err() != nil {
+			// The caller's deadline passed during the attempt; surface the
+			// attempt's own failure rather than burning futile retries.
+			return
+		}
+	}
+	return
 }
 
 // call POSTs (or GETs, with a nil body) one peer endpoint, decoding a
@@ -96,21 +136,7 @@ func retryable(err error) bool {
 // across all attempts, outcome, retries used — into rec.
 func (c *rpcClient) call(ctx context.Context, method, url string, body []byte, out any, headers map[string]string, rec *metrics.RPCStats) error {
 	start := time.Now()
-	var err error
-	attempts := 0
-	for attempt := 0; attempt <= c.retries; attempt++ {
-		if attempt > 0 {
-			if berr := backoff(ctx, attempt); berr != nil {
-				err = berr
-				break
-			}
-		}
-		attempts++
-		_, _, err = c.once(ctx, method, url, body, out, headers)
-		if err == nil || !retryable(err) {
-			break
-		}
-	}
+	_, _, attempts, err := c.attemptLoop(ctx, method, url, body, out, headers)
 	if rec != nil {
 		timedOut := errors.Is(err, context.DeadlineExceeded)
 		rec.Observe(time.Since(start), err == nil, timedOut, attempts-1)
@@ -122,25 +148,7 @@ func (c *rpcClient) call(ctx context.Context, method, url string, body []byte, o
 // (status + body) so the caller can relay it verbatim.
 func (c *rpcClient) proxy(ctx context.Context, url string, body []byte, headers map[string]string, rec *metrics.RPCStats) (int, []byte, error) {
 	start := time.Now()
-	var (
-		status int
-		data   []byte
-		err    error
-	)
-	attempts := 0
-	for attempt := 0; attempt <= c.retries; attempt++ {
-		if attempt > 0 {
-			if berr := backoff(ctx, attempt); berr != nil {
-				err = berr
-				break
-			}
-		}
-		attempts++
-		status, data, err = c.once(ctx, http.MethodPost, url, body, nil, headers)
-		if err == nil || !retryable(err) {
-			break
-		}
-	}
+	status, data, attempts, err := c.attemptLoop(ctx, http.MethodPost, url, body, nil, headers)
 	if rec != nil {
 		timedOut := errors.Is(err, context.DeadlineExceeded)
 		rec.Observe(time.Since(start), err == nil, timedOut, attempts-1)
@@ -167,6 +175,12 @@ func (c *rpcClient) once(ctx context.Context, method, url string, body []byte, o
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Every outgoing peer RPC carries the originating request's trace ID,
+	// so one admission is correlatable across coordinator and
+	// participants.
+	if id := obs.Trace(ctx); id != "" {
+		req.Header.Set(obs.HeaderTraceID, id)
 	}
 	for k, v := range headers {
 		req.Header.Set(k, v)

@@ -60,11 +60,16 @@ func bucketValue(idx int) float64 {
 	return scale * (1 + (float64(minor)+0.5)/histMinors)
 }
 
-// Observe records one measurement. Negative and NaN values are clamped
-// into the smallest bucket.
+// Observe records one measurement. Negative, NaN and -Inf values are
+// clamped into the smallest bucket; +Inf is clamped to the largest
+// bucket's representative value so a single stray observation cannot
+// poison sum (and with it Mean) into a permanent +Inf.
 func (h *Histogram) Observe(v float64) {
-	if math.IsNaN(v) || v < 0 {
+	if math.IsNaN(v) || v < 0 { // v < 0 also catches -Inf
 		v = 0
+	}
+	if math.IsInf(v, 1) {
+		v = bucketValue(histBuckets - 1)
 	}
 	idx := bucketIndex(v)
 	h.mu.Lock()

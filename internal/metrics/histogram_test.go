@@ -73,3 +73,23 @@ func TestHistogramConcurrentObserve(t *testing.T) {
 		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
 	}
 }
+
+func TestHistogramInfDoesNotPoisonSum(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(10)
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	s := h.Summary()
+	if s.Count != 3 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if math.IsInf(s.Mean, 0) || math.IsNaN(s.Mean) {
+		t.Fatalf("mean poisoned by infinite observation: %v", s.Mean)
+	}
+	if math.IsInf(s.Max, 0) {
+		t.Fatalf("max poisoned: %v", s.Max)
+	}
+	if s.Min != 0 {
+		t.Fatalf("-Inf not clamped to smallest bucket: min = %v", s.Min)
+	}
+}

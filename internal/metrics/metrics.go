@@ -137,7 +137,13 @@ func (t *Table) Render(w io.Writer) {
 			if i > 0 {
 				fmt.Fprint(w, " | ")
 			}
-			fmt.Fprintf(w, "%-*s", widths[i], cell)
+			// Rows may carry more cells than there are headers; cells
+			// beyond the last header render unpadded instead of panicking.
+			width := 0
+			if i < len(widths) {
+				width = widths[i]
+			}
+			fmt.Fprintf(w, "%-*s", width, cell)
 		}
 		fmt.Fprintln(w)
 	}

@@ -88,3 +88,22 @@ func TestTableRenderCSV(t *testing.T) {
 		t.Errorf("plain row = %q", lines[2])
 	}
 }
+
+func TestTableRenderRaggedRows(t *testing.T) {
+	tb := NewTable("ragged", "a", "b")
+	tb.AddRow(1, 2, 3, 4) // more cells than headers must not panic
+	tb.AddRow(5)
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"1", "2", "3", "4", "5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	var csv strings.Builder
+	tb.RenderCSV(&csv)
+	if !strings.Contains(csv.String(), "1,2,3,4") {
+		t.Errorf("CSV dropped extra cells:\n%s", csv.String())
+	}
+}

@@ -40,6 +40,13 @@ func (r *RPCStats) Observe(d time.Duration, ok, timedOut bool, retries int) {
 	}
 }
 
+// LatencySummary digests the latency histogram alone, for consumers
+// (the Prometheus exposition) that want the full quantile set rather
+// than the wire-shaped RPCSummary.
+func (r *RPCStats) LatencySummary() HistogramSummary {
+	return r.latencyUS.Summary()
+}
+
 // RPCSummary is the JSON shape of a peer's RPC digest.
 type RPCSummary struct {
 	Calls    uint64  `json:"calls"`

@@ -1,0 +1,135 @@
+package obs_test
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/interval"
+	"repro/internal/obs"
+	"repro/internal/resource"
+	"repro/internal/server"
+)
+
+// The metrics lint: every exported stat field the JSON API surfaces must
+// have a counterpart family in the live Prometheus exposition. Adding a
+// field to StatsResponse / TwoPhaseCounters / ClusterCounters without
+// teaching CollectMetrics (and this mapping) about it fails here — which
+// is the point: /v1/stats and /metrics may never drift apart.
+
+// recurse marks a nested struct whose fields are linted individually.
+const recurse = "<recurse>"
+
+// statFamilies maps each stat's JSON tag to its exposition family. A
+// summary family covers all the scalar digests derived from the same
+// histogram.
+var statFamilies = map[string]string{
+	// server.StatsResponse
+	"uptime_seconds":      "rota_uptime_seconds",
+	"now":                 "rota_ledger_now",
+	"shards":              "rota_ledger_shards",
+	"commitments":         "rota_ledger_commitments",
+	"decisions":           "rota_decisions_total",
+	"admitted":            "rota_admitted_total",
+	"rejected":            "rota_rejected_total",
+	"released":            "rota_released_total",
+	"errors":              "rota_errors_total",
+	"timed_out":           "rota_timeouts_total",
+	"late_decisions":      "rota_late_decisions_total",
+	"queue_depth":         "rota_queue_depth",
+	"in_flight":           "rota_inflight_decisions",
+	"holds":               "rota_ledger_holds",
+	"two_phase":           recurse,
+	"decision_latency_us": "rota_decision_latency_us",
+	// server.TwoPhaseCounters
+	"prepares":          "rota_twophase_total",
+	"commits":           "rota_twophase_total",
+	"aborts":            "rota_twophase_total",
+	"leases_expired":    "rota_leases_expired_total",
+	"not_owned_rejects": "rota_not_owned_rejects_total",
+	// cluster.ClusterCounters
+	"forwarded":             "rota_cluster_forwarded_total",
+	"misrouted":             "rota_cluster_misrouted_total",
+	"coordinations":         "rota_cluster_coordinations_total",
+	"coord_admitted":        "rota_cluster_coord_admitted_total",
+	"coord_rejected":        "rota_cluster_coord_rejected_total",
+	"coord_failed":          "rota_cluster_coord_failed_total",
+	"injected_crashes":      "rota_cluster_injected_crashes_total",
+	"migrations":            "rota_cluster_migrations_total",
+	"releases":              "rota_cluster_releases_total",
+	"coord_latency_mean_us": "rota_cluster_coordination_latency_us",
+	"coord_latency_p50_us":  "rota_cluster_coordination_latency_us",
+	"coord_latency_p99_us":  "rota_cluster_coordination_latency_us",
+}
+
+// lintStruct walks a stats struct's exported fields and checks each
+// mapped family exists in the exposition.
+func lintStruct(t *testing.T, e *obs.Exposition, typ reflect.Type, owner string) {
+	t.Helper()
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		tag := strings.Split(f.Tag.Get("json"), ",")[0]
+		if tag == "" || tag == "-" {
+			continue
+		}
+		family, ok := statFamilies[tag]
+		if !ok {
+			t.Errorf("%s.%s (json %q) has no exposition family: add one in CollectMetrics and map it in statFamilies", owner, f.Name, tag)
+			continue
+		}
+		if family == recurse {
+			lintStruct(t, e, f.Type, owner+"."+f.Name)
+			continue
+		}
+		if !e.HasFamily(family) {
+			t.Errorf("%s.%s maps to family %q, which the live exposition does not emit", owner, f.Name, family)
+		}
+	}
+}
+
+func lintTheta() resource.Set {
+	var s resource.Set
+	s.Add(resource.NewTerm(resource.FromUnits(2), resource.CPUAt("l1"), interval.New(0, 100)))
+	return s
+}
+
+func TestMetricsLintServer(t *testing.T) {
+	srv, err := server.New(server.Config{Theta: lintTheta()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Shutdown(context.Background()) })
+
+	e := obs.NewExposition()
+	srv.CollectMetrics(e)
+	lintStruct(t, e, reflect.TypeOf(server.StatsResponse{}), "server.StatsResponse")
+}
+
+func TestMetricsLintCluster(t *testing.T) {
+	nd, err := cluster.New(cluster.Config{
+		Self:           "n1",
+		Peers:          []cluster.Peer{{ID: "n1", URL: "http://127.0.0.1:1", Locations: []resource.Location{"l1"}}},
+		Server:         server.Config{Theta: lintTheta()},
+		GossipInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = nd.Shutdown(ctx)
+	})
+
+	e := obs.NewExposition()
+	nd.CollectMetrics(e)
+	// One cluster scrape must satisfy both layers' stat structs.
+	lintStruct(t, e, reflect.TypeOf(server.StatsResponse{}), "server.StatsResponse")
+	lintStruct(t, e, reflect.TypeOf(cluster.ClusterCounters{}), "cluster.ClusterCounters")
+}

@@ -1,0 +1,214 @@
+// Package obs is rotad's observability layer: structured (key=value or
+// JSON) event logging with per-request trace correlation, a hand-rolled
+// Prometheus text-format exposition builder, and per-endpoint HTTP
+// instrumentation. The runtime packages (internal/server,
+// internal/cluster) thread one Observer through every decision,
+// reservation, lease expiry and peer RPC, so a running node's resource
+// events are first-class, scrapeable, correlatable signals rather than
+// ad-hoc JSON digests.
+//
+// The paper treats resource consumption as observable behaviour over
+// time; this package is that stance applied to the daemon itself — every
+// Theorem-4 check, every committed-path reservation and every open-system
+// churn event leaves a timestamped, trace-correlated record.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// HeaderTraceID is the HTTP header carrying a request's trace ID across
+// forwarding, two-phase coordination, gossip and migration. A request
+// arriving without one is minted a fresh ID; the header is echoed on
+// every response so clients can correlate too.
+const HeaderTraceID = "X-Rota-Trace-Id"
+
+// LogFormat selects the wire shape of emitted event lines.
+type LogFormat int
+
+const (
+	// FormatKV renders logfmt-style lines: ts=... event=... k=v ...
+	FormatKV LogFormat = iota
+	// FormatJSON renders one JSON object per line.
+	FormatJSON
+)
+
+// ParseFormat maps a flag value ("kv", "json") to a LogFormat.
+func ParseFormat(s string) (LogFormat, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "kv", "logfmt", "text":
+		return FormatKV, nil
+	case "json":
+		return FormatJSON, nil
+	default:
+		return FormatKV, fmt.Errorf("obs: unknown log format %q (want kv or json)", s)
+	}
+}
+
+// Options parameterizes an Observer.
+type Options struct {
+	// Log receives one event per line; nil disables event logging (the
+	// metrics side of the Observer still works).
+	Log io.Writer
+	// Format selects kv (default) or JSON lines.
+	Format LogFormat
+	// Node tags every line with the emitting node's ID (cluster mode).
+	Node string
+	// SlowDecision is the slow-decision tracer threshold: admission
+	// decisions slower than this log their job, footprint and per-phase
+	// timings. Zero disables the tracer.
+	SlowDecision time.Duration
+	// NowFn overrides the timestamp source (tests); nil means time.Now.
+	NowFn func() time.Time
+}
+
+// Observer is the shared observability sink. All methods are safe for
+// concurrent use and safe on a nil receiver (a nil *Observer is the
+// "observability off" object), so call sites never need nil checks.
+type Observer struct {
+	mu    sync.Mutex
+	w     io.Writer
+	fmt   LogFormat
+	node  string
+	slow  time.Duration
+	nowFn func() time.Time
+}
+
+// New builds an Observer from Options.
+func New(opts Options) *Observer {
+	o := &Observer{w: opts.Log, fmt: opts.Format, node: opts.Node, slow: opts.SlowDecision, nowFn: opts.NowFn}
+	if o.nowFn == nil {
+		o.nowFn = time.Now
+	}
+	return o
+}
+
+// SlowThreshold returns the slow-decision tracer threshold (0 when
+// disabled or the observer is nil).
+func (o *Observer) SlowThreshold() time.Duration {
+	if o == nil {
+		return 0
+	}
+	return o.slow
+}
+
+// Log emits one structured event line. kv is alternating key, value
+// pairs; values are rendered with %v (or JSON-encoded in JSON mode). A
+// nil observer, a nil writer, or an odd trailing key are all tolerated.
+func (o *Observer) Log(event string, kv ...any) {
+	if o == nil || o.w == nil {
+		return
+	}
+	ts := o.nowFn().UTC()
+	var line []byte
+	if o.fmt == FormatJSON {
+		obj := make(map[string]any, len(kv)/2+3)
+		obj["ts"] = ts.Format(time.RFC3339Nano)
+		obj["event"] = event
+		if o.node != "" {
+			obj["node"] = o.node
+		}
+		for i := 0; i+1 < len(kv); i += 2 {
+			obj[fmt.Sprintf("%v", kv[i])] = jsonValue(kv[i+1])
+		}
+		line, _ = json.Marshal(obj)
+		line = append(line, '\n')
+	} else {
+		var b strings.Builder
+		b.WriteString("ts=")
+		b.WriteString(ts.Format(time.RFC3339Nano))
+		b.WriteString(" event=")
+		b.WriteString(kvValue(event))
+		if o.node != "" {
+			b.WriteString(" node=")
+			b.WriteString(kvValue(o.node))
+		}
+		for i := 0; i+1 < len(kv); i += 2 {
+			b.WriteByte(' ')
+			b.WriteString(fmt.Sprintf("%v", kv[i]))
+			b.WriteByte('=')
+			b.WriteString(kvValue(fmt.Sprintf("%v", kv[i+1])))
+		}
+		b.WriteByte('\n')
+		line = []byte(b.String())
+	}
+	o.mu.Lock()
+	_, _ = o.w.Write(line)
+	o.mu.Unlock()
+}
+
+// jsonValue keeps JSON-native types as-is and stringifies the rest, so
+// numbers and booleans survive into the JSON line unquoted.
+func jsonValue(v any) any {
+	switch v.(type) {
+	case nil, bool, string,
+		int, int8, int16, int32, int64,
+		uint, uint8, uint16, uint32, uint64,
+		float32, float64, json.Number:
+		return v
+	default:
+		if _, ok := v.(fmt.Stringer); ok {
+			return fmt.Sprintf("%v", v)
+		}
+		if _, ok := v.(error); ok {
+			return fmt.Sprintf("%v", v)
+		}
+		return v
+	}
+}
+
+// kvValue quotes a logfmt value when it contains spaces, quotes or
+// equals signs.
+func kvValue(s string) string {
+	if s == "" || strings.ContainsAny(s, " \t\n\"=") {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}
+
+// MintTraceID returns a fresh 16-hex-character trace ID.
+func MintTraceID() string {
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; fall back
+		// to a clock-derived ID rather than an empty one.
+		return fmt.Sprintf("t%015x", time.Now().UnixNano()&0xFFFFFFFFFFFFFFF)
+	}
+	return hex.EncodeToString(buf[:])
+}
+
+// traceKey is the context key carrying a request's trace ID.
+type traceKey struct{}
+
+// WithTrace returns ctx tagged with the trace ID.
+func WithTrace(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// Trace extracts the trace ID from ctx ("" when absent).
+func Trace(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
+
+// TraceFromRequest reads the request's trace header, minting a fresh ID
+// when absent or oversized (a peer cannot make us log unbounded bytes).
+func TraceFromRequest(r *http.Request) string {
+	id := r.Header.Get(HeaderTraceID)
+	if id == "" || len(id) > 128 {
+		return MintTraceID()
+	}
+	return id
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/interval"
+	"repro/internal/obs"
 	"repro/internal/resource"
 )
 
@@ -109,6 +110,9 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	err = s.ledger.Prepare(req.Key, req.Name, demand, req.Finish, req.Deadline, req.Expiry)
+	s.obs.Log("twophase.prepare",
+		"trace", obs.Trace(r.Context()), "key", req.Key, "job", req.Name,
+		"held", err == nil, "lease_expiry", req.Expiry)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, PrepareResponse{Key: req.Key, Held: true})
@@ -142,6 +146,8 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	err = s.ledger.Commit(req.Key)
+	s.obs.Log("twophase.commit",
+		"trace", obs.Trace(r.Context()), "key", req.Key, "ok", err == nil)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, map[string]any{"committed": req.Key})
@@ -166,7 +172,10 @@ func (s *Server) handleAbort(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.ledger.Abort(req.Key); err != nil {
+	err = s.ledger.Abort(req.Key)
+	s.obs.Log("twophase.abort",
+		"trace", obs.Trace(r.Context()), "key", req.Key, "ok", err == nil)
+	if err != nil {
 		s.errored.Add(1)
 		httpError(w, http.StatusInternalServerError, err)
 		return

@@ -24,6 +24,7 @@ import (
 	"repro/internal/compute"
 	"repro/internal/core"
 	"repro/internal/interval"
+	"repro/internal/obs"
 	"repro/internal/resource"
 	"repro/internal/schedule"
 	"repro/internal/workload"
@@ -91,6 +92,9 @@ type Ledger struct {
 	// mode); nil means the node owns every location it hears about.
 	owned map[resource.Location]bool
 	now   atomic.Int64
+	// obs receives ledger-level events (lease expiry) that have no
+	// originating request to log under; nil-safe.
+	obs *obs.Observer
 
 	// Two-phase traffic counters, surfaced in /v1/stats.
 	prepares      atomic.Uint64
@@ -115,6 +119,12 @@ func NewLedger(theta resource.Set, now interval.Time) *Ledger {
 		l.shards[loc] = &shard{loc: loc, theta: part, now: now}
 	}
 	return l
+}
+
+// SetObserver attaches the observability sink for ledger-level events.
+// Intended to be called once, before the ledger serves traffic.
+func (l *Ledger) SetObserver(o *obs.Observer) {
+	l.obs = o
 }
 
 // Now returns the ledger clock.
@@ -456,6 +466,8 @@ func (l *Ledger) Advance(to interval.Time) ([]string, error) {
 			return nil, fmt.Errorf("server: sweeping expired lease %s: %w", h.key, err)
 		}
 		l.leasesExpired.Add(1)
+		l.obs.Log("ledger.lease_expired",
+			"key", h.key, "job", h.name, "expiry", h.expiry, "now", to)
 	}
 	sort.Strings(done)
 	return done, nil

@@ -1,0 +1,51 @@
+package server
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Prometheus exposition for the daemon core. Every exported field of
+// StatsResponse (and the TwoPhaseCounters it embeds) has a counterpart
+// family here; the obs metrics-lint test enforces the mapping, so a
+// stat added to /v1/stats without an exposition line fails CI.
+
+// CollectMetrics implements obs.Collector: it appends the daemon's
+// families to the exposition. The cluster layer calls this too, so in
+// cluster mode one scrape covers both layers.
+func (s *Server) CollectMetrics(e *obs.Exposition) {
+	st := s.Stats()
+
+	e.Gauge("rota_uptime_seconds", "Seconds since the daemon started.", nil, time.Since(s.started).Seconds())
+	e.Gauge("rota_ledger_now", "The ledger clock, in ticks.", nil, float64(st.Now))
+	e.Gauge("rota_ledger_shards", "Location shards in the live ledger.", nil, float64(st.Shards))
+	e.Gauge("rota_ledger_commitments", "Live admitted commitments.", nil, float64(st.Commitments))
+	e.Gauge("rota_ledger_holds", "Live leased two-phase holds.", nil, float64(st.Holds))
+
+	e.Counter("rota_decisions_total", "Admission verdicts reached (admitted + rejected).", nil, float64(st.Decisions))
+	e.Counter("rota_admitted_total", "Jobs admitted with a reserved witness plan.", nil, float64(st.Admitted))
+	e.Counter("rota_rejected_total", "Jobs refused by the Theorem-4 check.", nil, float64(st.Rejected))
+	e.Counter("rota_released_total", "Commitments released via the API.", nil, float64(st.Released))
+	e.Counter("rota_errors_total", "Requests that failed before a verdict.", nil, float64(st.Errors))
+	e.Counter("rota_timeouts_total", "Admissions that exceeded the decision deadline.", nil, float64(st.TimedOut))
+	e.Counter("rota_late_decisions_total", "Decisions completed after their requester timed out (admits rolled back).", nil, float64(st.LateDecisions))
+
+	e.Gauge("rota_queue_depth", "Decisions waiting for a worker.", nil, float64(st.QueueDepth))
+	e.Gauge("rota_queue_capacity", "Decision queue capacity.", nil, float64(cap(s.queue)))
+	e.Gauge("rota_inflight_decisions", "Decisions currently mid-search in the worker pool.", nil, float64(st.InFlight))
+	e.Gauge("rota_workers", "Decision worker pool size.", nil, float64(s.cfg.Workers))
+
+	tp := st.TwoPhase
+	e.Counter("rota_twophase_total", "Two-phase participant operations served, by op.", obs.L("op", "prepare"), float64(tp.Prepares))
+	e.Counter("rota_twophase_total", "", obs.L("op", "commit"), float64(tp.Commits))
+	e.Counter("rota_twophase_total", "", obs.L("op", "abort"), float64(tp.Aborts))
+	e.Counter("rota_leases_expired_total", "Prepared holds reclaimed by the lease-expiry sweep.", nil, float64(tp.LeasesExpired))
+	e.Counter("rota_not_owned_rejects_total", "Requests naming locations this node does not own.", nil, float64(tp.NotOwnedRejects))
+
+	e.Summary("rota_decision_latency_us", "Worker-side decision service time (ledger lock + policy) in microseconds.", nil, s.latencyUS.Summary())
+
+	for _, es := range obs.SortedEndpoints(s.httpStats) {
+		es.Collect(e, obs.L("layer", "server"))
+	}
+}

@@ -8,13 +8,16 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/admission"
+	"repro/internal/core"
 	"repro/internal/interval"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/resource"
 	"repro/internal/workload"
 )
@@ -44,6 +47,10 @@ type Config struct {
 	// admissions and prepares naming any other location are rejected
 	// with ErrNotOwned. Empty means standalone — own everything.
 	Owned []resource.Location
+	// Obs is the observability sink: structured event logging, trace
+	// correlation and the slow-decision tracer. Nil disables event
+	// logging; the /metrics exposition is always served.
+	Obs *obs.Observer
 }
 
 func (c *Config) fill() error {
@@ -72,9 +79,22 @@ func (c *Config) fill() error {
 
 // decideTask is one admission decision in flight through the worker pool.
 type decideTask struct {
-	ctx  context.Context
-	job  workload.Job
-	done chan decideResult
+	ctx      context.Context
+	job      workload.Job
+	done     chan decideResult
+	trace    string
+	enqueued time.Time
+	// claimed settles the race between a worker delivering a verdict and
+	// the handler giving up on a timed-out request: whoever wins the CAS
+	// owns the outcome. A worker that loses rolls back any reservation it
+	// just made, so a client told "timed out" never silently holds
+	// resources.
+	claimed atomic.Bool
+}
+
+// claim attempts to take ownership of the task's outcome.
+func (t *decideTask) claim() bool {
+	return t.claimed.CompareAndSwap(false, true)
 }
 
 type decideResult struct {
@@ -100,13 +120,23 @@ type Server struct {
 	draining bool
 	inflight sync.WaitGroup
 
-	started   time.Time
-	admitted  atomic.Uint64
-	rejected  atomic.Uint64
-	errored   atomic.Uint64
-	timedOut  atomic.Uint64
-	released  atomic.Uint64
-	latencyUS *metrics.Histogram
+	started       time.Time
+	admitted      atomic.Uint64
+	rejected      atomic.Uint64
+	errored       atomic.Uint64
+	timedOut      atomic.Uint64
+	released      atomic.Uint64
+	lateDecisions atomic.Uint64
+	inflightDecs  atomic.Int64
+	latencyUS     *metrics.Histogram
+
+	obs       *obs.Observer
+	httpStats map[string]*obs.EndpointStats
+
+	// testDecideHook, when non-nil, runs in the worker between the
+	// queue-drop check and the ledger admission — test instrumentation
+	// for provoking the late-decision race deterministically.
+	testDecideHook func(job workload.Job)
 }
 
 // New builds and starts a daemon core (worker pool running, no listener —
@@ -121,30 +151,42 @@ func New(cfg Config) (*Server, error) {
 		queue:     make(chan *decideTask, cfg.QueueDepth),
 		started:   time.Now(),
 		latencyUS: metrics.NewHistogram(),
+		obs:       cfg.Obs,
+		httpStats: make(map[string]*obs.EndpointStats),
 	}
 	if len(cfg.Owned) > 0 {
 		s.ledger.RestrictOwned(cfg.Owned)
 	}
+	s.ledger.SetObserver(cfg.Obs)
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/admit", s.handleAdmit)
-	s.mux.HandleFunc("POST /v1/release", s.handleRelease)
-	s.mux.HandleFunc("POST /v1/acquire", s.handleAcquire)
-	s.mux.HandleFunc("POST /v1/advance", s.handleAdvance)
-	s.mux.HandleFunc("GET /v1/ledger", s.handleLedger)
-	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.route("POST /v1/admit", "admit", s.handleAdmit)
+	s.route("POST /v1/release", "release", s.handleRelease)
+	s.route("POST /v1/acquire", "acquire", s.handleAcquire)
+	s.route("POST /v1/advance", "advance", s.handleAdvance)
+	s.route("GET /v1/ledger", "ledger", s.handleLedger)
+	s.route("GET /v1/query", "query", s.handleQuery)
+	s.route("GET /v1/stats", "stats", s.handleStats)
+	s.route("GET /healthz", "healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", obs.Handler(s))
 	// The node-local half of the federation protocol (internal/cluster
 	// drives these on peers).
-	s.mux.HandleFunc("POST /v1/cluster/prepare", s.handlePrepare)
-	s.mux.HandleFunc("POST /v1/cluster/commit", s.handleCommit)
-	s.mux.HandleFunc("POST /v1/cluster/abort", s.handleAbort)
-	s.mux.HandleFunc("GET /v1/cluster/free", s.handleFree)
+	s.route("POST /v1/cluster/prepare", "cluster.prepare", s.handlePrepare)
+	s.route("POST /v1/cluster/commit", "cluster.commit", s.handleCommit)
+	s.route("POST /v1/cluster/abort", "cluster.abort", s.handleAbort)
+	s.route("GET /v1/cluster/free", "cluster.free", s.handleFree)
 	for i := 0; i < cfg.Workers; i++ {
 		s.workerWg.Add(1)
 		go s.worker()
 	}
 	return s, nil
+}
+
+// route registers an instrumented handler: per-endpoint request/latency
+// /status counters plus trace-ID minting and propagation.
+func (s *Server) route(pattern, endpoint string, h http.HandlerFunc) {
+	es := obs.NewEndpointStats(endpoint)
+	s.httpStats[endpoint] = es
+	s.mux.HandleFunc(pattern, obs.Instrument(es, h))
 }
 
 // Ledger exposes the live ledger (selftest and tests).
@@ -167,16 +209,70 @@ func (s *Server) worker() {
 			s.inflight.Done()
 			continue
 		}
+		if s.testDecideHook != nil {
+			s.testDecideHook(task.job)
+		}
+		s.inflightDecs.Add(1)
 		start := time.Now()
 		dec, err := s.ledger.Admit(s.cfg.Policy, task.job)
+		decided := time.Since(start)
+		s.inflightDecs.Add(-1)
 		if err == nil {
 			// Only genuine verdicts feed the decision-latency histogram;
 			// duplicate names and internal errors never reach a verdict.
-			s.latencyUS.Observe(float64(time.Since(start).Microseconds()))
+			s.latencyUS.Observe(float64(decided.Microseconds()))
 		}
-		task.done <- decideResult{dec: dec, err: err}
+		if err == nil && dec.Admit {
+			s.obs.Log("ledger.reserve",
+				"trace", task.trace,
+				"job", task.job.Dist.Name,
+				"finish", dec.Plan.Finish,
+				"deadline", task.job.Dist.Deadline)
+		}
+		if task.claim() {
+			task.done <- decideResult{dec: dec, err: err}
+		} else {
+			// The handler already told the client "timed out". A verdict
+			// delivered now would be a silent resource leak: roll back the
+			// reservation the client will never learn about.
+			s.lateDecisions.Add(1)
+			rolledBack := false
+			if err == nil && dec.Admit {
+				rolledBack = s.ledger.Release(task.job.Dist.Name) == nil
+			}
+			s.obs.Log("admit.late_decision",
+				"trace", task.trace,
+				"job", task.job.Dist.Name,
+				"admit", err == nil && dec.Admit,
+				"rolled_back", rolledBack,
+				"decision_us", decided.Microseconds(),
+				"queue_wait_us", start.Sub(task.enqueued).Microseconds())
+		}
+		if thr := s.obs.SlowThreshold(); thr > 0 && decided >= thr {
+			s.traceSlowDecision(task, dec, err, start.Sub(task.enqueued), decided)
+		}
 		s.inflight.Done()
 	}
+}
+
+// traceSlowDecision logs a decision that exceeded the slow threshold:
+// the job, its resource footprint, and per-phase timings (queue wait vs
+// ledger lock + policy search).
+func (s *Server) traceSlowDecision(task *decideTask, dec admission.Decision, err error, queued, decided time.Duration) {
+	locs := footprint(core.ConcurrentAt(task.job.Dist, s.ledger.Now()))
+	parts := make([]string, len(locs))
+	for i, loc := range locs {
+		parts[i] = string(loc)
+	}
+	s.obs.Log("admit.slow_decision",
+		"trace", task.trace,
+		"job", task.job.Dist.Name,
+		"footprint", strings.Join(parts, ","),
+		"admit", err == nil && dec.Admit,
+		"queue_wait_us", queued.Microseconds(),
+		"decision_us", decided.Microseconds(),
+		"total_us", (queued + decided).Microseconds(),
+		"policy_us", dec.Elapsed.Microseconds())
 }
 
 // Shutdown gracefully stops the daemon: new admissions are rejected
@@ -266,6 +362,14 @@ type StatsResponse struct {
 	Released  uint64 `json:"released"`
 	Errors    uint64 `json:"errors"`
 	TimedOut  uint64 `json:"timed_out"`
+	// LateDecisions counts decisions that completed after their requester
+	// had already been told "timed out"; admitted ones are rolled back.
+	LateDecisions uint64 `json:"late_decisions"`
+
+	// QueueDepth and InFlight are point-in-time gauges of the worker
+	// pool: decisions waiting for a worker and decisions mid-search.
+	QueueDepth int64 `json:"queue_depth"`
+	InFlight   int64 `json:"in_flight"`
 
 	// Holds counts live leased two-phase holds; TwoPhase digests the
 	// federation traffic this node served as a participant.
@@ -321,20 +425,22 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.DecisionTimeout)
 	defer cancel()
-	task := &decideTask{ctx: ctx, job: job, done: make(chan decideResult, 1)}
+	trace := obs.Trace(r.Context())
+	task := &decideTask{ctx: ctx, job: job, done: make(chan decideResult, 1),
+		trace: trace, enqueued: time.Now()}
 	if !s.submit(task) {
 		httpError(w, http.StatusServiceUnavailable, errors.New("server: draining, not accepting new admissions"))
 		return
 	}
 
-	select {
-	case res := <-task.done:
+	deliver := func(res decideResult) {
 		if res.err != nil {
 			status := http.StatusInternalServerError
 			if errors.Is(res.err, ErrDuplicate) {
 				status = http.StatusConflict
 			}
 			s.errored.Add(1)
+			s.obs.Log("admit.error", "trace", trace, "job", job.Dist.Name, "error", res.err)
 			httpError(w, status, res.err)
 			return
 		}
@@ -343,6 +449,13 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		} else {
 			s.rejected.Add(1)
 		}
+		s.obs.Log("admit.decision",
+			"trace", trace,
+			"job", job.Dist.Name,
+			"admit", res.dec.Admit,
+			"reason", res.dec.Reason,
+			"deadline", job.Dist.Deadline,
+			"decision_us", res.dec.Elapsed.Microseconds())
 		resp := AdmitResponse{
 			Job:       job.Dist.Name,
 			Admit:     res.dec.Admit,
@@ -354,8 +467,24 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 			resp.Finish = res.dec.Plan.Finish
 		}
 		writeJSON(w, http.StatusOK, resp)
+	}
+
+	select {
+	case res := <-task.done:
+		deliver(res)
 	case <-ctx.Done():
+		if !task.claim() {
+			// A worker won the race and is delivering (or has delivered)
+			// a verdict; honour it rather than reporting a timeout for a
+			// decision that was actually made.
+			deliver(<-task.done)
+			return
+		}
+		// The claim guarantees the worker sees the abandonment and rolls
+		// back any reservation it completes late.
 		s.timedOut.Add(1)
+		s.obs.Log("admit.timeout", "trace", trace, "job", job.Dist.Name,
+			"timeout_ms", s.cfg.DecisionTimeout.Milliseconds())
 		httpError(w, http.StatusServiceUnavailable,
 			fmt.Errorf("server: decision for %s exceeded %v", job.Dist.Name, s.cfg.DecisionTimeout))
 	}
@@ -450,6 +579,9 @@ func (s *Server) Stats() StatsResponse {
 		Released:          s.released.Load(),
 		Errors:            s.errored.Load(),
 		TimedOut:          s.timedOut.Load(),
+		LateDecisions:     s.lateDecisions.Load(),
+		QueueDepth:        int64(len(s.queue)),
+		InFlight:          s.inflightDecs.Load(),
 		Holds:             s.ledger.NumHolds(),
 		TwoPhase:          s.ledger.TwoPhase(),
 		DecisionLatencyUS: latencyStats(s.latencyUS.Summary()),
