@@ -5,13 +5,14 @@ GO ?= go
 # rollback regression), the cluster federation layer (two-phase
 # coordination + gossip, including the injected-crash and drain
 # integration tests), the observability layer (shared Observer +
-# per-endpoint stats), the metrics histogram, and the core decision path
+# per-endpoint stats), the span store (lock-free-looking ring buffer fed
+# by every request), the metrics histogram, and the core decision path
 # they drive.
-RACE_PKGS = ./internal/server/ ./internal/cluster/ ./internal/obs/ ./internal/metrics/ ./internal/admission/ ./internal/core/ ./internal/schedule/ ./cmd/rotad/
+RACE_PKGS = ./internal/server/ ./internal/cluster/ ./internal/obs/ ./internal/obs/span/ ./internal/metrics/ ./internal/admission/ ./internal/core/ ./internal/schedule/ ./cmd/rotad/
 
-.PHONY: ci fmt vet build test race metrics-lint selftest cluster-selftest bench clean
+.PHONY: ci fmt vet build test race metrics-lint selftest cluster-selftest trace-selftest bench clean
 
-ci: fmt vet build test race metrics-lint
+ci: fmt vet build test race metrics-lint trace-selftest
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -42,6 +43,12 @@ selftest:
 # ≥1000 mixed admits + lease-sweep and per-node audit verification.
 cluster-selftest:
 	$(GO) run ./cmd/rotad -selftest -cluster 3 -requests 1000 -clients 8 -locations 6
+
+# End-to-end tracing check: a small 3-node cluster run whose span probe
+# must reconstruct a connected cross-node span tree, print its critical
+# path, and leave every reject carrying decision provenance.
+trace-selftest:
+	$(GO) run ./cmd/rotad -selftest -cluster 3 -requests 300 -clients 6 -locations 6
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

@@ -9,9 +9,9 @@ import (
 	"io"
 	"net"
 	"net/http"
-	"time"
-
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/compute"
@@ -19,6 +19,7 @@ import (
 	"repro/internal/interval"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/resource"
 	"repro/internal/server"
 	"repro/internal/workload"
@@ -39,6 +40,7 @@ type clusterSelftestConfig struct {
 	slack    float64
 	horizon  interval.Time
 	csv      bool
+	spanCap  int
 }
 
 // runClusterSelftest boots the loopback cluster, injects a coordinator
@@ -77,8 +79,12 @@ func runClusterSelftest(out io.Writer, cfg clusterSelftestConfig) error {
 	nodes := make([]*cluster.Node, cfg.nodes)
 	httpSrvs := make([]*http.Server, cfg.nodes)
 	logs := make([]*bytes.Buffer, cfg.nodes)
+	spanStores := make([]*span.Store, cfg.nodes)
 	for i := range nodes {
 		logs[i] = &bytes.Buffer{}
+		if cfg.spanCap > 0 {
+			spanStores[i] = span.NewStore(cfg.spanCap, peers[i].ID)
+		}
 		nd, err := cluster.New(cluster.Config{
 			Self:           peers[i].ID,
 			Peers:          peers,
@@ -86,6 +92,7 @@ func runClusterSelftest(out io.Writer, cfg clusterSelftestConfig) error {
 			LeaseTTL:       cfg.leaseTTL,
 			GossipInterval: 100 * time.Millisecond,
 			Obs:            obs.New(obs.Options{Log: logs[i], Node: peers[i].ID}),
+			Spans:          spanStores[i],
 		})
 		if err != nil {
 			return err
@@ -157,6 +164,57 @@ func runClusterSelftest(out io.Writer, cfg clusterSelftestConfig) error {
 	}
 	if status, _, err := postJSON(ctx, httpc, peers[coordIdx].URL+"/v1/release", map[string]string{"name": "probe-trace"}); err != nil || status != http.StatusOK {
 		return fmt.Errorf("cluster selftest: releasing trace probe: status %d, err %v", status, err)
+	}
+
+	// Probe 2b: span reconstruction. The trace probe's spans, pulled from
+	// every node's dump endpoint and merged, must form ONE connected tree
+	// — coordinator spans on the coordinating node, RPC attempts beneath
+	// them, participant prepares/commits parented across the wire. The
+	// terminal spans may still be closing when the verdict arrives, so
+	// poll briefly before declaring the tree broken.
+	if cfg.spanCap > 0 {
+		var tree *span.Tree
+		for deadline := time.Now().Add(2 * time.Second); ; {
+			var recs []span.Record
+			for _, p := range peers {
+				dump, err := fetchSpanDump(ctx, httpc, p.URL, probeTrace)
+				if err != nil {
+					return fmt.Errorf("cluster selftest: span dump from %s: %w", p.ID, err)
+				}
+				recs = append(recs, dump...)
+			}
+			tree = span.BuildTree(probeTrace, recs)
+			if tree.Connected() && tree.Spans >= 5 {
+				break
+			}
+			if time.Now().After(deadline) {
+				var buf bytes.Buffer
+				tree.WriteTree(&buf)
+				return fmt.Errorf("cluster selftest: trace probe spans never formed a connected tree (%d roots, %d orphans):\n%s",
+					len(tree.Roots), tree.Orphans, buf.String())
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		fmt.Fprintln(out)
+		cp := metrics.NewTable(fmt.Sprintf("trace %s critical path (%d spans, connected)", probeTrace, tree.Spans),
+			"kind", "node", "total µs", "self µs")
+		for _, n := range tree.CriticalPath() {
+			cp.AddRow(n.Kind, n.Node, n.DurationUS, n.SelfUS())
+		}
+		cp.Render(out)
+		fmt.Fprintln(out)
+		phases := tree.PhaseBreakdown()
+		kinds := make([]string, 0, len(phases))
+		for k := range phases {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		pb := metrics.NewTable("per-phase latency breakdown", "phase", "total µs")
+		for _, k := range kinds {
+			pb.AddRow(k, phases[k])
+		}
+		pb.Render(out)
+		fmt.Fprintln(out)
 	}
 
 	// Main load: mixed single- and multi-location jobs at every node.
@@ -292,8 +350,53 @@ func runClusterSelftest(out io.Writer, cfg clusterSelftestConfig) error {
 	if migrations != 1 {
 		return fmt.Errorf("cluster selftest: %d migrations recorded, want 1", migrations)
 	}
+
+	// Span acceptance: no rejection left the cluster without provenance,
+	// and under the full load every span store stayed within its bound
+	// (overflow shows up as evictions, never as growth).
+	if cfg.spanCap > 0 {
+		if report.UnexplainedRejects > 0 {
+			return fmt.Errorf("cluster selftest: %d rejections carried no provenance", report.UnexplainedRejects)
+		}
+		for i, st := range spanStores {
+			stats := st.Stats()
+			if stats.Live > stats.Capacity {
+				return fmt.Errorf("cluster selftest: node %s span store holds %d spans, bound %d",
+					peers[i].ID, stats.Live, stats.Capacity)
+			}
+			for _, rec := range st.Snapshot() {
+				if rec.Status == span.StatusReject && rec.Provenance == nil {
+					return fmt.Errorf("cluster selftest: node %s recorded a %s reject span without provenance",
+						peers[i].ID, rec.Kind)
+				}
+			}
+		}
+	}
 	fmt.Fprintln(out, "cluster selftest ok")
 	return nil
+}
+
+// fetchSpanDump pulls one node's span records for a trace from its
+// /debug/rota/trace endpoint.
+func fetchSpanDump(ctx context.Context, client *http.Client, baseURL, trace string) ([]span.Record, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/debug/rota/trace/"+trace, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("%s returned %d: %s", req.URL, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	var dump span.Dump
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		return nil, fmt.Errorf("%s returned unparsable dump: %w", req.URL, err)
+	}
+	return dump.Spans, nil
 }
 
 // spanningJob builds a two-actor job whose footprint spans two locations

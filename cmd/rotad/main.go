@@ -45,6 +45,7 @@ import (
 	"repro/internal/interval"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/resource"
 	"repro/internal/server"
 	"repro/internal/workload"
@@ -82,6 +83,7 @@ func run(args []string, out io.Writer) error {
 	gossip := fs.Duration("gossip", time.Second, "cluster: gossip interval (negative disables)")
 	clusterN := fs.Int("cluster", 0, "selftest: boot an N-node loopback cluster instead of a single daemon")
 	metricsOn := fs.Bool("metrics", true, "serve the Prometheus text exposition on GET /metrics")
+	spanCap := fs.Int("span-store", span.DefaultCapacity, "span ring-buffer capacity (spans kept for GET /debug/rota/trace/{id}; 0 disables span tracing)")
 	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	slowMS := fs.Int("slow-ms", 0, "log admission decisions slower than this many milliseconds, with per-phase timings (0 disables)")
 	logFormat := fs.String("log-format", "kv", "structured event log format: kv or json")
@@ -129,6 +131,10 @@ func run(args []string, out io.Writer) error {
 		theta = theta.Union(extra)
 	}
 
+	var spans *span.Store
+	if *spanCap > 0 {
+		spans = span.NewStore(*spanCap, *node)
+	}
 	scfg := server.Config{
 		Policy:          policy,
 		Theta:           theta,
@@ -136,6 +142,7 @@ func run(args []string, out io.Writer) error {
 		QueueDepth:      *queue,
 		DecisionTimeout: *timeout,
 		Obs:             observer,
+		Spans:           spans,
 	}
 
 	if *selftest && *clusterN > 1 {
@@ -150,6 +157,7 @@ func run(args []string, out io.Writer) error {
 			slack:    *slack,
 			horizon:  interval.Time(*horizon),
 			csv:      *csv,
+			spanCap:  *spanCap,
 		})
 	}
 
@@ -174,6 +182,7 @@ func run(args []string, out io.Writer) error {
 			LeaseTTL:       interval.Time(*leaseTTL),
 			GossipInterval: *gossip,
 			Obs:            observer,
+			Spans:          spans,
 		})
 		if err != nil {
 			return err

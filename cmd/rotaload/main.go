@@ -44,6 +44,7 @@ func run(args []string, out io.Writer) error {
 	release := fs.Bool("release", true, "release each admitted job immediately")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request HTTP timeout")
 	csv := fs.Bool("csv", false, "emit CSV")
+	slowlog := fs.Int("slowlog", 0, "report the N slowest requests with their trace IDs (feed to rotatrace -spans)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,6 +93,7 @@ func run(args []string, out io.Writer) error {
 		Clients:         *clients,
 		ReleaseAdmitted: *release,
 		Timeout:         *timeout,
+		SlowLog:         *slowlog,
 	})
 	if err != nil {
 		return err
@@ -134,10 +136,28 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 	}
+	if report.UnexplainedRejects > 0 {
+		t.AddRow("rejects without provenance", report.UnexplainedRejects)
+	}
 	if *csv {
 		t.RenderCSV(out)
 	} else {
 		t.Render(out)
+	}
+
+	if len(report.Slow) > 0 {
+		fmt.Fprintln(out)
+		st := metrics.NewTable(
+			fmt.Sprintf("slow log: %d slowest requests (rotatrace -spans -trace <trace> %s/debug/rota/trace)", len(report.Slow), baseURL),
+			"trace", "job", "admit", "latency µs")
+		for _, s := range report.Slow {
+			st.AddRow(s.Trace, s.Job, s.Admit, s.LatencyUS)
+		}
+		if *csv {
+			st.RenderCSV(out)
+		} else {
+			st.Render(out)
+		}
 	}
 
 	if report.Errors > 0 {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/interval"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/resource"
 	"repro/internal/server"
 	"repro/internal/workload"
@@ -51,6 +52,10 @@ type Config struct {
 	// structured event logging and trace correlation across the
 	// federation protocol. Nil disables event logging.
 	Obs *obs.Observer
+	// Spans is the span store shared with the embedded server: one node,
+	// one ring buffer, whichever layer recorded the span. Nil disables
+	// span tracing.
+	Spans *span.Store
 }
 
 // peerState is one peer plus everything this node has learned about it.
@@ -80,6 +85,7 @@ type Node struct {
 	client *rpcClient
 	mux    *http.ServeMux
 	obs    *obs.Observer
+	spans  *span.Store
 
 	httpStats map[string]*obs.EndpointStats
 
@@ -120,11 +126,12 @@ func New(cfg Config) (*Node, error) {
 		byID:         make(map[string]*peerState),
 		owners:       make(map[resource.Location]*peerState),
 		policy:       &admission.Rota{},
-		client:       newRPCClient(cfg.RPCTimeout, pickRetries(cfg.RPCRetries), cfg.Obs),
+		client:       newRPCClient(cfg.RPCTimeout, pickRetries(cfg.RPCRetries), cfg.Obs, cfg.Spans),
 		shutdownCh:   make(chan struct{}),
 		leaseTTL:     cfg.LeaseTTL,
 		coordLatency: metrics.NewHistogram(),
 		obs:          cfg.Obs,
+		spans:        cfg.Spans,
 		httpStats:    make(map[string]*obs.EndpointStats),
 	}
 	if n.leaseTTL <= 0 {
@@ -150,6 +157,7 @@ func New(cfg Config) (*Node, error) {
 	scfg.Owned = n.self.Locations
 	scfg.Theta = filterTheta(scfg.Theta, n.owners, n.self)
 	scfg.Obs = cfg.Obs
+	scfg.Spans = cfg.Spans
 	srv, err := server.New(scfg)
 	if err != nil {
 		return nil, err
@@ -354,12 +362,16 @@ func (n *Node) handleAdmit(w http.ResponseWriter, r *http.Request) {
 // peer's verdict back verbatim.
 func (n *Node) forward(w http.ResponseWriter, r *http.Request, ps *peerState, body []byte) {
 	n.forwarded.Add(1)
+	sctx, sp := n.spans.Start(r.Context(), span.KindForward)
+	defer sp.End()
+	sp.Attr("peer", ps.ID)
 	headers := map[string]string{
 		headerForwarded:   n.self.ID,
 		headerIdempotency: n.nextKey("fwd"),
 	}
-	status, data, err := n.client.proxy(r.Context(), ps.URL+"/v1/admit", body, headers, ps.rpc)
+	status, data, err := n.client.proxy(sctx, ps.URL+"/v1/admit", body, headers, ps.rpc)
 	if err != nil {
+		sp.SetStatus(span.StatusError)
 		httpError(w, http.StatusBadGateway, fmt.Errorf("cluster: forwarding to %s: %w", ps.ID, err))
 		return
 	}
@@ -443,18 +455,29 @@ func (n *Node) commitOn(ctx context.Context, ps *peerState, key string) error {
 // abortOn best-effort releases one owner's hold (or rolls back its
 // commit). It runs on a detached context so aborts still go out while
 // the triggering request is being cancelled or the node is draining —
-// only the parent's trace ID is carried over, not its cancellation; a
-// lost abort is reclaimed by the lease sweep.
+// span.Detach carries over the parent's trace ID AND its live span
+// (previously only the trace was kept, which orphaned every abort span
+// from the coordination/migration tree that triggered it), but none of
+// its cancellation; a lost abort is reclaimed by the lease sweep.
 func (n *Node) abortOn(parent context.Context, ps *peerState, key string) {
-	ctx, cancel := context.WithTimeout(obs.WithTrace(context.Background(), obs.Trace(parent)), n.client.timeout*2)
+	ctx, cancel := context.WithTimeout(span.Detach(parent), n.client.timeout*2)
 	defer cancel()
+	sctx, sp := n.spans.Start(ctx, span.KindAbort)
+	defer sp.End()
+	sp.Attr("peer", ps.ID)
+	sp.Attr("key", key)
+	sp.Attr("detached", true)
 	if ps.isSelf {
-		_ = n.srv.Ledger().Abort(key)
+		if err := n.srv.Ledger().Abort(key); err != nil {
+			sp.SetStatus(span.StatusError)
+		}
 		return
 	}
 	body, _ := json.Marshal(server.FinishRequest{Key: key})
 	headers := map[string]string{headerIdempotency: key}
-	_ = n.client.call(ctx, http.MethodPost, ps.URL+"/v1/cluster/abort", body, nil, headers, ps.rpc)
+	if err := n.client.call(sctx, http.MethodPost, ps.URL+"/v1/cluster/abort", body, nil, headers, ps.rpc); err != nil {
+		sp.SetStatus(span.StatusError)
+	}
 }
 
 // coordinate admits a job spanning several owners: plan against the
@@ -468,7 +491,13 @@ func (n *Node) coordinate(w http.ResponseWriter, r *http.Request, job workload.J
 	defer n.coordWg.Done()
 	n.coordinations.Add(1)
 	start := time.Now()
-	ctx := r.Context()
+	// The coordinate span is the terminal span of a federated admission;
+	// free views, the merged plan, and every per-participant prepare,
+	// commit and abort nest underneath it (on this node or a peer).
+	ctx, csp := n.spans.Start(r.Context(), span.KindCoordinate)
+	defer csp.End()
+	csp.Attr("job", job.Dist.Name)
+	csp.Attr("participants", len(owners))
 	trace := obs.Trace(ctx)
 	key := n.nextKey("2pc." + job.Dist.Name)
 	n.obs.Log("coordinate.start",
@@ -486,6 +515,8 @@ func (n *Node) coordinate(w http.ResponseWriter, r *http.Request, job workload.J
 	for _, p := range parts {
 		set, pnow, err := n.freeOn(ctx, p.ps, p.locs)
 		if err != nil {
+			csp.SetStatus(span.StatusError)
+			csp.Attr("outcome", "failed")
 			n.coordFailed.Add(1)
 			httpError(w, http.StatusServiceUnavailable, err)
 			return
@@ -498,7 +529,7 @@ func (n *Node) coordinate(w http.ResponseWriter, r *http.Request, job workload.J
 	}
 	if now >= job.Dist.Deadline {
 		n.finishCoordination(w, trace, job, start, admission.Decision{
-			Reason: fmt.Sprintf("deadline %d already passed at t=%d", job.Dist.Deadline, now)})
+			Reason: fmt.Sprintf("deadline %d already passed at t=%d", job.Dist.Deadline, now)}, csp, "")
 		return
 	}
 
@@ -506,12 +537,23 @@ func (n *Node) coordinate(w http.ResponseWriter, r *http.Request, job workload.J
 	// admission against one big ledger.
 	state := core.State{Theta: free, Now: now}
 	view := admission.View{Now: now, Theta: free, State: &state}
+	_, psp := n.spans.Start(ctx, span.KindPlan)
+	psp.Attr("job", job.Dist.Name)
+	psp.Attr("actors", len(job.Dist.Actors))
 	dec := admission.Decide(n.policy, view, job.Dist)
 	if !dec.Admit {
-		n.finishCoordination(w, trace, job, start, dec)
+		psp.SetStatus(span.StatusReject)
+		psp.Attr("error", dec.Reason)
+		psp.SetProvenance(span.Classify(dec.Reason))
+	}
+	psp.End()
+	if !dec.Admit {
+		n.finishCoordination(w, trace, job, start, dec, csp, "")
 		return
 	}
 	if dec.Plan == nil {
+		csp.SetStatus(span.StatusError)
+		csp.Attr("outcome", "failed")
 		n.coordFailed.Add(1)
 		httpError(w, http.StatusInternalServerError, server.ErrPlanless)
 		return
@@ -522,6 +564,8 @@ func (n *Node) coordinate(w http.ResponseWriter, r *http.Request, job workload.J
 	for _, t := range dec.Plan.Demand().Terms() {
 		ps, ok := n.owners[t.Type.Loc]
 		if !ok {
+			csp.SetStatus(span.StatusError)
+			csp.Attr("outcome", "failed")
 			n.coordFailed.Add(1)
 			httpError(w, http.StatusInternalServerError,
 				fmt.Errorf("cluster: plan for %s consumes unowned location %s", job.Dist.Name, t.Type.Loc))
@@ -564,14 +608,17 @@ func (n *Node) coordinate(w http.ResponseWriter, r *http.Request, job workload.J
 		}(i, p, expiry)
 	}
 	wg.Wait()
-	var rejectReason string
+	var rejectReason, rejectNode string
 	var protoErr error
 	for _, res := range results {
 		res.p.held = res.held
 		if res.err != nil {
 			protoErr = res.err
 		} else if !res.held && rejectReason == "" {
+			// Remember WHICH participant refused, so the surfaced
+			// provenance names the node whose free view failed.
 			rejectReason = res.reason
+			rejectNode = res.p.ps.ID
 		}
 	}
 	abortHeld := func() {
@@ -583,13 +630,15 @@ func (n *Node) coordinate(w http.ResponseWriter, r *http.Request, job workload.J
 	}
 	if protoErr != nil {
 		abortHeld()
+		csp.SetStatus(span.StatusError)
+		csp.Attr("outcome", "failed")
 		n.coordFailed.Add(1)
 		httpError(w, http.StatusServiceUnavailable, protoErr)
 		return
 	}
 	if rejectReason != "" {
 		abortHeld()
-		n.finishCoordination(w, trace, job, start, admission.Decision{Reason: rejectReason, Elapsed: dec.Elapsed})
+		n.finishCoordination(w, trace, job, start, admission.Decision{Reason: rejectReason, Elapsed: dec.Elapsed}, csp, rejectNode)
 		return
 	}
 
@@ -600,6 +649,8 @@ func (n *Node) coordinate(w http.ResponseWriter, r *http.Request, job workload.J
 		// Simulated coordinator crash: walk away with every participant
 		// holding a leased prepare. The lease sweep cleans up.
 		n.crashes.Add(1)
+		csp.SetStatus(span.StatusError)
+		csp.Attr("outcome", "crashed")
 		httpError(w, http.StatusInternalServerError,
 			fmt.Errorf("cluster: injected coordinator crash before commit of %s", key))
 		return
@@ -608,6 +659,8 @@ func (n *Node) coordinate(w http.ResponseWriter, r *http.Request, job workload.J
 		// Graceful drain: never leave prepares for the sweep when we can
 		// still abort them explicitly.
 		abortHeld()
+		csp.SetStatus(span.StatusError)
+		csp.Attr("outcome", "aborted")
 		n.coordFailed.Add(1)
 		httpError(w, http.StatusServiceUnavailable, errors.New("cluster: draining, aborted in-flight prepare"))
 		return
@@ -627,20 +680,29 @@ func (n *Node) coordinate(w http.ResponseWriter, r *http.Request, job workload.J
 		for _, p := range parts {
 			n.abortOn(ctx, p.ps, key)
 		}
+		csp.SetStatus(span.StatusError)
+		csp.Attr("outcome", "aborted")
 		n.coordFailed.Add(1)
 		httpError(w, http.StatusServiceUnavailable, commitErr)
 		return
 	}
-	n.finishCoordination(w, trace, job, start, dec)
+	n.finishCoordination(w, trace, job, start, dec, csp, "")
 }
 
-// finishCoordination records the verdict and writes the admit response.
-func (n *Node) finishCoordination(w http.ResponseWriter, trace string, job workload.Job, start time.Time, dec admission.Decision) {
+// finishCoordination records the verdict on the coordinate span and
+// writes the admit response. rejectNode, when set, names the participant
+// whose refusal decided a rejection; it is surfaced on the provenance so
+// a client can see not just which constraint failed but where.
+func (n *Node) finishCoordination(w http.ResponseWriter, trace string, job workload.Job, start time.Time, dec admission.Decision, sp *span.Span, rejectNode string) {
 	n.coordLatency.Observe(float64(time.Since(start).Microseconds()))
+	sp.Attr("admit", dec.Admit)
 	if dec.Admit {
 		n.coordAdmitted.Add(1)
+		sp.Attr("outcome", "committed")
 	} else {
 		n.coordRejected.Add(1)
+		sp.Attr("outcome", "rejected")
+		sp.SetStatus(span.StatusReject)
 	}
 	n.obs.Log("coordinate.verdict",
 		"trace", trace,
@@ -657,6 +719,14 @@ func (n *Node) finishCoordination(w http.ResponseWriter, trace string, job workl
 	}
 	if dec.Plan != nil {
 		resp.Finish = dec.Plan.Finish
+	}
+	if !dec.Admit {
+		prov := span.Classify(dec.Reason)
+		if prov != nil && rejectNode != "" {
+			prov.Node = rejectNode
+		}
+		resp.Provenance = prov
+		sp.SetProvenance(prov)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -928,36 +998,61 @@ func (n *Node) handleMigrate(w http.ResponseWriter, r *http.Request) {
 	}
 	remapped, mapping := remapDemand(demand, n.self.Locations, target.Locations)
 
+	// The migration span parents everything downstream — including the
+	// detached abort issued if the make-before-break handover fails
+	// partway, which would otherwise float free of the trace tree.
+	sctx, msp := n.spans.Start(r.Context(), span.KindMigrate)
+	defer msp.End()
+	msp.Attr("job", req.Name)
+	msp.Attr("from", n.self.ID)
+	msp.Attr("to", target.ID)
+
 	// Lease against the target's clock, then prepare/commit there.
-	_, targetNow, err := n.freeOn(r.Context(), target, target.Locations)
+	_, targetNow, err := n.freeOn(sctx, target, target.Locations)
 	if err != nil {
+		msp.SetStatus(span.StatusError)
+		msp.Attr("outcome", "failed")
 		httpError(w, http.StatusServiceUnavailable, err)
 		return
 	}
 	key := n.nextKey("migrate." + req.Name)
 	p := &participant{ps: target, demand: remapped}
-	held, reason, err := n.prepareOn(r.Context(), p, key, req.Name, info.Finish, info.Deadline, targetNow+n.leaseTTL)
+	held, reason, err := n.prepareOn(sctx, p, key, req.Name, info.Finish, info.Deadline, targetNow+n.leaseTTL)
 	if err != nil {
+		msp.SetStatus(span.StatusError)
+		msp.Attr("outcome", "failed")
 		httpError(w, http.StatusServiceUnavailable, err)
 		return
 	}
 	if !held {
+		msp.SetStatus(span.StatusReject)
+		msp.Attr("outcome", "rejected")
+		prov := span.Classify(reason)
+		if prov != nil {
+			prov.Node = target.ID
+		}
+		msp.SetProvenance(prov)
 		httpError(w, http.StatusConflict, fmt.Errorf("cluster: %s cannot accommodate %s: %s", target.ID, req.Name, reason))
 		return
 	}
-	if err := n.commitOn(r.Context(), target, key); err != nil {
-		n.abortOn(r.Context(), target, key)
+	if err := n.commitOn(sctx, target, key); err != nil {
+		n.abortOn(sctx, target, key)
+		msp.SetStatus(span.StatusError)
+		msp.Attr("outcome", "aborted")
 		httpError(w, http.StatusServiceUnavailable, err)
 		return
 	}
 	if err := n.srv.Ledger().Release(req.Name); err != nil {
 		// The job now lives on both nodes; roll the target back so the
 		// original commitment remains the single source of truth.
-		n.abortOn(r.Context(), target, key)
+		n.abortOn(sctx, target, key)
+		msp.SetStatus(span.StatusError)
+		msp.Attr("outcome", "aborted")
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
 	n.migrations.Add(1)
+	msp.Attr("outcome", "migrated")
 	n.obs.Log("migrate.done",
 		"trace", obs.Trace(r.Context()), "job", req.Name, "target", target.ID, "key", key)
 	writeJSON(w, http.StatusOK, map[string]any{

@@ -18,6 +18,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/interval"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/resource"
 	"repro/internal/server"
 	"repro/internal/workload"
@@ -31,6 +32,7 @@ type testCluster struct {
 	nodes []*Node
 	urls  []string
 	logs  []*bytes.Buffer
+	spans []*span.Store
 }
 
 // newTestCluster boots nNodes nodes owning locsPerNode cpu locations
@@ -64,6 +66,7 @@ func newTestCluster(t *testing.T, nNodes, locsPerNode int, rate int64, horizon, 
 	for i := 0; i < nNodes; i++ {
 		buf := &bytes.Buffer{}
 		tc.logs = append(tc.logs, buf)
+		tc.spans = append(tc.spans, span.NewStore(span.DefaultCapacity, tc.peers[i].ID))
 		nd, err := New(Config{
 			Self:           tc.peers[i].ID,
 			Peers:          tc.peers,
@@ -71,6 +74,7 @@ func newTestCluster(t *testing.T, nNodes, locsPerNode int, rate int64, horizon, 
 			LeaseTTL:       ttl,
 			GossipInterval: 50 * time.Millisecond,
 			Obs:            obs.New(obs.Options{Log: buf, Node: tc.peers[i].ID}),
+			Spans:          tc.spans[i],
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 )
 
 // Peer RPC rides the same HTTP JSON stack the public API uses, hardened
@@ -48,9 +49,10 @@ type rpcClient struct {
 	timeout time.Duration // per attempt
 	retries int           // additional attempts after the first
 	obs     *obs.Observer
+	spans   *span.Store
 }
 
-func newRPCClient(timeout time.Duration, retries int, o *obs.Observer) *rpcClient {
+func newRPCClient(timeout time.Duration, retries int, o *obs.Observer, spans *span.Store) *rpcClient {
 	if timeout <= 0 {
 		timeout = 2 * time.Second
 	}
@@ -64,6 +66,7 @@ func newRPCClient(timeout time.Duration, retries int, o *obs.Observer) *rpcClien
 		timeout: timeout,
 		retries: retries,
 		obs:     o,
+		spans:   spans,
 	}
 }
 
@@ -118,7 +121,18 @@ func (c *rpcClient) attemptLoop(ctx context.Context, method, url string, body []
 				"trace", obs.Trace(ctx), "url", url, "attempt", attempt, "error", err)
 		}
 		attempts++
-		status, data, err = c.once(ctx, method, url, body, out, headers)
+		// Each attempt is its own span (a retry is new work, not the same
+		// work again); the receiving peer's handler span parents onto the
+		// attempt that actually reached it.
+		actx, asp := c.spans.Start(ctx, span.KindRPC)
+		asp.Attr("path", url)
+		asp.Attr("attempt", attempt)
+		status, data, err = c.once(actx, method, url, body, out, headers)
+		if err != nil {
+			asp.SetStatus(span.StatusError)
+			asp.Attr("error", err)
+		}
+		asp.End()
 		if err == nil || !retryable(err) {
 			return
 		}
@@ -182,6 +196,8 @@ func (c *rpcClient) once(ctx context.Context, method, url string, body []byte, o
 	if id := obs.Trace(ctx); id != "" {
 		req.Header.Set(obs.HeaderTraceID, id)
 	}
+	// And the current span's ID, so the peer's spans join our tree.
+	span.Inject(ctx, req.Header)
 	for k, v := range headers {
 		req.Header.Set(k, v)
 	}

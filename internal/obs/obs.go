@@ -32,6 +32,13 @@ import (
 // every response so clients can correlate too.
 const HeaderTraceID = "X-Rota-Trace-Id"
 
+// HeaderSpanParent is the HTTP header carrying the caller's span ID
+// across peer RPCs, so the receiving node's spans parent onto the
+// calling side and one federated admission yields a single connected
+// span tree. It lives here (not in internal/obs/span) so Instrument can
+// lift it into the context without importing the span package.
+const HeaderSpanParent = "X-Rota-Span"
+
 // LogFormat selects the wire shape of emitted event lines.
 type LogFormat int
 
@@ -209,6 +216,35 @@ func TraceFromRequest(r *http.Request) string {
 	id := r.Header.Get(HeaderTraceID)
 	if id == "" || len(id) > 128 {
 		return MintTraceID()
+	}
+	return id
+}
+
+// spanParentKey is the context key carrying the remote parent span ID a
+// peer propagated in HeaderSpanParent. The span package consumes it
+// when it starts the first span of a handled request.
+type spanParentKey struct{}
+
+// WithSpanParent returns ctx tagged with a remote parent span ID.
+func WithSpanParent(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, spanParentKey{}, id)
+}
+
+// SpanParent extracts the remote parent span ID from ctx ("" when absent).
+func SpanParent(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(spanParentKey{}).(string)
+	return id
+}
+
+// SpanParentFromRequest reads the request's span-parent header,
+// discarding oversized values (same bound as trace IDs).
+func SpanParentFromRequest(r *http.Request) string {
+	id := r.Header.Get(HeaderSpanParent)
+	if len(id) > 128 {
+		return ""
 	}
 	return id
 }

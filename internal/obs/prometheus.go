@@ -295,7 +295,15 @@ func Instrument(es *EndpointStats, next http.HandlerFunc) http.HandlerFunc {
 			trace = TraceFromRequest(r)
 		}
 		w.Header().Set(HeaderTraceID, trace)
-		r = r.WithContext(WithTrace(r.Context(), trace))
+		ctx := WithTrace(r.Context(), trace)
+		// Lift the caller's span ID (if any) into the context so the
+		// first span this handler starts parents onto the calling side.
+		if SpanParent(ctx) == "" {
+			if parent := SpanParentFromRequest(r); parent != "" {
+				ctx = WithSpanParent(ctx, parent)
+			}
+		}
+		r = r.WithContext(ctx)
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
 		next(sw, r)

@@ -1,0 +1,143 @@
+package span
+
+import "sort"
+
+// KindSchema documents one span kind: what phase of the pipeline it
+// covers and which attributes it may carry. Kinds are registered at
+// package init via defineKind, so every kind in the codebase has a
+// documented schema by construction — the metrics-lint test in
+// internal/obs enforces that the registry stays complete and that live
+// spans only use registered kinds and attributes.
+type KindSchema struct {
+	Name  string
+	Doc   string
+	Attrs map[string]string // attribute key -> meaning
+}
+
+var kindRegistry = map[string]KindSchema{}
+
+// defineKind registers a span kind with its documentation and attribute
+// schema (alternating key, meaning pairs) and returns the kind name.
+func defineKind(name, doc string, attrs ...string) string {
+	if len(attrs)%2 != 0 {
+		panic("span: defineKind attrs must be key/doc pairs: " + name)
+	}
+	m := make(map[string]string, len(attrs)/2)
+	for i := 0; i < len(attrs); i += 2 {
+		m[attrs[i]] = attrs[i+1]
+	}
+	if _, dup := kindRegistry[name]; dup {
+		panic("span: duplicate kind " + name)
+	}
+	kindRegistry[name] = KindSchema{Name: name, Doc: doc, Attrs: m}
+	return name
+}
+
+// Span kinds, one per phase of the admission pipeline. The terminal
+// span of a request is the admit/coordinate/forward/migrate span; the
+// rest nest underneath it.
+var (
+	KindAdmit = defineKind("admit",
+		"one /v1/admit request decided locally: validate, plan, reserve",
+		"job", "job name",
+		"admit", "decision verdict (true/false)",
+		"queue_wait_us", "time the task waited for a worker",
+		"deadline", "job deadline tick",
+		"finish", "planned finish tick when admitted",
+		"error", "fault that ended the request without a verdict")
+
+	KindValidate = defineKind("validate",
+		"request decode + workload validation + deadline-vs-now check",
+		"job", "job name",
+		"error", "validation failure, when rejected here")
+
+	KindPlan = defineKind("plan",
+		"witness-plan search (schedule.Concurrent) over the free view",
+		"job", "job name",
+		"actors", "number of actors whose phases were searched",
+		"error", "infeasibility reason when no witness exists")
+
+	KindReserve = defineKind("reserve",
+		"ledger shard locking + commitment write for an admitted plan",
+		"job", "job name",
+		"shards", "number of location shards touched")
+
+	KindCoordinate = defineKind("coordinate",
+		"cross-node admission: merged free view, split demand, 2PC",
+		"job", "job name",
+		"admit", "decision verdict (true/false)",
+		"participants", "number of peer nodes holding demand",
+		"outcome", "committed / rejected / aborted / failed")
+
+	KindFreeView = defineKind("freeview",
+		"fetch of one participant's free resource view",
+		"peer", "peer node ID")
+
+	KindPrepare = defineKind("prepare",
+		"two-phase prepare: participant-side hold under a TTL lease",
+		"job", "job name",
+		"key", "two-phase idempotency key",
+		"peer", "peer node ID (coordinator side)",
+		"held", "whether the hold was granted")
+
+	KindCommit = defineKind("commit",
+		"two-phase commit: promote a held prepare into the ledger",
+		"job", "job name",
+		"key", "two-phase idempotency key",
+		"peer", "peer node ID (coordinator side)")
+
+	KindAbort = defineKind("abort",
+		"two-phase abort: release a hold (or roll back a commit)",
+		"job", "job name",
+		"key", "two-phase idempotency key",
+		"peer", "peer node ID (coordinator side)",
+		"detached", "true when issued from a detached (post-request) context")
+
+	KindForward = defineKind("forward",
+		"proxy of a single-location admit to its owning node",
+		"job", "job name",
+		"peer", "owning node the request was proxied to")
+
+	KindMigrate = defineKind("migrate",
+		"make-before-break migration of a commitment to another node",
+		"job", "job name",
+		"from", "node releasing the commitment",
+		"to", "node receiving the demand",
+		"outcome", "migrated / rejected / failed")
+
+	KindRPC = defineKind("rpc",
+		"one attempt of a peer RPC (retries are separate spans)",
+		"peer", "peer node ID",
+		"path", "RPC route",
+		"attempt", "attempt index, 0-based",
+		"error", "attempt failure, when it failed")
+
+	// Sim-bridge kinds: synthetic spans reconstructed from internal/sim
+	// JSONL traces so rotatrace -spans analyses simulator runs too.
+	KindSimJob = defineKind("sim.job",
+		"one simulated job's lifetime from arrival to terminal event",
+		"job", "job name",
+		"outcome", "terminal event kind (admit/reject/complete/miss/renege)")
+
+	KindSimEvent = defineKind("sim.event",
+		"one simulator trace event within a job's lifetime",
+		"event", "trace event kind",
+		"detail", "event detail string",
+		"qty", "resource quantity, when the event carries one")
+)
+
+// Kinds returns every registered kind schema, sorted by name.
+func Kinds() []KindSchema {
+	out := make([]KindSchema, 0, len(kindRegistry))
+	for _, ks := range kindRegistry {
+		out = append(out, ks)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// LookupKind returns the schema for a kind name.
+func LookupKind(name string) (KindSchema, bool) {
+	ks, ok := kindRegistry[name]
+	return ks, ok
+}

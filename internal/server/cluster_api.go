@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/interval"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/resource"
 )
 
@@ -97,19 +98,28 @@ func DecodeFinishRequest(body []byte) (FinishRequest, error) {
 }
 
 func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	// The participant-side span parents onto the coordinator's RPC span
+	// via the X-Rota-Span header (lifted into the context by Instrument).
+	_, sp := s.cfg.Spans.Start(r.Context(), span.KindPrepare)
+	defer sp.End()
 	body, err := readBody(w, r, s.cfg.MaxBodyBytes)
 	if err != nil {
 		s.errored.Add(1)
+		sp.SetStatus(span.StatusError)
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	req, demand, err := DecodePrepareRequest(body)
 	if err != nil {
 		s.errored.Add(1)
+		sp.SetStatus(span.StatusError)
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	sp.Attr("job", req.Name)
+	sp.Attr("key", req.Key)
 	err = s.ledger.Prepare(req.Key, req.Name, demand, req.Finish, req.Deadline, req.Expiry)
+	sp.Attr("held", err == nil)
 	s.obs.Log("twophase.prepare",
 		"trace", obs.Trace(r.Context()), "key", req.Key, "job", req.Name,
 		"held", err == nil, "lease_expiry", req.Expiry)
@@ -118,36 +128,50 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, PrepareResponse{Key: req.Key, Held: true})
 	case errors.Is(err, ErrOvercommit):
 		// Capacity rejection: a well-formed verdict, not an error.
+		sp.SetStatus(span.StatusReject)
+		sp.SetProvenance(span.Classify(err.Error()))
 		writeJSON(w, http.StatusOK, PrepareResponse{Key: req.Key, Held: false, Reason: err.Error()})
 	case errors.Is(err, ErrNotOwned):
 		s.errored.Add(1)
+		sp.SetStatus(span.StatusError)
 		httpError(w, http.StatusUnprocessableEntity, err)
 	case errors.Is(err, ErrDuplicate):
 		s.errored.Add(1)
+		sp.SetStatus(span.StatusError)
 		httpError(w, http.StatusConflict, err)
 	case errors.Is(err, ErrLeaseExpired):
 		s.errored.Add(1)
+		sp.SetStatus(span.StatusError)
 		httpError(w, http.StatusBadRequest, err)
 	default:
 		s.errored.Add(1)
+		sp.SetStatus(span.StatusError)
 		httpError(w, http.StatusInternalServerError, err)
 	}
 }
 
 func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
+	_, sp := s.cfg.Spans.Start(r.Context(), span.KindCommit)
+	defer sp.End()
 	body, err := readBody(w, r, s.cfg.MaxBodyBytes)
 	if err != nil {
+		sp.SetStatus(span.StatusError)
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	req, err := DecodeFinishRequest(body)
 	if err != nil {
+		sp.SetStatus(span.StatusError)
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	sp.Attr("key", req.Key)
 	err = s.ledger.Commit(req.Key)
 	s.obs.Log("twophase.commit",
 		"trace", obs.Trace(r.Context()), "key", req.Key, "ok", err == nil)
+	if err != nil {
+		sp.SetStatus(span.StatusError)
+	}
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, map[string]any{"committed": req.Key})
@@ -162,21 +186,27 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAbort(w http.ResponseWriter, r *http.Request) {
+	_, sp := s.cfg.Spans.Start(r.Context(), span.KindAbort)
+	defer sp.End()
 	body, err := readBody(w, r, s.cfg.MaxBodyBytes)
 	if err != nil {
+		sp.SetStatus(span.StatusError)
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	req, err := DecodeFinishRequest(body)
 	if err != nil {
+		sp.SetStatus(span.StatusError)
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	sp.Attr("key", req.Key)
 	err = s.ledger.Abort(req.Key)
 	s.obs.Log("twophase.abort",
 		"trace", obs.Trace(r.Context()), "key", req.Key, "ok", err == nil)
 	if err != nil {
 		s.errored.Add(1)
+		sp.SetStatus(span.StatusError)
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -184,8 +214,11 @@ func (s *Server) handleAbort(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
+	_, sp := s.cfg.Spans.Start(r.Context(), span.KindFreeView)
+	defer sp.End()
 	raw := r.URL.Query().Get("locs")
 	if raw == "" {
+		sp.SetStatus(span.StatusError)
 		httpError(w, http.StatusBadRequest, errors.New("server: free view needs ?locs=l1,l2"))
 		return
 	}
@@ -202,6 +235,7 @@ func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, ErrNotOwned) {
 			status = http.StatusUnprocessableEntity
 		}
+		sp.SetStatus(span.StatusError)
 		httpError(w, status, err)
 		return
 	}

@@ -14,6 +14,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/interval"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/resource"
 	"repro/internal/schedule"
 	"repro/internal/workload"
@@ -95,6 +97,9 @@ type Ledger struct {
 	// obs receives ledger-level events (lease expiry) that have no
 	// originating request to log under; nil-safe.
 	obs *obs.Observer
+	// spans records per-phase admission spans (plan search, reservation);
+	// nil-safe — a nil store disables span tracing.
+	spans *span.Store
 
 	// Two-phase traffic counters, surfaced in /v1/stats.
 	prepares      atomic.Uint64
@@ -125,6 +130,12 @@ func NewLedger(theta resource.Set, now interval.Time) *Ledger {
 // Intended to be called once, before the ledger serves traffic.
 func (l *Ledger) SetObserver(o *obs.Observer) {
 	l.obs = o
+}
+
+// SetSpanStore attaches the span store for per-phase admission spans.
+// Intended to be called once, before the ledger serves traffic.
+func (l *Ledger) SetSpanStore(st *span.Store) {
+	l.spans = st
 }
 
 // Now returns the ledger clock.
@@ -250,6 +261,13 @@ func (l *Ledger) checkOwned(locs []resource.Location) error {
 // measurement point). A non-nil error means the request never reached a
 // verdict (duplicate name, plan-less policy); rejections are not errors.
 func (l *Ledger) Admit(policy admission.Policy, job workload.Job) (admission.Decision, error) {
+	return l.AdmitCtx(context.Background(), policy, job)
+}
+
+// AdmitCtx is Admit with span tracing: the witness-plan search and the
+// reservation run as child spans of whatever span the context carries
+// (the server's admit span), so per-phase latency is attributable.
+func (l *Ledger) AdmitCtx(ctx context.Context, policy admission.Policy, job workload.Job) (admission.Decision, error) {
 	now := l.Now()
 	if now >= job.Dist.Deadline {
 		return admission.Decision{Reason: fmt.Sprintf("deadline %d already passed at t=%d", job.Dist.Deadline, now)}, nil
@@ -304,7 +322,16 @@ func (l *Ledger) Admit(policy admission.Policy, job workload.Job) (admission.Dec
 	// reservations are already subtracted out.
 	state := core.State{Theta: free, Now: now}
 	view := admission.View{Now: now, Theta: free, State: &state}
+	_, planSpan := l.spans.Start(ctx, span.KindPlan)
+	planSpan.Attr("job", job.Dist.Name)
+	planSpan.Attr("actors", len(job.Dist.Actors))
 	dec := admission.Decide(policy, view, job.Dist)
+	if !dec.Admit {
+		planSpan.SetStatus(span.StatusReject)
+		planSpan.Attr("error", dec.Reason)
+		planSpan.SetProvenance(span.Classify(dec.Reason))
+	}
+	planSpan.End()
 	if !dec.Admit {
 		unlock()
 		abandon()
@@ -317,6 +344,10 @@ func (l *Ledger) Admit(policy admission.Policy, job workload.Job) (admission.Dec
 	}
 
 	// Reserve the plan's demand on each shard it touches.
+	_, resSpan := l.spans.Start(ctx, span.KindReserve)
+	resSpan.Attr("job", job.Dist.Name)
+	resSpan.Attr("shards", len(shards))
+	defer resSpan.End()
 	for loc, part := range splitByShard(dec.Plan.Demand()) {
 		var target *shard
 		for _, sh := range shards {
@@ -330,12 +361,14 @@ func (l *Ledger) Admit(policy admission.Policy, job workload.Job) (admission.Dec
 			// against; anything else is a scheduler bug.
 			unlock()
 			abandon()
+			resSpan.SetStatus(span.StatusError)
 			return admission.Decision{}, fmt.Errorf("server: plan for %s consumes outside its footprint (shard %s)", job.Dist.Name, loc)
 		}
 		target.reserved = target.reserved.Union(part)
 		if !target.theta.Dominates(target.reserved) {
 			unlock()
 			abandon()
+			resSpan.SetStatus(span.StatusError)
 			return admission.Decision{}, fmt.Errorf("server: reservation for %s overcommits shard %s", job.Dist.Name, loc)
 		}
 	}

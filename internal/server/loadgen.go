@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -36,6 +38,19 @@ type LoadConfig struct {
 	ReleaseAdmitted bool
 	// Timeout bounds each HTTP request; default 10s.
 	Timeout time.Duration
+	// SlowLog, when positive, keeps the N slowest admit requests with
+	// their server-assigned trace IDs in LoadReport.Slow — the handle a
+	// client needs to pull the span tree behind a tail-latency outlier.
+	SlowLog int
+}
+
+// SlowRequest is one entry of the client-side slow log: enough to go
+// from "this request was slow" to `rotatrace -spans -trace <id>`.
+type SlowRequest struct {
+	Trace     string
+	Job       string
+	Admit     bool
+	LatencyUS int64
 }
 
 // LoadReport aggregates a load run. Latencies are client-observed
@@ -55,6 +70,12 @@ type LoadReport struct {
 	P90US  float64
 	P99US  float64
 	MaxUS  float64
+
+	// Slow is the slow log: the SlowLog slowest requests, slowest first.
+	Slow []SlowRequest
+	// UnexplainedRejects counts rejections that arrived without a
+	// provenance object — each one is a daemon-side observability bug.
+	UnexplainedRejects int
 }
 
 // RunLoad drives the admission stream at the daemon from Clients
@@ -82,8 +103,28 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 
 	client := &http.Client{Timeout: cfg.Timeout}
 	hist := metrics.NewHistogram()
-	var next, admitted, rejected, errs, released atomic.Int64
+	var next, admitted, rejected, errs, released, unexplained atomic.Int64
 	var firstErr atomic.Value
+
+	// The slow log is a bounded slice kept sorted slowest-first; with
+	// SlowLog entries at most, re-sorting per insert is cheap.
+	var slowMu sync.Mutex
+	var slow []SlowRequest
+	noteSlow := func(sr SlowRequest) {
+		if cfg.SlowLog <= 0 {
+			return
+		}
+		slowMu.Lock()
+		defer slowMu.Unlock()
+		if len(slow) >= cfg.SlowLog && sr.LatencyUS <= slow[len(slow)-1].LatencyUS {
+			return
+		}
+		slow = append(slow, sr)
+		sort.Slice(slow, func(i, j int) bool { return slow[i].LatencyUS > slow[j].LatencyUS })
+		if len(slow) > cfg.SlowLog {
+			slow = slow[:cfg.SlowLog]
+		}
+	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -103,15 +144,20 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 				}
 				url := urls[i%len(urls)]
 				reqStart := time.Now()
-				resp, err := postAdmit(ctx, client, url, job)
-				hist.Observe(float64(time.Since(reqStart).Microseconds()))
+				resp, trace, err := postAdmit(ctx, client, url, job)
+				latencyUS := time.Since(reqStart).Microseconds()
+				hist.Observe(float64(latencyUS))
 				if err != nil {
 					errs.Add(1)
 					firstErr.CompareAndSwap(nil, err)
 					continue
 				}
+				noteSlow(SlowRequest{Trace: trace, Job: job.Dist.Name, Admit: resp.Admit, LatencyUS: latencyUS})
 				if !resp.Admit {
 					rejected.Add(1)
+					if resp.Provenance == nil {
+						unexplained.Add(1)
+					}
 					continue
 				}
 				admitted.Add(1)
@@ -142,6 +188,9 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 		P90US:    sum.P90,
 		P99US:    sum.P99,
 		MaxUS:    sum.Max,
+
+		Slow:               slow,
+		UnexplainedRejects: int(unexplained.Load()),
 	}
 	if elapsed > 0 {
 		report.Throughput = float64(cfg.Requests) / elapsed.Seconds()
@@ -160,16 +209,20 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 	return report, nil
 }
 
-func postAdmit(ctx context.Context, client *http.Client, base string, job workload.Job) (AdmitResponse, error) {
+// postAdmit submits one job and returns the verdict plus the trace ID
+// the daemon stamped on the response — the correlation handle for the
+// slow log.
+func postAdmit(ctx context.Context, client *http.Client, base string, job workload.Job) (AdmitResponse, string, error) {
 	body, err := json.Marshal(job)
 	if err != nil {
-		return AdmitResponse{}, err
+		return AdmitResponse{}, "", err
 	}
 	var out AdmitResponse
-	if err := postJSON(ctx, client, base+"/v1/admit", body, &out); err != nil {
-		return AdmitResponse{}, err
+	trace, err := postJSONTraced(ctx, client, base+"/v1/admit", body, &out)
+	if err != nil {
+		return AdmitResponse{}, "", err
 	}
-	return out, nil
+	return out, trace, nil
 }
 
 func postRelease(ctx context.Context, client *http.Client, base string, name string) error {
@@ -181,29 +234,35 @@ func postRelease(ctx context.Context, client *http.Client, base string, name str
 }
 
 func postJSON(ctx context.Context, client *http.Client, url string, body []byte, out any) error {
+	_, err := postJSONTraced(ctx, client, url, body, out)
+	return err
+}
+
+func postJSONTraced(ctx context.Context, client *http.Client, url string, body []byte, out any) (string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return err
+		return "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	if err != nil {
-		return err
+		return "", err
 	}
 	defer resp.Body.Close()
+	trace := resp.Header.Get(obs.HeaderTraceID)
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
-		return err
+		return trace, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("server: %s returned %d: %s", url, resp.StatusCode, bytes.TrimSpace(data))
+		return trace, fmt.Errorf("server: %s returned %d: %s", url, resp.StatusCode, bytes.TrimSpace(data))
 	}
 	if out != nil {
 		if err := json.Unmarshal(data, out); err != nil {
-			return fmt.Errorf("server: %s returned unparsable body: %w", url, err)
+			return trace, fmt.Errorf("server: %s returned unparsable body: %w", url, err)
 		}
 	}
-	return nil
+	return trace, nil
 }
 
 // FetchStats reads the daemon's /v1/stats endpoint.

@@ -45,6 +45,12 @@ func (s *Server) CollectMetrics(e *obs.Exposition) {
 
 	e.Summary("rota_decision_latency_us", "Worker-side decision service time (ledger lock + policy) in microseconds.", nil, s.latencyUS.Summary())
 
+	sp := st.Spans
+	e.Gauge("rota_span_store_capacity", "Span ring-buffer bound (0 when span tracing is off).", nil, float64(sp.Capacity))
+	e.Gauge("rota_spans_live", "Finished spans currently held in the ring buffer.", nil, float64(sp.Live))
+	e.Counter("rota_spans_recorded_total", "Spans recorded since start.", nil, float64(sp.Recorded))
+	e.Counter("rota_spans_evicted_total", "Spans overwritten to keep the store within its bound.", nil, float64(sp.Evicted))
+
 	for _, es := range obs.SortedEndpoints(s.httpStats) {
 		es.Collect(e, obs.L("layer", "server"))
 	}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/interval"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/resource"
 	"repro/internal/workload"
 )
@@ -51,6 +52,10 @@ type Config struct {
 	// correlation and the slow-decision tracer. Nil disables event
 	// logging; the /metrics exposition is always served.
 	Obs *obs.Observer
+	// Spans is the hierarchical span store: every admission phase is
+	// recorded as a span and served by GET /debug/rota/trace/{id}. Nil
+	// disables span tracing.
+	Spans *span.Store
 }
 
 func (c *Config) fill() error {
@@ -158,6 +163,7 @@ func New(cfg Config) (*Server, error) {
 		s.ledger.RestrictOwned(cfg.Owned)
 	}
 	s.ledger.SetObserver(cfg.Obs)
+	s.ledger.SetSpanStore(cfg.Spans)
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/admit", "admit", s.handleAdmit)
 	s.route("POST /v1/release", "release", s.handleRelease)
@@ -167,6 +173,7 @@ func New(cfg Config) (*Server, error) {
 	s.route("GET /v1/query", "query", s.handleQuery)
 	s.route("GET /v1/stats", "stats", s.handleStats)
 	s.route("GET /healthz", "healthz", s.handleHealth)
+	s.route("GET /debug/rota/trace/{id}", "trace", s.handleTraceDump)
 	s.mux.HandleFunc("GET /metrics", obs.Handler(s))
 	// The node-local half of the federation protocol (internal/cluster
 	// drives these on peers).
@@ -214,7 +221,8 @@ func (s *Server) worker() {
 		}
 		s.inflightDecs.Add(1)
 		start := time.Now()
-		dec, err := s.ledger.Admit(s.cfg.Policy, task.job)
+		span.FromContext(task.ctx).Attr("queue_wait_us", start.Sub(task.enqueued).Microseconds())
+		dec, err := s.ledger.AdmitCtx(task.ctx, s.cfg.Policy, task.job)
 		decided := time.Since(start)
 		s.inflightDecs.Add(-1)
 		if err == nil {
@@ -326,6 +334,9 @@ type AdmitResponse struct {
 	Job    string `json:"job"`
 	Admit  bool   `json:"admit"`
 	Reason string `json:"reason,omitempty"`
+	// Provenance is the structured decision provenance of a rejection:
+	// which pipeline stage, constraint, resource term and window failed.
+	Provenance *span.Provenance `json:"provenance,omitempty"`
 	// Finish is the witness plan's completion time (admitted only).
 	Finish interval.Time `json:"finish,omitempty"`
 	// Deadline echoes the job's deadline.
@@ -379,6 +390,10 @@ type StatsResponse struct {
 	// DecisionLatencyUS digests worker-side decision service time
 	// (ledger lock + policy) in microseconds.
 	DecisionLatencyUS LatencyStats `json:"decision_latency_us"`
+
+	// Spans digests the span store: ring-buffer bound, live records, and
+	// the recorded/evicted totals that prove the store stays bounded.
+	Spans span.Stats `json:"spans"`
 }
 
 // LatencyStats is the JSON shape of a histogram summary.
@@ -410,25 +425,45 @@ func DecodeAdmitRequest(body []byte) (workload.Job, error) {
 }
 
 func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
-	body, err := readBody(w, r, s.cfg.MaxBodyBytes)
-	if err != nil {
-		s.errored.Add(1)
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	job, err := DecodeAdmitRequest(body)
-	if err != nil {
-		s.errored.Add(1)
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
+	// The admit span is this request's terminal span: every phase —
+	// validation, plan search, reservation — nests underneath it, and a
+	// reject's provenance lands on it.
+	sctx, adSpan := s.cfg.Spans.Start(r.Context(), span.KindAdmit)
+	defer adSpan.End()
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.DecisionTimeout)
+	_, vSpan := s.cfg.Spans.Start(sctx, span.KindValidate)
+	body, err := readBody(w, r, s.cfg.MaxBodyBytes)
+	if err == nil {
+		var job workload.Job
+		job, err = DecodeAdmitRequest(body)
+		if err == nil {
+			vSpan.Attr("job", job.Dist.Name)
+			vSpan.End()
+			s.admitDecide(w, sctx, adSpan, job)
+			return
+		}
+	}
+	vSpan.Attr("error", err)
+	vSpan.SetStatus(span.StatusError)
+	vSpan.End()
+	adSpan.SetStatus(span.StatusError)
+	s.errored.Add(1)
+	httpError(w, http.StatusBadRequest, err)
+}
+
+// admitDecide runs a validated job through the worker pool and writes
+// the verdict. sctx carries the request's admit span.
+func (s *Server) admitDecide(w http.ResponseWriter, sctx context.Context, adSpan *span.Span, job workload.Job) {
+	adSpan.Attr("job", job.Dist.Name)
+	adSpan.Attr("deadline", job.Dist.Deadline)
+
+	ctx, cancel := context.WithTimeout(sctx, s.cfg.DecisionTimeout)
 	defer cancel()
-	trace := obs.Trace(r.Context())
+	trace := obs.Trace(sctx)
 	task := &decideTask{ctx: ctx, job: job, done: make(chan decideResult, 1),
 		trace: trace, enqueued: time.Now()}
 	if !s.submit(task) {
+		adSpan.SetStatus(span.StatusError)
 		httpError(w, http.StatusServiceUnavailable, errors.New("server: draining, not accepting new admissions"))
 		return
 	}
@@ -441,6 +476,8 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 			}
 			s.errored.Add(1)
 			s.obs.Log("admit.error", "trace", trace, "job", job.Dist.Name, "error", res.err)
+			adSpan.SetStatus(span.StatusError)
+			adSpan.Attr("error", res.err)
 			httpError(w, status, res.err)
 			return
 		}
@@ -463,8 +500,16 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 			Deadline:  job.Dist.Deadline,
 			ElapsedUS: res.dec.Elapsed.Microseconds(),
 		}
-		if res.dec.Plan != nil {
-			resp.Finish = res.dec.Plan.Finish
+		adSpan.Attr("admit", res.dec.Admit)
+		if res.dec.Admit {
+			if res.dec.Plan != nil {
+				resp.Finish = res.dec.Plan.Finish
+				adSpan.Attr("finish", res.dec.Plan.Finish)
+			}
+		} else {
+			resp.Provenance = span.Classify(res.dec.Reason)
+			adSpan.SetStatus(span.StatusReject)
+			adSpan.SetProvenance(resp.Provenance)
 		}
 		writeJSON(w, http.StatusOK, resp)
 	}
@@ -483,6 +528,8 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		// The claim guarantees the worker sees the abandonment and rolls
 		// back any reservation it completes late.
 		s.timedOut.Add(1)
+		adSpan.SetStatus(span.StatusError)
+		adSpan.Attr("error", "decision timeout")
 		s.obs.Log("admit.timeout", "trace", trace, "job", job.Dist.Name,
 			"timeout_ms", s.cfg.DecisionTimeout.Milliseconds())
 		httpError(w, http.StatusServiceUnavailable,
@@ -585,7 +632,29 @@ func (s *Server) Stats() StatsResponse {
 		Holds:             s.ledger.NumHolds(),
 		TwoPhase:          s.ledger.TwoPhase(),
 		DecisionLatencyUS: latencyStats(s.latencyUS.Summary()),
+		Spans:             s.cfg.Spans.Stats(),
 	}
+}
+
+// handleTraceDump serves GET /debug/rota/trace/{id}: every span this
+// node recorded for the trace, as a span.Dump. A node that saw nothing
+// of the trace returns an empty span list, so cross-node collectors can
+// fetch from every node and merge without special cases.
+func (s *Server) handleTraceDump(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Spans == nil {
+		httpError(w, http.StatusNotFound, errors.New("server: span store disabled (start with -span-store)"))
+		return
+	}
+	id := r.PathValue("id")
+	if id == "" || len(id) > 128 {
+		httpError(w, http.StatusBadRequest, errors.New("server: trace id must be 1..128 bytes"))
+		return
+	}
+	recs := s.cfg.Spans.Trace(id)
+	if recs == nil {
+		recs = []span.Record{}
+	}
+	writeJSON(w, http.StatusOK, span.Dump{Trace: id, Spans: recs})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
