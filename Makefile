@@ -8,11 +8,11 @@ GO ?= go
 # per-endpoint stats), the span store (lock-free-looking ring buffer fed
 # by every request), the metrics histogram, and the core decision path
 # they drive.
-RACE_PKGS = ./internal/server/ ./internal/cluster/ ./internal/obs/ ./internal/obs/span/ ./internal/metrics/ ./internal/admission/ ./internal/core/ ./internal/schedule/ ./cmd/rotad/
+RACE_PKGS = ./internal/server/ ./internal/cluster/ ./internal/query/ ./internal/obs/ ./internal/obs/span/ ./internal/metrics/ ./internal/admission/ ./internal/core/ ./internal/schedule/ ./cmd/rotad/
 
-.PHONY: ci fmt vet build test race metrics-lint selftest cluster-selftest trace-selftest bench clean
+.PHONY: ci fmt vet build test race metrics-lint selftest cluster-selftest trace-selftest query-selftest bench clean
 
-ci: fmt vet build test race metrics-lint trace-selftest
+ci: fmt vet build test race metrics-lint trace-selftest query-selftest
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -46,12 +46,24 @@ cluster-selftest:
 
 # End-to-end tracing check: a small 3-node cluster run whose span probe
 # must reconstruct a connected cross-node span tree, print its critical
-# path, and leave every reject carrying decision provenance.
+# path, and leave every reject carrying decision provenance. The same
+# run exercises the cross-node query probes (fan-out equivalence, watch
+# flipped by a coordinated admission).
 trace-selftest:
 	$(GO) run ./cmd/rotad -selftest -cluster 3 -requests 300 -clients 6 -locations 6
 
+# End-to-end query check: the single-daemon selftest's query probe must
+# see one-shot GET/POST agreement and /v1/watch verdict flips for a
+# reservation landing, its release, a leased hold, and a lease expiring.
+query-selftest:
+	$(GO) run ./cmd/rotad -selftest -requests 300 -clients 4
+
+# Regenerates BENCH_PR6.json at the repo root: every benchmark's
+# ops/sec, ns/op and allocs/op, including the loaded-ledger query
+# benchmarks (see EXPERIMENTS.md E14).
 bench:
-	$(GO) test -bench=. -benchtime=1x ./...
+	$(GO) test -bench=. -benchmem -benchtime=200ms -run '^$$' ./... | $(GO) run ./cmd/benchjson > BENCH_PR6.json
+	@cat BENCH_PR6.json | head -c 400; echo
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,91 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON array on stdout — one record per benchmark with its package,
+// iteration count, ns/op, derived ops/sec, and (under -benchmem)
+// B/op and allocs/op. The Makefile's bench target pipes through it to
+// regenerate BENCH_PR6.json at the repo root.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result.
+type Record struct {
+	Pkg         string  `json:"pkg"`
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	recs, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse scans benchmark lines, tracking the current "pkg:" header so
+// each record knows which package it came from.
+func parse(r io.Reader) ([]Record, error) {
+	recs := []Record{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a benchmark name alone on its line, not a result
+		}
+		rec := Record{Pkg: pkg, Name: fields[0], Iters: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", line, fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				rec.NsPerOp = v
+				if v > 0 {
+					rec.OpsPerSec = 1e9 / v
+				}
+			case "B/op":
+				rec.BytesPerOp = v
+			case "allocs/op":
+				rec.AllocsPerOp = v
+			}
+		}
+		if rec.NsPerOp == 0 {
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	return recs, sc.Err()
+}

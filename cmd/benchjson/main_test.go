@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/server
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkQueryParse        	   16950	      3381 ns/op	    2760 B/op	      36 allocs/op
+BenchmarkQueryLoadedLedger/holds/commitments=10         	    3332	     18486 ns/op	   26771 B/op	      97 allocs/op
+PASS
+ok  	repro/internal/server	2.640s
+pkg: repro/internal/resource
+BenchmarkSetUnion-8   	  500000	      2100.5 ns/op
+ok  	repro/internal/resource	1.100s
+`
+
+func TestParse(t *testing.T) {
+	recs, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("parsed %d records, want 3: %+v", len(recs), recs)
+	}
+	r := recs[0]
+	if r.Pkg != "repro/internal/server" || r.Name != "BenchmarkQueryParse" ||
+		r.Iters != 16950 || r.NsPerOp != 3381 || r.BytesPerOp != 2760 || r.AllocsPerOp != 36 {
+		t.Errorf("record 0 = %+v", r)
+	}
+	if r.OpsPerSec < 295000 || r.OpsPerSec > 296000 {
+		t.Errorf("ops/sec = %v, want ~295770", r.OpsPerSec)
+	}
+	sub := recs[1]
+	if sub.Name != "BenchmarkQueryLoadedLedger/holds/commitments=10" {
+		t.Errorf("sub-benchmark name = %q", sub.Name)
+	}
+	last := recs[2]
+	if last.Pkg != "repro/internal/resource" || last.Name != "BenchmarkSetUnion-8" || last.NsPerOp != 2100.5 {
+		t.Errorf("record 2 = %+v", last)
+	}
+	if last.BytesPerOp != 0 || last.AllocsPerOp != 0 {
+		t.Errorf("record without -benchmem should leave mem fields zero: %+v", last)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	recs, err := parse(strings.NewReader("FAIL\nBenchmarkBroken\nsomething else\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("noise produced records: %+v", recs)
+	}
+}

@@ -117,7 +117,7 @@ func runClusterSelftest(out io.Writer, cfg clusterSelftestConfig) error {
 	// forces two-phase coordination on n1; the armed crash stops the
 	// coordinator dead after its prepares succeed, leaving leased holds
 	// on both participants for the expiry sweep to reclaim.
-	crashJob, err := spanningJob("probe-crash", parts[0][0], parts[1][0], cfg.horizon)
+	crashJob, err := spanningJob("probe-crash", parts[0][0], parts[1][0], 0, cfg.horizon)
 	if err != nil {
 		return err
 	}
@@ -144,7 +144,7 @@ func runClusterSelftest(out io.Writer, cfg clusterSelftestConfig) error {
 	// every node it touched.
 	const probeTrace = "selftest-trace-0001"
 	coordIdx := cfg.nodes - 1
-	traceJob, err := spanningJob("probe-trace", parts[0][0], parts[1][0], cfg.horizon)
+	traceJob, err := spanningJob("probe-trace", parts[0][0], parts[1][0], 0, cfg.horizon)
 	if err != nil {
 		return err
 	}
@@ -306,6 +306,19 @@ func runClusterSelftest(out io.Writer, cfg clusterSelftestConfig) error {
 		return fmt.Errorf("cluster selftest: releasing migrated job: status %d, err %v, body %s", status, err, bytes.TrimSpace(data))
 	}
 
+	// Probe 4: the query layer across nodes. A spanning query's fan-out
+	// verdict must equal a single merged-ledger evaluation, and a watch
+	// on one node must flip when a coordinated admission submitted via
+	// another node commits on its ledger.
+	probePeers := make([]peerProbe, len(peers))
+	for i := range peers {
+		probePeers[i] = peerProbe{url: peers[i].URL, loc: parts[i][0]}
+	}
+	if err := runClusterQueryProbe(ctx, httpc, probePeers, sweepAt, cfg.horizon); err != nil {
+		return fmt.Errorf("cluster selftest: query probe: %w", err)
+	}
+	fmt.Fprintln(out, "cluster query probe ok")
+
 	// Report.
 	t := metrics.NewTable(
 		fmt.Sprintf("rotad cluster selftest: %d nodes, %d requests, %d clients", cfg.nodes, cfg.requests, cfg.clients),
@@ -402,7 +415,7 @@ func fetchSpanDump(ctx context.Context, client *http.Client, baseURL, trace stri
 // spanningJob builds a two-actor job whose footprint spans two locations
 // (and thus, in the selftest partition, two owners), forcing two-phase
 // coordination.
-func spanningJob(name string, locA, locB resource.Location, deadline interval.Time) (workload.Job, error) {
+func spanningJob(name string, locA, locB resource.Location, start, deadline interval.Time) (workload.Job, error) {
 	model := cost.Paper()
 	c1, err := cost.Realize(model, "a1", compute.Evaluate("a1", locA, 1))
 	if err != nil {
@@ -412,7 +425,7 @@ func spanningJob(name string, locA, locB resource.Location, deadline interval.Ti
 	if err != nil {
 		return workload.Job{}, err
 	}
-	dist, err := compute.NewDistributed(name, 0, deadline, c1, c2)
+	dist, err := compute.NewDistributed(name, start, deadline, c1, c2)
 	if err != nil {
 		return workload.Job{}, err
 	}

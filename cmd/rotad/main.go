@@ -370,6 +370,15 @@ func runSelftest(out io.Writer, srv *server.Server, locs []resource.Location, re
 	if report.Admitted == 0 {
 		return errors.New("selftest: nothing admitted; workload or availability misconfigured")
 	}
+	// Query-layer probe: one-shot GET/POST agreement, then a standing
+	// /v1/watch subscription must see the verdict flip when a reservation
+	// lands, when it is released, when a leased hold arrives, and when
+	// that lease expires in an advance sweep.
+	httpc := &http.Client{Timeout: 10 * time.Second}
+	if err := runQueryProbe(context.Background(), httpc, baseURL, locs[0], horizon); err != nil {
+		return fmt.Errorf("selftest: query probe: %w", err)
+	}
+	fmt.Fprintln(out, "query probe ok")
 	if err := srv.Ledger().Audit(); err != nil {
 		return fmt.Errorf("selftest: %w", err)
 	}

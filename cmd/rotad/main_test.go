@@ -25,9 +25,33 @@ func TestSelftestEndToEnd(t *testing.T) {
 	if !strings.Contains(out.String(), "selftest ok") {
 		t.Fatalf("selftest output missing verdict:\n%s", out.String())
 	}
-	for _, want := range []string{"throughput req/s", "decision p99 µs", "admitted"} {
+	for _, want := range []string{"throughput req/s", "decision p99 µs", "admitted", "query probe ok"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("selftest table missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestClusterSelftestEndToEnd boots the 3-node loopback cluster so the
+// cross-node probes — including the query fan-out equivalence check and
+// the watch flipped by a coordinated admission — run under the test
+// race detector.
+func TestClusterSelftestEndToEnd(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-selftest",
+		"-cluster", "3",
+		"-requests", "150",
+		"-clients", "4",
+		"-locations", "6",
+		"-seed", "7",
+	}, &out)
+	if err != nil {
+		t.Fatalf("cluster selftest failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"cluster query probe ok", "cluster selftest ok"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("cluster selftest output missing %q:\n%s", want, out.String())
 		}
 	}
 }

@@ -45,8 +45,12 @@ func run(args []string, out io.Writer) error {
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request HTTP timeout")
 	csv := fs.Bool("csv", false, "emit CSV")
 	slowlog := fs.Int("slowlog", 0, "report the N slowest requests with their trace IDs (feed to rotatrace -spans)")
+	queryFrac := fs.Float64("query-frac", 0, "fraction of requests issued as one-shot temporal queries instead of admits (0..1)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *queryFrac < 0 || *queryFrac > 1 {
+		return fmt.Errorf("-query-frac %v outside [0,1]", *queryFrac)
 	}
 	var baseURLs []string
 	for _, a := range strings.Split(*addr, ",") {
@@ -94,6 +98,7 @@ func run(args []string, out io.Writer) error {
 		ReleaseAdmitted: *release,
 		Timeout:         *timeout,
 		SlowLog:         *slowlog,
+		QueryFrac:       *queryFrac,
 	})
 	if err != nil {
 		return err
@@ -114,6 +119,13 @@ func run(args []string, out io.Writer) error {
 	t.AddRow("latency p90 µs", report.P90US)
 	t.AddRow("latency p99 µs", report.P99US)
 	t.AddRow("latency max µs", report.MaxUS)
+	if report.Queries > 0 {
+		t.AddRow("queries", report.Queries)
+		t.AddRow("queries holding", report.QueryHolds)
+		t.AddRow("query latency mean µs", report.QueryMeanUS)
+		t.AddRow("query latency p50 µs", report.QueryP50US)
+		t.AddRow("query latency p99 µs", report.QueryP99US)
+	}
 
 	// Server-side decision stats, when the daemon is reachable for them.
 	if stats, err := server.FetchStats(context.Background(), baseURL); err == nil {
@@ -130,6 +142,8 @@ func run(args []string, out io.Writer) error {
 			{"scrape late_decisions_total", "rota_late_decisions_total"},
 			{"scrape queue_depth", "rota_queue_depth"},
 			{"scrape ledger commitments", "rota_ledger_commitments"},
+			{"scrape queries_total", "rota_queries_total"},
+			{"scrape ledger epoch", "rota_ledger_epoch"},
 		} {
 			if v, ok := obs.MetricValue(m, row.family, ""); ok {
 				t.AddRow(row.label, v)

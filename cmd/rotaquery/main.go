@@ -1,0 +1,129 @@
+// Command rotaquery evaluates temporal queries against a running rotad
+// daemon — one-shot, or as a standing subscription streaming verdict
+// flips.
+//
+// Usage:
+//
+//	rotaquery -addr http://localhost:8080 'holds(l1, cpu>=5, always, next 30)'
+//	rotaquery -addr http://localhost:8080 -watch 'feasible(job-1, before deadline)'
+//
+// One-shot queries print the daemon's verdict JSON. With -watch, the
+// first line is the current verdict and every subsequent line is a
+// verdict flip, until -count events arrived or the stream ends.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	neturl "net/url"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/query"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rotaquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rotaquery", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:8080", "base URL of the rotad daemon")
+	watch := fs.Bool("watch", false, "subscribe and stream verdict flips instead of evaluating once")
+	count := fs.Int("count", 0, "with -watch, exit after N events (0 streams until the server ends it)")
+	queue := fs.Int("queue", 16, "with -watch, server-side event queue bound")
+	timeout := fs.Duration("timeout", 10*time.Second, "one-shot request timeout (watch streams are unbounded)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	q := strings.TrimSpace(strings.Join(fs.Args(), " "))
+	if q == "" {
+		return fmt.Errorf("usage: rotaquery [-watch] 'holds(l1, cpu>=5, always, next 30)'")
+	}
+	// Compile locally first: syntax errors surface immediately, with the
+	// canonical form the server will evaluate.
+	c, err := query.ParseText(q)
+	if err != nil {
+		return err
+	}
+	base := strings.TrimSuffix(*addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	if *watch {
+		return watchQuery(base, c.Source(), *queue, *count, out)
+	}
+	return oneShot(base, c.Source(), *timeout, out)
+}
+
+// oneShot evaluates once and prints the verdict JSON.
+func oneShot(base, q string, timeout time.Duration, out io.Writer) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	url := base + "/v1/query?q=" + neturl.QueryEscape(q)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s returned %d: %s", url, resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	_, err = fmt.Fprint(out, string(data))
+	return err
+}
+
+// watchQuery subscribes over SSE and prints each verdict event as one
+// JSON line.
+func watchQuery(base, q string, queue, count int, out io.Writer) error {
+	url := fmt.Sprintf("%s/v1/watch?q=%s&queue=%d", base, neturl.QueryEscape(q), queue)
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		return fmt.Errorf("%s returned %d: %s", url, resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	seen := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue // event: tags, keepalive comments, blank separators
+		}
+		if _, err := fmt.Fprintln(out, strings.TrimPrefix(line, "data: ")); err != nil {
+			return err
+		}
+		seen++
+		if count > 0 && seen >= count {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil && seen == 0 {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/resource"
+	"repro/internal/server"
+)
+
+func startDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	var theta resource.Set
+	theta.Add(resource.NewTerm(resource.FromUnits(8), resource.CPUAt("l1"), interval.New(0, 1000)))
+	srv, err := server.New(server.Config{Theta: theta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		_ = srv.Shutdown(context.Background())
+	})
+	return ts
+}
+
+func TestOneShot(t *testing.T) {
+	ts := startDaemon(t)
+	var out strings.Builder
+	if err := run([]string{"-addr", ts.URL, "holds(l1, cpu>=5, always, next 30)"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var resp server.QueryResponse
+	if err := json.Unmarshal([]byte(out.String()), &resp); err != nil {
+		t.Fatalf("unparsable verdict %q: %v", out.String(), err)
+	}
+	if !resp.Holds {
+		t.Fatalf("8 free units should satisfy cpu>=5: %+v", resp)
+	}
+	if resp.Query != "holds(l1, cpu>=5, always, next 30)" {
+		t.Fatalf("unexpected canonical query %q", resp.Query)
+	}
+}
+
+func TestOneShotParseErrorIsLocal(t *testing.T) {
+	// A syntax error must not need (or touch) the daemon.
+	var out strings.Builder
+	err := run([]string{"-addr", "http://127.0.0.1:1", "holds(l1)"}, &out)
+	if err == nil {
+		t.Fatal("bad query accepted")
+	}
+}
+
+func TestWatchInitialVerdict(t *testing.T) {
+	ts := startDaemon(t)
+	var out strings.Builder
+	if err := run([]string{"-addr", ts.URL, "-watch", "-count", "1", "holds(l1, cpu>=5, next 30)"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(out.String())
+	var ev struct {
+		Holds  bool   `json:"holds"`
+		Reason string `json:"reason"`
+		Seq    uint64 `json:"seq"`
+	}
+	if err := json.Unmarshal([]byte(line), &ev); err != nil {
+		t.Fatalf("unparsable event %q: %v", line, err)
+	}
+	if !ev.Holds || ev.Reason != "subscribe" || ev.Seq != 1 {
+		t.Fatalf("unexpected initial event: %s", line)
+	}
+}

@@ -107,6 +107,7 @@ type Node struct {
 	crashes       atomic.Uint64
 	migrations    atomic.Uint64
 	releases      atomic.Uint64
+	fanouts       atomic.Uint64
 	coordLatency  *metrics.Histogram
 
 	// Test instrumentation (see InjectCrashBeforeCommit / SetGate).
@@ -168,6 +169,8 @@ func New(cfg Config) (*Node, error) {
 	n.mux = http.NewServeMux()
 	n.route("POST /v1/admit", "admit", n.handleAdmit)
 	n.route("POST /v1/release", "release", n.handleRelease)
+	n.route("GET /v1/query", "query", n.handleQuery)
+	n.route("POST /v1/query", "query.eval", n.handleQueryPost)
 	n.route("GET /v1/stats", "stats", n.handleStats)
 	n.route("POST /v1/cluster/gossip", "cluster.gossip", n.handleGossip)
 	n.route("GET /v1/cluster/peers", "cluster.peers", n.handlePeers)
@@ -916,6 +919,9 @@ type ClusterCounters struct {
 	InjectedCrashes uint64 `json:"injected_crashes"`
 	Migrations      uint64 `json:"migrations"`
 	Releases        uint64 `json:"releases"`
+	// FanoutQueries counts temporal queries answered against merged
+	// remote free views (all-local queries delegate to the server layer).
+	FanoutQueries uint64 `json:"fanout_queries"`
 
 	CoordLatencyMeanUS float64 `json:"coord_latency_mean_us"`
 	CoordLatencyP50US  float64 `json:"coord_latency_p50_us"`
@@ -947,6 +953,7 @@ func (n *Node) Stats() NodeStats {
 			InjectedCrashes:    n.crashes.Load(),
 			Migrations:         n.migrations.Load(),
 			Releases:           n.releases.Load(),
+			FanoutQueries:      n.fanouts.Load(),
 			CoordLatencyMeanUS: lat.Mean,
 			CoordLatencyP50US:  lat.P50,
 			CoordLatencyP99US:  lat.P99,

@@ -27,6 +27,7 @@ func (n *Node) CollectMetrics(e *obs.Exposition) {
 	e.Counter("rota_cluster_injected_crashes_total", "Simulated coordinator crashes (test instrumentation).", nil, float64(n.crashes.Load()))
 	e.Counter("rota_cluster_migrations_total", "Commitments re-homed onto another node (make-before-break).", nil, float64(n.migrations.Load()))
 	e.Counter("rota_cluster_releases_total", "Cluster-wide releases fanned out from this node.", nil, float64(n.releases.Load()))
+	e.Counter("rota_cluster_fanout_queries_total", "Temporal queries answered against merged remote free views.", nil, float64(n.fanouts.Load()))
 
 	e.Summary("rota_cluster_coordination_latency_us", "End-to-end federated admission latency in microseconds (free view through commit).", nil, n.coordLatency.Summary())
 

@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/interval"
+	"repro/internal/obs"
+	"repro/internal/obs/span"
+	"repro/internal/query"
+	"repro/internal/resource"
+	"repro/internal/server"
+)
+
+// Cluster-aware temporal queries. A query whose footprint lives entirely
+// on this node delegates to the embedded server; one spanning locations
+// owned by other nodes is answered against the merged free views of the
+// owners — the same views a coordinated admission plans against, so a
+// fan-out verdict always equals a single merged-ledger evaluation.
+// Standing queries (/v1/watch) stay node-local by design: each node
+// watches its own ledger epochs, and the mux's "/" fallback already
+// routes them to the embedded server.
+
+// handleQuery is the cluster-aware GET /v1/query: commitment lookups
+// (?name=) and all-local queries delegate to the embedded server;
+// anything touching remote owners fans out.
+func (n *Node) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("name") != "" {
+		n.srv.ServeHTTP(w, r)
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		httpError(w, http.StatusBadRequest, errors.New("cluster: query needs ?name= or ?q="))
+		return
+	}
+	c, err := query.ParseText(q)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	n.serveQuery(w, r, c)
+}
+
+// handleQueryPost is the cluster-aware POST /v1/query.
+func (n *Node) handleQueryPost(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r, n.maxBody)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	c, err := server.DecodeQueryRequest(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	n.serveQuery(w, r, c)
+}
+
+// serveQuery routes a compiled query: local footprints take the embedded
+// server's path (and its metrics), spanning ones are merged here.
+func (n *Node) serveQuery(w http.ResponseWriter, r *http.Request, c *query.Compiled) {
+	if len(c.Names()) == 0 && n.allSelf(c.Footprint(nil)) {
+		resp, err := n.srv.EvalQuery(c)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	_, sp := n.spans.Start(r.Context(), span.KindQuery)
+	defer sp.End()
+	sp.Attr("query", c.Source())
+	resp, err := n.fanoutQuery(r.Context(), c)
+	if err != nil {
+		sp.SetStatus(span.StatusError)
+		sp.Attr("error", err)
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	sp.Attr("holds", resp.Holds)
+	sp.Attr("epoch", resp.Epoch)
+	n.obs.Log("query.fanout",
+		"trace", obs.Trace(r.Context()), "query", resp.Query,
+		"holds", resp.Holds, "elapsed_us", resp.ElapsedUS)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// allSelf reports whether every location is owned by this node.
+func (n *Node) allSelf(locs []resource.Location) bool {
+	for _, loc := range locs {
+		if ps, ok := n.owners[loc]; !ok || !ps.isSelf {
+			return false
+		}
+	}
+	return true
+}
+
+// resolveCommitment finds a named commitment anywhere in the cluster:
+// locally first, then on each peer via its commitment-lookup endpoint. A
+// name committed nowhere resolves to nothing (feasible/Allen atoms over
+// it are false), matching single-node semantics.
+func (n *Node) resolveCommitment(ctx context.Context, name string) (query.Commitment, bool, error) {
+	info, ok := n.srv.Ledger().Commitment(name)
+	if !ok {
+		for _, ps := range n.peers {
+			if ps.isSelf {
+				continue
+			}
+			var pi server.CommitmentInfo
+			url := ps.URL + "/v1/query?name=" + name
+			if err := n.client.call(ctx, http.MethodGet, url, nil, &pi, nil, ps.rpc); err != nil {
+				var se *httpStatusError
+				if errors.As(err, &se) && se.status == http.StatusNotFound {
+					continue
+				}
+				return query.Commitment{}, false, fmt.Errorf("cluster: resolving %s on %s: %w", name, ps.ID, err)
+			}
+			info, ok = pi, true
+			break
+		}
+	}
+	if !ok {
+		return query.Commitment{}, false, nil
+	}
+	demand, err := resource.ParseSet(info.Demand)
+	if err != nil {
+		return query.Commitment{}, false, fmt.Errorf("cluster: commitment %s demand unparsable: %w", name, err)
+	}
+	locs := make([]resource.Location, len(info.Locations))
+	for i, loc := range info.Locations {
+		locs[i] = resource.Location(loc)
+	}
+	return query.Commitment{
+		Name:      info.Name,
+		Admitted:  info.Admitted,
+		Finish:    info.Finish,
+		Deadline:  info.Deadline,
+		Locations: locs,
+		Demand:    demand,
+	}, true, nil
+}
+
+// fanoutQuery evaluates a query against the merged free views of every
+// owner in its footprint — the exact views a coordinated admission plans
+// against. Locations no node owns contribute no free resources, so atoms
+// over them are false rather than errors, matching an empty shard.
+func (n *Node) fanoutQuery(ctx context.Context, c *query.Compiled) (server.QueryResponse, error) {
+	start := time.Now()
+	n.fanouts.Add(1)
+	comms := make(map[string]query.Commitment)
+	for _, name := range c.Names() {
+		cm, ok, err := n.resolveCommitment(ctx, name)
+		if err != nil {
+			return server.QueryResponse{}, err
+		}
+		if ok {
+			comms[name] = cm
+		}
+	}
+	byOwner := make(map[*peerState][]resource.Location)
+	for _, loc := range c.Footprint(comms) {
+		if ps, ok := n.owners[loc]; ok {
+			byOwner[ps] = append(byOwner[ps], loc)
+		}
+	}
+	var free resource.Set
+	var now interval.Time
+	for ps, locs := range byOwner {
+		set, pnow, err := n.freeOn(ctx, ps, locs)
+		if err != nil {
+			return server.QueryResponse{}, err
+		}
+		free = free.Union(set)
+		if pnow > now {
+			now = pnow
+		}
+	}
+	if len(byOwner) == 0 {
+		now = n.srv.Ledger().Now()
+	}
+	snap := query.Snapshot{
+		Now:         now,
+		Epoch:       n.srv.Ledger().Epoch(),
+		Free:        free,
+		Commitments: comms,
+	}
+	res, err := c.Evaluate(snap)
+	if err != nil {
+		return server.QueryResponse{}, err
+	}
+	return server.QueryResponse{
+		Query:     c.Source(),
+		Holds:     res.Holds,
+		Formula:   res.Formula,
+		Now:       snap.Now,
+		Epoch:     snap.Epoch,
+		ElapsedUS: time.Since(start).Microseconds(),
+	}, nil
+}

@@ -52,6 +52,20 @@ var statFamilies = map[string]string{
 	"two_phase":           recurse,
 	"decision_latency_us": "rota_decision_latency_us",
 	"spans":               recurse,
+	"query":               recurse,
+	// server.QueryStats
+	"queries":          "rota_queries_total",
+	"epoch":            "rota_ledger_epoch",
+	"subscriptions":    recurse,
+	"query_latency_us": "rota_query_latency_us",
+	// query.ManagerStats
+	"active_subscriptions": "rota_query_subscriptions",
+	"evals":                "rota_query_evals_total",
+	"eval_errors":          "rota_query_eval_errors_total",
+	"flips":                "rota_query_flips_total",
+	"delivered":            "rota_query_events_delivered_total",
+	"drops":                "rota_query_drops_total",
+	"webhook_errors":       "rota_query_webhook_errors_total",
 	// span.Stats
 	"capacity": "rota_span_store_capacity",
 	"live":     "rota_spans_live",
@@ -73,6 +87,7 @@ var statFamilies = map[string]string{
 	"injected_crashes":      "rota_cluster_injected_crashes_total",
 	"migrations":            "rota_cluster_migrations_total",
 	"releases":              "rota_cluster_releases_total",
+	"fanout_queries":        "rota_cluster_fanout_queries_total",
 	"coord_latency_mean_us": "rota_cluster_coordination_latency_us",
 	"coord_latency_p50_us":  "rota_cluster_coordination_latency_us",
 	"coord_latency_p99_us":  "rota_cluster_coordination_latency_us",

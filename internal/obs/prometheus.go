@@ -282,6 +282,14 @@ func (sw *statusWriter) Write(b []byte) (int, error) {
 	return sw.ResponseWriter.Write(b)
 }
 
+// Flush delegates to the underlying writer so streaming handlers (the
+// /v1/watch SSE stream) keep working through the instrumentation wrapper.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // Instrument wraps a handler with per-endpoint stats and trace
 // correlation: the request's trace ID (minted when absent) is placed in
 // the context and echoed in the response header before next runs.

@@ -112,6 +112,20 @@ var (
 		"attempt", "attempt index, 0-based",
 		"error", "attempt failure, when it failed")
 
+	KindQuery = defineKind("query",
+		"one-shot temporal query evaluated against the ledger free view",
+		"query", "canonical query text",
+		"holds", "verdict (true/false)",
+		"epoch", "ledger epoch the verdict was taken against",
+		"error", "compile or evaluation failure")
+
+	KindWatch = defineKind("watch",
+		"standing-query subscription lifetime (SSE stream)",
+		"query", "canonical query text",
+		"sub", "subscription ID",
+		"events", "verdict events delivered over the stream",
+		"error", "subscribe failure")
+
 	// Sim-bridge kinds: synthetic spans reconstructed from internal/sim
 	// JSONL traces so rotatrace -spans analyses simulator runs too.
 	KindSimJob = defineKind("sim.job",

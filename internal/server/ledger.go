@@ -107,6 +107,14 @@ type Ledger struct {
 	aborts        atomic.Uint64
 	leasesExpired atomic.Uint64
 	notOwned      atomic.Uint64
+
+	// epoch counts ledger state changes that can flip a query verdict:
+	// reservations landing and leaving (admit, release, acquire,
+	// prepare, commit, abort) and clock advances (which also sweep
+	// expired leases). The epoch notifier fans a bump out to the
+	// standing-query manager.
+	epoch  atomic.Uint64
+	notify atomic.Value // func(epoch uint64, reason string)
 }
 
 // NewLedger builds a ledger from the initial availability Θ at time now.
@@ -136,6 +144,30 @@ func (l *Ledger) SetObserver(o *obs.Observer) {
 // Intended to be called once, before the ledger serves traffic.
 func (l *Ledger) SetSpanStore(st *span.Store) {
 	l.spans = st
+}
+
+// SetEpochNotifier attaches the callback invoked after every epoch
+// bump. Intended to be called once, before the ledger serves traffic.
+// The callback must not block: it runs on the mutating goroutine.
+func (l *Ledger) SetEpochNotifier(fn func(epoch uint64, reason string)) {
+	l.notify.Store(fn)
+}
+
+// Epoch returns the ledger's change epoch. Two reads returning the same
+// value bracket a window with no verdict-relevant state change.
+func (l *Ledger) Epoch() uint64 {
+	return l.epoch.Load()
+}
+
+// bumpEpoch advances the epoch after a verdict-relevant state change
+// and notifies the standing-query manager, tagging the bump with the
+// mutation kind (reserve, release, acquire, advance, prepare, commit,
+// abort).
+func (l *Ledger) bumpEpoch(reason string) {
+	e := l.epoch.Add(1)
+	if fn, ok := l.notify.Load().(func(uint64, string)); ok && fn != nil {
+		fn(e, reason)
+	}
 }
 
 // Now returns the ledger clock.
@@ -381,6 +413,7 @@ func (l *Ledger) AdmitCtx(ctx context.Context, policy admission.Policy, job work
 	claim.admitted = now
 	claim.pending = false
 	l.mu.Unlock()
+	l.bumpEpoch("reserve")
 	return dec, nil
 }
 
@@ -403,6 +436,7 @@ func (l *Ledger) Release(name string) error {
 	if err := l.releaseDemand(locs, plan.Demand()); err != nil {
 		return fmt.Errorf("server: releasing %s: %w", name, err)
 	}
+	l.bumpEpoch("release")
 	return nil
 }
 
@@ -442,6 +476,7 @@ func (l *Ledger) Acquire(theta resource.Set) {
 		sh.theta = sh.theta.Union(part)
 		unlock()
 	}
+	l.bumpEpoch("acquire")
 }
 
 // Advance moves the ledger clock to 'to', expiring availability and
@@ -502,6 +537,9 @@ func (l *Ledger) Advance(to interval.Time) ([]string, error) {
 		l.obs.Log("ledger.lease_expired",
 			"key", h.key, "job", h.name, "expiry", h.expiry, "now", to)
 	}
+	// One bump covers the whole advance: the trim, the completions, and
+	// the lease sweep land in the same epoch.
+	l.bumpEpoch("advance")
 	sort.Strings(done)
 	return done, nil
 }
@@ -517,13 +555,17 @@ type ShardInfo struct {
 	ReservedTerm int    `json:"reserved_terms"`
 }
 
-// CommitmentInfo is one commitment's slice of a ledger snapshot.
+// CommitmentInfo is one commitment's slice of a ledger snapshot. Demand
+// is the compact rendering of the not-yet-consumed reserved demand —
+// what a feasible() query would have to re-place, and what a cluster
+// peer needs to resolve a named query ref remotely.
 type CommitmentInfo struct {
 	Name      string        `json:"name"`
 	Admitted  interval.Time `json:"admitted"`
 	Deadline  interval.Time `json:"deadline"`
 	Finish    interval.Time `json:"finish"`
 	Locations []string      `json:"locations"`
+	Demand    string        `json:"demand,omitempty"`
 }
 
 // HoldInfo is one leased two-phase hold in a ledger snapshot.
@@ -606,6 +648,7 @@ func (l *Ledger) Snapshot() Snapshot {
 
 // Commitment reports a live commitment by name.
 func (l *Ledger) Commitment(name string) (CommitmentInfo, bool) {
+	now := l.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	c, ok := l.commits[name]
@@ -616,12 +659,14 @@ func (l *Ledger) Commitment(name string) (CommitmentInfo, bool) {
 	for i, loc := range c.locs {
 		locs[i] = string(loc)
 	}
+	remaining := c.plan.Demand().Clamp(interval.New(now, interval.Infinity))
 	return CommitmentInfo{
 		Name:      c.name,
 		Admitted:  c.admitted,
 		Deadline:  c.deadline,
 		Finish:    c.plan.Finish,
 		Locations: locs,
+		Demand:    remaining.Compact(),
 	}, true
 }
 

@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	neturl "net/url"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/workload"
@@ -42,6 +44,11 @@ type LoadConfig struct {
 	// their server-assigned trace IDs in LoadReport.Slow — the handle a
 	// client needs to pull the span tree behind a tail-latency outlier.
 	SlowLog int
+	// QueryFrac, in [0,1], replaces that fraction of the request stream
+	// with one-shot temporal queries (alternating holds over the job's
+	// footprint and feasible over its name) — mixed admit/query traffic
+	// against the same ledger.
+	QueryFrac float64
 }
 
 // SlowRequest is one entry of the client-side slow log: enough to go
@@ -61,6 +68,10 @@ type LoadReport struct {
 	Rejected int
 	Errors   int
 	Released int
+	// Queries counts the requests served as one-shot temporal queries
+	// (QueryFrac of the stream); QueryHolds of them held.
+	Queries    int
+	QueryHolds int
 
 	Duration   time.Duration
 	Throughput float64 // requests per second
@@ -70,6 +81,11 @@ type LoadReport struct {
 	P90US  float64
 	P99US  float64
 	MaxUS  float64
+
+	// Query latency digest, client-observed, microseconds.
+	QueryMeanUS float64
+	QueryP50US  float64
+	QueryP99US  float64
 
 	// Slow is the slow log: the SlowLog slowest requests, slowest first.
 	Slow []SlowRequest
@@ -103,8 +119,13 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 
 	client := &http.Client{Timeout: cfg.Timeout}
 	hist := metrics.NewHistogram()
-	var next, admitted, rejected, errs, released, unexplained atomic.Int64
+	qhist := metrics.NewHistogram()
+	var next, admitted, rejected, errs, released, unexplained, queries, queryHolds atomic.Int64
 	var firstErr atomic.Value
+	// Deterministic admit/query interleaving: request i is a query iff
+	// i mod 100 falls below the rounded percentage, so reruns mix
+	// identically and the accounting stays exact.
+	queryPct := int(cfg.QueryFrac*100 + 0.5)
 
 	// The slow log is a bounded slice kept sorted slowest-first; with
 	// SlowLog entries at most, re-sorting per insert is cheap.
@@ -143,6 +164,22 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 					job.Dist.Name = fmt.Sprintf("%s#r%d", job.Dist.Name, i/len(cfg.Jobs))
 				}
 				url := urls[i%len(urls)]
+				if queryPct > 0 && i%100 < queryPct {
+					q := loadQuery(i, job)
+					reqStart := time.Now()
+					qr, err := getQueryText(ctx, client, url, q)
+					qhist.Observe(float64(time.Since(reqStart).Microseconds()))
+					if err != nil {
+						errs.Add(1)
+						firstErr.CompareAndSwap(nil, err)
+						continue
+					}
+					queries.Add(1)
+					if qr.Holds {
+						queryHolds.Add(1)
+					}
+					continue
+				}
 				reqStart := time.Now()
 				resp, trace, err := postAdmit(ctx, client, url, job)
 				latencyUS := time.Since(reqStart).Microseconds()
@@ -176,18 +213,25 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 	elapsed := time.Since(start)
 
 	sum := hist.Summary()
+	qsum := qhist.Summary()
 	report := LoadReport{
-		Requests: cfg.Requests,
-		Admitted: int(admitted.Load()),
-		Rejected: int(rejected.Load()),
-		Errors:   int(errs.Load()),
-		Released: int(released.Load()),
-		Duration: elapsed,
-		MeanUS:   sum.Mean,
-		P50US:    sum.P50,
-		P90US:    sum.P90,
-		P99US:    sum.P99,
-		MaxUS:    sum.Max,
+		Requests:   cfg.Requests,
+		Admitted:   int(admitted.Load()),
+		Rejected:   int(rejected.Load()),
+		Errors:     int(errs.Load()),
+		Released:   int(released.Load()),
+		Queries:    int(queries.Load()),
+		QueryHolds: int(queryHolds.Load()),
+		Duration:   elapsed,
+		MeanUS:     sum.Mean,
+		P50US:      sum.P50,
+		P90US:      sum.P90,
+		P99US:      sum.P99,
+		MaxUS:      sum.Max,
+
+		QueryMeanUS: qsum.Mean,
+		QueryP50US:  qsum.P50,
+		QueryP99US:  qsum.P99,
 
 		Slow:               slow,
 		UnexplainedRejects: int(unexplained.Load()),
@@ -198,15 +242,55 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 	if err := ctx.Err(); err != nil {
 		return report, err
 	}
-	if report.Admitted+report.Rejected+report.Errors != report.Requests {
-		return report, fmt.Errorf("server: load accounting off: %d+%d+%d != %d",
-			report.Admitted, report.Rejected, report.Errors, report.Requests)
+	if report.Admitted+report.Rejected+report.Errors+report.Queries != report.Requests {
+		return report, fmt.Errorf("server: load accounting off: %d+%d+%d+%d != %d",
+			report.Admitted, report.Rejected, report.Errors, report.Queries, report.Requests)
 	}
-	if err, ok := firstErr.Load().(error); ok && report.Admitted+report.Rejected == 0 {
+	if err, ok := firstErr.Load().(error); ok && report.Admitted+report.Rejected+report.Queries == 0 {
 		// Nothing got through at all; surface why.
 		return report, fmt.Errorf("server: load failed entirely: %w", err)
 	}
 	return report, nil
+}
+
+// loadQuery derives a one-shot query from the job that would otherwise
+// have been admitted: half probe the free view at the job's first
+// footprint location, half ask whether a (possibly live) job of that
+// name remains feasible.
+func loadQuery(i int, job workload.Job) string {
+	loc := "l1"
+	if locs := footprint(core.ConcurrentAt(job.Dist, 0)); len(locs) > 0 {
+		loc = string(locs[0])
+	}
+	if i%2 == 0 {
+		return fmt.Sprintf("holds(%s, cpu>=1, next 50)", loc)
+	}
+	return fmt.Sprintf("feasible(%s)", job.Dist.Name)
+}
+
+// getQueryText evaluates one compact-form query via GET /v1/query?q=.
+func getQueryText(ctx context.Context, client *http.Client, base, q string) (QueryResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/query?q="+neturl.QueryEscape(q), nil)
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return QueryResponse{}, fmt.Errorf("server: query %q returned %d: %s", q, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	var out QueryResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		return QueryResponse{}, fmt.Errorf("server: query %q returned unparsable body: %w", q, err)
+	}
+	return out, nil
 }
 
 // postAdmit submits one job and returns the verdict plus the trace ID

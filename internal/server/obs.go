@@ -45,6 +45,18 @@ func (s *Server) CollectMetrics(e *obs.Exposition) {
 
 	e.Summary("rota_decision_latency_us", "Worker-side decision service time (ledger lock + policy) in microseconds.", nil, s.latencyUS.Summary())
 
+	q := st.Query
+	e.Counter("rota_queries_total", "One-shot temporal queries evaluated.", nil, float64(q.Queries))
+	e.Gauge("rota_ledger_epoch", "Ledger mutation epoch; every bump re-evaluates the standing queries.", nil, float64(q.Epoch))
+	e.Gauge("rota_query_subscriptions", "Active standing-query subscriptions.", nil, float64(q.Subs.Active))
+	e.Counter("rota_query_evals_total", "Standing-query re-evaluations run by the sweep loop.", nil, float64(q.Subs.Evals))
+	e.Counter("rota_query_eval_errors_total", "Standing-query re-evaluations that errored (previous verdict kept).", nil, float64(q.Subs.EvalErrors))
+	e.Counter("rota_query_flips_total", "Verdict flips detected across all standing queries.", nil, float64(q.Subs.Flips))
+	e.Counter("rota_query_events_delivered_total", "Verdict events delivered to subscriber queues.", nil, float64(q.Subs.Delivered))
+	e.Counter("rota_query_drops_total", "Verdict events dropped on full subscriber queues.", nil, float64(q.Subs.Drops))
+	e.Counter("rota_query_webhook_errors_total", "Webhook verdict deliveries that failed.", nil, float64(q.Subs.WebhookErrors))
+	e.Summary("rota_query_latency_us", "One-shot query evaluation time in microseconds.", nil, s.queryLatencyUS.Summary())
+
 	sp := st.Spans
 	e.Gauge("rota_span_store_capacity", "Span ring-buffer bound (0 when span tracing is off).", nil, float64(sp.Capacity))
 	e.Gauge("rota_spans_live", "Finished spans currently held in the ring buffer.", nil, float64(sp.Live))

@@ -19,6 +19,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/obs/span"
+	"repro/internal/query"
 	"repro/internal/resource"
 	"repro/internal/workload"
 )
@@ -138,6 +139,14 @@ type Server struct {
 	obs       *obs.Observer
 	httpStats map[string]*obs.EndpointStats
 
+	// queries is the temporal-query subscription manager: standing
+	// queries re-evaluated on every ledger epoch bump.
+	queries        *query.Manager
+	queryCount     atomic.Uint64
+	queryLatencyUS *metrics.Histogram
+	webhookMu      sync.Mutex
+	webhooks       map[uint64]*query.Subscription
+
 	// testDecideHook, when non-nil, runs in the worker between the
 	// queue-drop check and the ledger admission — test instrumentation
 	// for provoking the late-decision race deterministically.
@@ -151,19 +160,23 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:       cfg,
-		ledger:    NewLedger(cfg.Theta, cfg.Now),
-		queue:     make(chan *decideTask, cfg.QueueDepth),
-		started:   time.Now(),
-		latencyUS: metrics.NewHistogram(),
-		obs:       cfg.Obs,
-		httpStats: make(map[string]*obs.EndpointStats),
+		cfg:            cfg,
+		ledger:         NewLedger(cfg.Theta, cfg.Now),
+		queue:          make(chan *decideTask, cfg.QueueDepth),
+		started:        time.Now(),
+		latencyUS:      metrics.NewHistogram(),
+		queryLatencyUS: metrics.NewHistogram(),
+		obs:            cfg.Obs,
+		httpStats:      make(map[string]*obs.EndpointStats),
+		webhooks:       make(map[uint64]*query.Subscription),
 	}
 	if len(cfg.Owned) > 0 {
 		s.ledger.RestrictOwned(cfg.Owned)
 	}
 	s.ledger.SetObserver(cfg.Obs)
 	s.ledger.SetSpanStore(cfg.Spans)
+	s.queries = query.NewManager(s.managerEval, s.obs.Log)
+	s.ledger.SetEpochNotifier(s.queries.Bump)
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/admit", "admit", s.handleAdmit)
 	s.route("POST /v1/release", "release", s.handleRelease)
@@ -171,6 +184,10 @@ func New(cfg Config) (*Server, error) {
 	s.route("POST /v1/advance", "advance", s.handleAdvance)
 	s.route("GET /v1/ledger", "ledger", s.handleLedger)
 	s.route("GET /v1/query", "query", s.handleQuery)
+	s.route("POST /v1/query", "query.eval", s.handleQueryPost)
+	s.route("GET /v1/watch", "watch", s.handleWatch)
+	s.route("POST /v1/watch", "watch.hook", s.handleWatchHook)
+	s.route("DELETE /v1/watch", "watch.drop", s.handleWatchDrop)
 	s.route("GET /v1/stats", "stats", s.handleStats)
 	s.route("GET /healthz", "healthz", s.handleHealth)
 	s.route("GET /debug/rota/trace/{id}", "trace", s.handleTraceDump)
@@ -306,6 +323,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	close(s.queue)
 	s.workerWg.Wait()
+	s.queries.Close()
 	return nil
 }
 
@@ -394,6 +412,23 @@ type StatsResponse struct {
 	// Spans digests the span store: ring-buffer bound, live records, and
 	// the recorded/evicted totals that prove the store stays bounded.
 	Spans span.Stats `json:"spans"`
+
+	// Query digests the temporal-query layer: one-shot evaluations,
+	// ledger epoch, subscription traffic and query latency.
+	Query QueryStats `json:"query"`
+}
+
+// QueryStats digests the temporal-query layer for /v1/stats.
+type QueryStats struct {
+	// Queries counts one-shot query evaluations served.
+	Queries uint64 `json:"queries"`
+	// Epoch is the ledger's mutation epoch; every bump re-evaluates the
+	// standing queries.
+	Epoch uint64 `json:"epoch"`
+	// Subs digests the subscription manager.
+	Subs query.ManagerStats `json:"subscriptions"`
+	// LatencyUS digests one-shot query evaluation time in microseconds.
+	LatencyUS LatencyStats `json:"query_latency_us"`
 }
 
 // LatencyStats is the JSON shape of a histogram summary.
@@ -599,20 +634,6 @@ func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.ledger.Snapshot())
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	name := r.URL.Query().Get("name")
-	if name == "" {
-		httpError(w, http.StatusBadRequest, errors.New("server: query needs ?name="))
-		return
-	}
-	info, ok := s.ledger.Commitment(name)
-	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("%w: %s", ErrUnknown, name))
-		return
-	}
-	writeJSON(w, http.StatusOK, info)
-}
-
 // Stats returns the daemon's counters and latency digest.
 func (s *Server) Stats() StatsResponse {
 	return StatsResponse{
@@ -633,6 +654,12 @@ func (s *Server) Stats() StatsResponse {
 		TwoPhase:          s.ledger.TwoPhase(),
 		DecisionLatencyUS: latencyStats(s.latencyUS.Summary()),
 		Spans:             s.cfg.Spans.Stats(),
+		Query: QueryStats{
+			Queries:   s.queryCount.Load(),
+			Epoch:     s.ledger.Epoch(),
+			Subs:      s.queries.Stats(),
+			LatencyUS: latencyStats(s.queryLatencyUS.Summary()),
+		},
 	}
 }
 

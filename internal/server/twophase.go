@@ -159,6 +159,7 @@ func (l *Ledger) Prepare(key, name string, demand resource.Set, finish, deadline
 	h.pending = false
 	l.mu.Unlock()
 	l.prepares.Add(1)
+	l.bumpEpoch("prepare")
 	return nil
 }
 
@@ -192,6 +193,9 @@ func (l *Ledger) Commit(key string) error {
 	}
 	l.committedKeys[key] = h.name
 	l.commitCount.Add(1)
+	// The hold's demand stays reserved, but feasible/Allen atoms can now
+	// resolve the commitment by name: still a verdict-relevant change.
+	l.bumpEpoch("commit")
 	return nil
 }
 
@@ -223,6 +227,7 @@ func (l *Ledger) Abort(key string) error {
 		return fmt.Errorf("server: aborting %s: %w", key, err)
 	}
 	l.aborts.Add(1)
+	l.bumpEpoch("abort")
 	return nil
 }
 
@@ -264,7 +269,7 @@ func (l *Ledger) RemainingDemand(name string) (resource.Set, CommitmentInfo, err
 		locs[i] = string(loc)
 	}
 	info := CommitmentInfo{Name: c.name, Admitted: c.admitted, Deadline: c.deadline,
-		Finish: c.plan.Finish, Locations: locs}
+		Finish: c.plan.Finish, Locations: locs, Demand: demand.Compact()}
 	l.mu.Unlock()
 	return demand, info, nil
 }
