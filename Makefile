@@ -8,11 +8,11 @@ GO ?= go
 # per-endpoint stats), the span store (lock-free-looking ring buffer fed
 # by every request), the metrics histogram, and the core decision path
 # they drive.
-RACE_PKGS = ./internal/server/ ./internal/cluster/ ./internal/query/ ./internal/obs/ ./internal/obs/span/ ./internal/metrics/ ./internal/admission/ ./internal/core/ ./internal/schedule/ ./cmd/rotad/
+RACE_PKGS = ./internal/server/ ./internal/cluster/ ./internal/membership/ ./internal/query/ ./internal/obs/ ./internal/obs/span/ ./internal/metrics/ ./internal/admission/ ./internal/core/ ./internal/schedule/ ./cmd/rotad/
 
-.PHONY: ci fmt vet build test race metrics-lint selftest cluster-selftest trace-selftest query-selftest bench clean
+.PHONY: ci fmt vet build test race metrics-lint bench-gate selftest cluster-selftest trace-selftest query-selftest bench clean
 
-ci: fmt vet build test race metrics-lint trace-selftest query-selftest
+ci: fmt vet build test race metrics-lint bench-gate trace-selftest query-selftest
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -34,6 +34,12 @@ race:
 # family in the Prometheus exposition (see internal/obs/lint_test.go).
 metrics-lint:
 	$(GO) test -run 'TestMetricsLint' -count=1 ./internal/obs/
+
+# Perf-regression gate: the committed per-PR benchmark ledgers must not
+# drift more than the tolerance between consecutive PRs (same-machine
+# runs; see EXPERIMENTS.md E15).
+bench-gate:
+	$(GO) run ./cmd/benchjson -compare BENCH_PR6.json BENCH_PR7.json -tolerance 15%
 
 # End-to-end: daemon + ≥1000 requests through the HTTP API.
 selftest:
@@ -58,12 +64,14 @@ trace-selftest:
 query-selftest:
 	$(GO) run ./cmd/rotad -selftest -requests 300 -clients 4
 
-# Regenerates BENCH_PR6.json at the repo root: every benchmark's
+# Regenerates BENCH_PR7.json at the repo root: every benchmark's
 # ops/sec, ns/op and allocs/op, including the loaded-ledger query
-# benchmarks (see EXPERIMENTS.md E14).
+# benchmarks (E14) and the handoff-under-load benchmark (E15). Three
+# runs per benchmark; benchjson keeps each one's fastest (noise only
+# slows a run down), so the ledger is stable enough for bench-gate.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=200ms -run '^$$' ./... | $(GO) run ./cmd/benchjson > BENCH_PR6.json
-	@cat BENCH_PR6.json | head -c 400; echo
+	$(GO) test -bench=. -benchmem -benchtime=200ms -count=3 -run '^$$' ./... | $(GO) run ./cmd/benchjson > BENCH_PR7.json
+	@cat BENCH_PR7.json | head -c 400; echo
 
 clean:
 	$(GO) clean ./...

@@ -2,12 +2,18 @@
 // JSON array on stdout — one record per benchmark with its package,
 // iteration count, ns/op, derived ops/sec, and (under -benchmem)
 // B/op and allocs/op. The Makefile's bench target pipes through it to
-// regenerate BENCH_PR6.json at the repo root.
+// regenerate the BENCH_PR*.json perf ledger at the repo root.
+//
+// With -compare OLD.json NEW.json it instead gates the two committed
+// ledgers against each other: any benchmark present in both whose
+// ns/op grew beyond -tolerance (default 15%) fails the run. `make ci`
+// uses this to catch perf regressions between PRs.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -27,6 +33,31 @@ type Record struct {
 }
 
 func main() {
+	compareMode := flag.Bool("compare", false, "compare two BENCH_*.json ledgers instead of parsing stdin")
+	tolerance := flag.String("tolerance", "15%", "allowed ns/op growth before -compare fails (e.g. 15% or 0.15)")
+	flag.Parse()
+	if *compareMode {
+		// flag.Parse stops at the first positional, so accept
+		// "-tolerance 15%" trailing the two ledger paths as well.
+		files, tol := []string{}, *tolerance
+		args := flag.Args()
+		for i := 0; i < len(args); i++ {
+			switch {
+			case args[i] == "-tolerance" && i+1 < len(args):
+				tol = args[i+1]
+				i++
+			case strings.HasPrefix(args[i], "-tolerance="):
+				tol = strings.TrimPrefix(args[i], "-tolerance=")
+			default:
+				files = append(files, args[i])
+			}
+		}
+		if len(files) != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two ledger files, got", len(files))
+			os.Exit(2)
+		}
+		os.Exit(runCompare(os.Stderr, files[0], files[1], tol))
+	}
 	recs, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -41,9 +72,14 @@ func main() {
 }
 
 // parse scans benchmark lines, tracking the current "pkg:" header so
-// each record knows which package it came from.
+// each record knows which package it came from. Repeated runs of the
+// same benchmark (go test -count=N) collapse to the run with the lowest
+// ns/op: the minimum is the standard noise-robust statistic — scheduler
+// and GC interference only ever slow a run down — and it keeps the
+// committed ledgers stable enough for the -compare tolerance gate.
 func parse(r io.Reader) ([]Record, error) {
 	recs := []Record{}
+	index := map[string]int{} // pkg+name -> position in recs
 	pkg := ""
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
@@ -85,6 +121,14 @@ func parse(r io.Reader) ([]Record, error) {
 		if rec.NsPerOp == 0 {
 			continue
 		}
+		key := rec.Pkg + " " + rec.Name
+		if at, seen := index[key]; seen {
+			if rec.NsPerOp < recs[at].NsPerOp {
+				recs[at] = rec
+			}
+			continue
+		}
+		index[key] = len(recs)
 		recs = append(recs, rec)
 	}
 	return recs, sc.Err()

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -47,6 +50,23 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestParseKeepsFastestOfRepeatedRuns(t *testing.T) {
+	in := "pkg: repro/internal/server\n" +
+		"BenchmarkQueryParse-8   10000   3500 ns/op\n" +
+		"BenchmarkQueryParse-8   12000   3100 ns/op\n" +
+		"BenchmarkQueryParse-8    9000   3900 ns/op\n"
+	recs, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("-count=3 runs should collapse to one record: %+v", recs)
+	}
+	if recs[0].NsPerOp != 3100 || recs[0].Iters != 12000 {
+		t.Errorf("kept %+v, want the 3100 ns/op run", recs[0])
+	}
+}
+
 func TestParseIgnoresNoise(t *testing.T) {
 	recs, err := parse(strings.NewReader("FAIL\nBenchmarkBroken\nsomething else\n"))
 	if err != nil {
@@ -54,5 +74,71 @@ func TestParseIgnoresNoise(t *testing.T) {
 	}
 	if len(recs) != 0 {
 		t.Fatalf("noise produced records: %+v", recs)
+	}
+}
+
+func ledgerFile(t *testing.T, recs []Record) string {
+	t.Helper()
+	b, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareGate(t *testing.T) {
+	old := ledgerFile(t, []Record{
+		{Pkg: "repro/internal/server", Name: "BenchmarkA", NsPerOp: 1000},
+		{Pkg: "repro/internal/server", Name: "BenchmarkB", NsPerOp: 1000},
+		{Pkg: "repro/internal/server", Name: "BenchmarkGone", NsPerOp: 50},
+	})
+	new := ledgerFile(t, []Record{
+		{Pkg: "repro/internal/server", Name: "BenchmarkA", NsPerOp: 1100}, // +10%: within 15%
+		{Pkg: "repro/internal/server", Name: "BenchmarkB", NsPerOp: 1200}, // +20%: regression
+		{Pkg: "repro/internal/server", Name: "BenchmarkNew", NsPerOp: 50},
+	})
+
+	var buf strings.Builder
+	if code := runCompare(&buf, old, new, "15%"); code != 1 {
+		t.Fatalf("20%% regression with 15%% tolerance: exit %d, want 1\n%s", code, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSION repro/internal/server BenchmarkB") {
+		t.Errorf("missing regression line for BenchmarkB:\n%s", out)
+	}
+	if strings.Contains(out, "REGRESSION repro/internal/server BenchmarkA") {
+		t.Errorf("BenchmarkA (+10%%) flagged under 15%% tolerance:\n%s", out)
+	}
+	// Appearing or disappearing benchmarks are notes, not failures.
+	if !strings.Contains(out, "BenchmarkGone only in") || !strings.Contains(out, "BenchmarkNew only in") {
+		t.Errorf("missing one-sided notes:\n%s", out)
+	}
+
+	buf.Reset()
+	if code := runCompare(&buf, old, new, "25%"); code != 0 {
+		t.Fatalf("20%% regression with 25%% tolerance: exit %d, want 0\n%s", code, buf.String())
+	}
+	// A bare-ratio tolerance parses too.
+	buf.Reset()
+	if code := runCompare(&buf, old, new, "0.25"); code != 0 {
+		t.Fatalf("bare-ratio tolerance: exit %d, want 0\n%s", code, buf.String())
+	}
+	// Identical ledgers always pass.
+	buf.Reset()
+	if code := runCompare(&buf, old, old, "0%"); code != 0 {
+		t.Fatalf("self-compare: exit %d, want 0\n%s", code, buf.String())
+	}
+	// Garbage tolerance and missing files are usage errors, not gates.
+	buf.Reset()
+	if code := runCompare(&buf, old, new, "lots"); code != 2 {
+		t.Fatalf("bad tolerance: exit %d, want 2", code)
+	}
+	buf.Reset()
+	if code := runCompare(&buf, old, filepath.Join(t.TempDir(), "missing.json"), "15%"); code != 2 {
+		t.Fatalf("missing ledger: exit %d, want 2", code)
 	}
 }

@@ -319,6 +319,256 @@ func runClusterSelftest(out io.Writer, cfg clusterSelftestConfig) error {
 	}
 	fmt.Fprintln(out, "cluster query probe ok")
 
+	// Probe 5: dynamic membership under load. A brand-new node joins the
+	// live cluster and is pinned one of the last node's locations while
+	// background load keeps hammering the OLD owner URLs. Acceptance:
+	// zero lost committed reservations and zero admission errors —
+	// ownership-moved redirects are followed, never failed.
+	memLoc := parts[cfg.nodes-1][0]
+	joinerID := fmt.Sprintf("n%d", cfg.nodes+1)
+	const memberSeeds = 4
+	for i := 0; i < memberSeeds; i++ {
+		name := fmt.Sprintf("probe-member-%d", i)
+		seedJob, err := pinnedJob(name, memLoc, sweepAt, cfg.horizon)
+		if err != nil {
+			return err
+		}
+		status, data, err := postJSON(ctx, httpc, peers[0].URL+"/v1/admit", seedJob)
+		var v server.AdmitResponse
+		if jerr := json.Unmarshal(data, &v); err != nil || status != http.StatusOK || jerr != nil || !v.Admit {
+			return fmt.Errorf("cluster selftest: membership seed %s not admitted (status %d, err %v, body %s)",
+				name, status, err, bytes.TrimSpace(data))
+		}
+	}
+	bgJobs, err := workload.Generate(workload.Config{
+		Seed:             cfg.seed + 1,
+		Locations:        cfg.locs,
+		NumJobs:          200,
+		MeanInterarrival: float64(cfg.horizon) / 800,
+		ActorsMin:        1,
+		ActorsMax:        2,
+		StepsMin:         1,
+		StepsMax:         3,
+		SendProb:         0.2,
+		EvalWeightMax:    2,
+		SlackFactor:      cfg.slack,
+	})
+	if err != nil {
+		return err
+	}
+	for i := range bgJobs {
+		bgJobs[i].Dist.Name = "member-bg-" + bgJobs[i].Dist.Name
+	}
+	type bgResult struct {
+		report server.LoadReport
+		err    error
+	}
+	bgDone := make(chan bgResult, 1)
+	go func() {
+		r, err := server.RunLoad(ctx, server.LoadConfig{
+			BaseURLs:        urls,
+			Jobs:            bgJobs,
+			Requests:        len(bgJobs),
+			Clients:         4,
+			ReleaseAdmitted: true,
+		})
+		bgDone <- bgResult{r, err}
+	}()
+
+	jln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	var joinerSpans *span.Store
+	if cfg.spanCap > 0 {
+		joinerSpans = span.NewStore(cfg.spanCap, joinerID)
+	}
+	joiner, err := cluster.New(cluster.Config{
+		Self:           joinerID,
+		Peers:          []cluster.Peer{{ID: joinerID, URL: "http://" + jln.Addr().String()}},
+		Join:           true,
+		Server:         cfg.server,
+		LeaseTTL:       cfg.leaseTTL,
+		GossipInterval: 100 * time.Millisecond,
+		Obs:            obs.New(obs.Options{Log: &bytes.Buffer{}, Node: joinerID}),
+		Spans:          joinerSpans,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster selftest: joiner: %w", err)
+	}
+	joinerHTTP := &http.Server{Handler: joiner}
+	go func() { _ = joinerHTTP.Serve(jln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = joiner.Shutdown(ctx)
+		_ = joinerHTTP.Shutdown(ctx)
+	}()
+	joinCtx, cancelJoin := context.WithTimeout(ctx, 30*time.Second)
+	err = joiner.JoinCluster(joinCtx, peers[0].URL, []resource.Location{memLoc})
+	cancelJoin()
+	if err != nil {
+		return fmt.Errorf("cluster selftest: join: %w", err)
+	}
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		settled := true
+		for _, nd := range nodes {
+			if owner, _ := nd.Table().OwnerOf(memLoc); owner != joinerID {
+				settled = false
+			}
+		}
+		if settled {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster selftest: ownership of %s never converged on %s", memLoc, joinerID)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	bg := <-bgDone
+	if bg.err != nil {
+		return fmt.Errorf("cluster selftest: background load during join: %w", bg.err)
+	}
+	if bg.report.Errors > 0 {
+		return fmt.Errorf("cluster selftest: %d background requests errored during join (redirects must be followed, not failed); first: %s",
+			bg.report.Errors, bg.report.FirstError)
+	}
+	everyone := append(append([]*cluster.Node{}, nodes...), joiner)
+	for i := 0; i < memberSeeds; i++ {
+		name := fmt.Sprintf("probe-member-%d", i)
+		if homes := ledgerHomes(everyone, name); homes != 1 {
+			return fmt.Errorf("cluster selftest: %s lives on %d ledgers after the join, want exactly 1", name, homes)
+		}
+		if _, ok := joiner.Server().Ledger().Commitment(name); !ok {
+			return fmt.Errorf("cluster selftest: %s did not move to the joiner with its location", name)
+		}
+	}
+	for i, nd := range everyone {
+		if err := nd.Server().Ledger().Audit(); err != nil {
+			return fmt.Errorf("cluster selftest: audit after join (node %d): %w", i, err)
+		}
+	}
+	fmt.Fprintf(out, "membership join probe ok (%d redirects followed, 0 lost reservations)\n", bg.report.Redirects)
+
+	// Probe 6: shard-primary failover mid-2PC. Arm a coordinator crash
+	// so a leased hold sits prepared-but-uncommitted on the joiner, wait
+	// for gossip to ship the shadow, kill the joiner's listener, and
+	// force-leave it. The standby must promote with every committed
+	// reservation, the lease sweep must reclaim the orphaned hold, and a
+	// fresh admission must land on the new primary.
+	standbyID := joiner.Table().StandbyOf(memLoc)
+	var standby *cluster.Node
+	for i := range peers {
+		if peers[i].ID == standbyID {
+			standby = nodes[i]
+		}
+	}
+	if standby == nil {
+		return fmt.Errorf("cluster selftest: standby %q of %s is not a live peer", standbyID, memLoc)
+	}
+	// The joiner may have won the rendezvous hash for locations beyond
+	// its pin, so pick the cross-node half of the 2PC from whatever an
+	// original node still owns — that node receives the admit and
+	// coordinates (its part local, the joiner's under a leased hold).
+	coordIdx, otherLoc := -1, resource.Location("")
+	for i := range peers {
+		if locs := joiner.Table().Locations(peers[i].ID); len(locs) > 0 {
+			coordIdx, otherLoc = i, locs[0]
+			break
+		}
+	}
+	if coordIdx < 0 {
+		return fmt.Errorf("cluster selftest: the joiner owns every location; no original node left to coordinate a cross-node 2PC")
+	}
+	failJob, err := spanningJob("probe-failover-2pc", memLoc, otherLoc, sweepAt, cfg.horizon)
+	if err != nil {
+		return err
+	}
+	nodes[coordIdx].InjectCrashBeforeCommit()
+	status, _, err = postJSON(ctx, httpc, peers[coordIdx].URL+"/v1/admit", failJob)
+	if err != nil {
+		return fmt.Errorf("cluster selftest: failover 2PC probe: %w", err)
+	}
+	if status != http.StatusInternalServerError {
+		return fmt.Errorf("cluster selftest: failover 2PC probe returned %d, want 500 (injected crash)", status)
+	}
+	if holds := joiner.Server().Ledger().NumHolds(); holds < 1 {
+		return fmt.Errorf("cluster selftest: joiner holds %d leases mid-2PC, want >= 1", holds)
+	}
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		cms, holds, ok := standby.ShadowFor(memLoc)
+		if ok && cms >= memberSeeds && holds >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster selftest: standby %s shadow never caught up (cms=%d holds=%d ok=%v)",
+				standbyID, cms, holds, ok)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	failoverStart := time.Now()
+	joinerHTTP.Close() // hard stop: the primary is gone mid-protocol
+	status, data, err = postJSON(ctx, httpc, peers[0].URL+"/v1/cluster/leave",
+		map[string]any{"id": joinerID, "force": true})
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("cluster selftest: force leave: status %d, err %v, body %s", status, err, bytes.TrimSpace(data))
+	}
+	var failoverAdmitMS float64
+	for attempt := 0; ; attempt++ {
+		probe, err := pinnedJob(fmt.Sprintf("probe-failover-admit-%d", attempt), memLoc, sweepAt, cfg.horizon)
+		if err != nil {
+			return err
+		}
+		status, data, err := postJSON(ctx, httpc, peers[0].URL+"/v1/admit", probe)
+		var v server.AdmitResponse
+		if err == nil && status == http.StatusOK && json.Unmarshal(data, &v) == nil && v.Admit {
+			failoverAdmitMS = float64(time.Since(failoverStart).Microseconds()) / 1000
+			break
+		}
+		if time.Since(failoverStart) > 10*time.Second {
+			return fmt.Errorf("cluster selftest: no successful admit on %s within 10s of failover (last status %d, err %v)",
+				memLoc, status, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for _, nd := range nodes {
+		if _, ok := nd.Table().Member(joinerID); ok {
+			return fmt.Errorf("cluster selftest: dead primary %s still in the table", joinerID)
+		}
+		if owner, _ := nd.Table().OwnerOf(memLoc); owner != standbyID {
+			return fmt.Errorf("cluster selftest: %s owned by %q after failover, want standby %s", memLoc, owner, standbyID)
+		}
+	}
+	for i := 0; i < memberSeeds; i++ {
+		name := fmt.Sprintf("probe-member-%d", i)
+		if homes := ledgerHomes(nodes, name); homes != 1 {
+			return fmt.Errorf("cluster selftest: %s lives on %d survivor ledgers after failover, want 1", name, homes)
+		}
+		if _, ok := standby.Server().Ledger().Commitment(name); !ok {
+			return fmt.Errorf("cluster selftest: committed reservation %s lost in failover", name)
+		}
+	}
+	if got := standby.Stats().Cluster.Promotions; got != 1 {
+		return fmt.Errorf("cluster selftest: standby recorded %d promotions, want 1", got)
+	}
+	// Sweep the orphaned mid-2PC lease and re-audit every survivor: no
+	// overcommitment, no leased hold outliving its TTL.
+	failSweepAt := sweepAt + 2*cfg.leaseTTL
+	status, _, err = postJSON(ctx, httpc, peers[0].URL+"/v1/cluster/advance", map[string]any{"now": failSweepAt})
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("cluster selftest: advance after failover: status %d, err %v", status, err)
+	}
+	for i, nd := range nodes {
+		if holds := nd.Server().Ledger().NumHolds(); holds != 0 {
+			return fmt.Errorf("cluster selftest: node %s still has %d leased holds after the failover sweep", peers[i].ID, holds)
+		}
+		if err := nd.Server().Ledger().Audit(); err != nil {
+			return fmt.Errorf("cluster selftest: node %s audit after failover: %w", peers[i].ID, err)
+		}
+	}
+	fmt.Fprintf(out, "failover probe ok (first admit %.1f ms after kill)\n", failoverAdmitMS)
+
 	// Report.
 	t := metrics.NewTable(
 		fmt.Sprintf("rotad cluster selftest: %d nodes, %d requests, %d clients", cfg.nodes, cfg.requests, cfg.clients),
@@ -342,12 +592,27 @@ func runClusterSelftest(out io.Writer, cfg clusterSelftestConfig) error {
 		t.AddRow(fmt.Sprintf("%s decisions", peers[i].ID), st.Decisions)
 		t.AddRow(fmt.Sprintf("%s shards", peers[i].ID), st.Shards)
 	}
+	var joins, handoffs, promotions, redirectsServed uint64
+	for _, nd := range nodes {
+		st := nd.Stats().Cluster
+		joins += st.Joins
+		handoffs += st.Handoffs
+		promotions += st.Promotions
+		redirectsServed += st.RedirectsServed
+	}
 	t.AddRow("coordinations", coords)
 	t.AddRow("coordinated admits", coordAdmitted)
 	t.AddRow("forwarded", forwarded)
 	t.AddRow("migrations", migrations)
 	t.AddRow("injected crashes", nodes[0].Stats().Cluster.InjectedCrashes)
 	t.AddRow("orphaned holds swept", orphaned)
+	t.AddRow("membership epoch", nodes[0].Table().Epoch)
+	t.AddRow("joins stewarded", joins)
+	t.AddRow("handoffs", handoffs)
+	t.AddRow("promotions", promotions)
+	t.AddRow("redirects served", redirectsServed)
+	t.AddRow("join-load redirects followed", bg.report.Redirects)
+	t.AddRow("failover to first admit ms", failoverAdmitMS)
 	if cfg.csv {
 		t.RenderCSV(out)
 	} else {
@@ -443,6 +708,18 @@ func pinnedJob(name string, loc resource.Location, start, deadline interval.Time
 		return workload.Job{}, err
 	}
 	return workload.Job{Dist: dist}, nil
+}
+
+// ledgerHomes counts how many of the given nodes' ledgers hold a
+// commitment — exactly 1 for anything that survived a handoff intact.
+func ledgerHomes(nodes []*cluster.Node, name string) int {
+	homes := 0
+	for _, nd := range nodes {
+		if _, ok := nd.Server().Ledger().Commitment(name); ok {
+			homes++
+		}
+	}
+	return homes
 }
 
 // postJSON posts a JSON body and returns (status, body) without treating

@@ -79,6 +79,9 @@ func run(args []string, out io.Writer) error {
 	node := fs.String("node", "", "cluster: this node's ID (must appear in the peer table)")
 	peersSpec := fs.String("peers", "", "cluster: static peer table, id=url=l1,l2;id=url=l3,... (includes self)")
 	clusterConfig := fs.String("cluster-config", "", "cluster: JSON peer-table file {\"nodes\":[{id,url,locations}]} (overrides -peers)")
+	joinURL := fs.String("join", "", "cluster: URL of any live member; start as a dynamic joiner and acquire ownership from the steward (needs -node and -self-url)")
+	selfURL := fs.String("self-url", "", "cluster: this node's advertised base URL, what other members will dial (required with -join)")
+	pinSpec := fs.String("pin", "", "cluster: comma-separated locations to pin onto this node when joining")
 	leaseTTL := fs.Int64("lease-ttl", 50, "cluster: prepare-lease TTL in ledger ticks")
 	gossip := fs.Duration("gossip", time.Second, "cluster: gossip interval (negative disables)")
 	clusterN := fs.Int("cluster", 0, "selftest: boot an N-node loopback cluster instead of a single daemon")
@@ -159,6 +162,47 @@ func run(args []string, out io.Writer) error {
 			csv:      *csv,
 			spanCap:  *spanCap,
 		})
+	}
+
+	if *joinURL != "" {
+		if *node == "" || *selfURL == "" {
+			return errors.New("-join needs -node (this node's ID) and -self-url (its advertised URL)")
+		}
+		var pins []resource.Location
+		for _, p := range strings.Split(*pinSpec, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				pins = append(pins, resource.Location(p))
+			}
+		}
+		nd, err := cluster.New(cluster.Config{
+			Self:           *node,
+			Peers:          []cluster.Peer{{ID: *node, URL: strings.TrimSuffix(*selfURL, "/")}},
+			Join:           true,
+			Server:         scfg,
+			LeaseTTL:       interval.Time(*leaseTTL),
+			GossipInterval: *gossip,
+			Obs:            observer,
+			Spans:          spans,
+		})
+		if err != nil {
+			return err
+		}
+		// The join RPC runs after the listener is up: the steward's
+		// handoffs dial back into this node's install endpoint before the
+		// join response arrives.
+		join := func() error {
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			if err := nd.JoinCluster(ctx, strings.TrimSuffix(*joinURL, "/"), pins); err != nil {
+				return fmt.Errorf("joining via %s: %w", *joinURL, err)
+			}
+			tbl := nd.Table()
+			fmt.Fprintf(os.Stderr, "rotad: joined as %s (epoch %d, %d locations)\n",
+				nd.ID(), tbl.Epoch, len(tbl.Locations(nd.ID())))
+			return nil
+		}
+		return serveHandler(out, debugHandler(nd, *metricsOn, *pprofOn), nd.Shutdown, *addr,
+			fmt.Sprintf("rotad: node %s joining cluster via %s", nd.ID(), *joinURL), join)
 	}
 
 	var peers []cluster.Peer
@@ -247,17 +291,31 @@ func debugHandler(h http.Handler, metricsOn, pprofOn bool) http.Handler {
 
 // serveHandler runs a daemon (single-node server or cluster node) until
 // SIGINT/SIGTERM, then drains gracefully: in-flight work finishes, new
-// requests are refused, the listener closes.
-func serveHandler(out io.Writer, handler http.Handler, shutdown func(context.Context) error, addr, banner string) error {
-	httpSrv := &http.Server{Addr: addr, Handler: handler}
+// requests are refused, the listener closes. Any afterListen hooks run
+// once the listener is accepting (a dynamic joiner's join RPC must not
+// fire before the steward can dial back); a hook error aborts startup.
+func serveHandler(out io.Writer, handler http.Handler, shutdown func(context.Context) error, addr, banner string, afterListen ...func() error) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
 	go func() {
-		err := httpSrv.ListenAndServe()
+		err := httpSrv.Serve(ln)
 		if !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}
 	}()
 	fmt.Fprintln(out, banner)
+	for _, hook := range afterListen {
+		if err := hook(); err != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = httpSrv.Shutdown(ctx)
+			return err
+		}
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)

@@ -313,14 +313,15 @@ func runClusterQueryProbe(ctx context.Context, httpc *http.Client, peers []peerP
 	}
 	// The hold lands ("prepare") and then commits ("commit"); feasible()
 	// resolves the name once the commitment exists, so the flip arrives
-	// with the commit's epoch bump.
-	if err := w.expectFlip(true, "prepare", "commit"); err != nil {
+	// with the commit's epoch bump — or with a gossip-triggered
+	// re-evaluation if a peer's ledger-epoch broadcast lands first.
+	if err := w.expectFlip(true, "prepare", "commit", "gossip"); err != nil {
 		return fmt.Errorf("cross-node commit flip: %w", err)
 	}
 	if status, _, err := postJSON(ctx, httpc, coord.url+"/v1/release", map[string]string{"name": jobName}); err != nil || status != http.StatusOK {
 		return fmt.Errorf("releasing %s: status %d, err %v", jobName, status, err)
 	}
-	if err := w.expectFlip(false, "release"); err != nil {
+	if err := w.expectFlip(false, "release", "gossip"); err != nil {
 		return fmt.Errorf("cross-node release flip: %w", err)
 	}
 	return nil

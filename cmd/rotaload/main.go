@@ -112,6 +112,7 @@ func run(args []string, out io.Writer) error {
 	t.AddRow("rejected", report.Rejected)
 	t.AddRow("released", report.Released)
 	t.AddRow("errors", report.Errors)
+	t.AddRow("loadgen_redirects", report.Redirects)
 	t.AddRow("duration ms", float64(report.Duration.Microseconds())/1000)
 	t.AddRow("throughput req/s", report.Throughput)
 	t.AddRow("latency mean µs", report.MeanUS)

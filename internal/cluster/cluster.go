@@ -18,6 +18,7 @@ import (
 	"repro/internal/compute"
 	"repro/internal/core"
 	"repro/internal/interval"
+	"repro/internal/membership"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/obs/span"
@@ -30,9 +31,14 @@ import (
 type Config struct {
 	// Self is this node's ID; it must appear in Peers.
 	Self string
-	// Peers is the full static membership, including self. Location
-	// ownership must be disjoint (ValidatePeers).
+	// Peers is the seed membership, including self. Location ownership
+	// must be disjoint (ValidatePeers). It seeds the epoch-1 membership
+	// table; joins and leaves move it from there.
 	Peers []Peer
+	// Join starts this node as an unassigned joiner: Peers must name
+	// only self (its URL is what other members will dial), the node owns
+	// no locations, and ownership arrives via JoinCluster.
+	Join bool
 	// Server configures the embedded rotad core. Theta may be the whole
 	// cluster's availability: it is filtered to this node's locations,
 	// and Owned is overwritten with them.
@@ -64,10 +70,11 @@ type peerState struct {
 	isSelf bool
 	rpc    *metrics.RPCStats
 
-	mu        sync.Mutex
-	lastHeard time.Time
-	lastNow   interval.Time
-	lastHolds int
+	mu              sync.Mutex
+	lastHeard       time.Time
+	lastNow         interval.Time
+	lastHolds       int
+	lastLedgerEpoch uint64
 }
 
 // Node is one member of a rotad federation: an embedded rotad core that
@@ -77,15 +84,42 @@ type peerState struct {
 type Node struct {
 	cfg    Config
 	self   *peerState
-	peers  []*peerState // membership order, including self
-	byID   map[string]*peerState
-	owners map[resource.Location]*peerState
 	srv    *server.Server
 	policy admission.Policy
 	client *rpcClient
 	mux    *http.ServeMux
 	obs    *obs.Observer
 	spans  *span.Store
+
+	// reg publishes the epoch-versioned ownership table; pmu guards the
+	// peer-state list derived from it (plus transient peers minted from
+	// redirects before their table arrived).
+	reg   *membership.Registry
+	pmu   sync.RWMutex
+	peers []*peerState // membership order, including self
+	byID  map[string]*peerState
+
+	// mmu serializes membership changes this node stewards.
+	mmu sync.Mutex
+
+	// flowMu is the handoff freeze: every path that mutates or reads
+	// ledger flow state holds it shared, executeHandoff holds it
+	// exclusive across export→install→drop so no reservation can land in
+	// the gap and be lost.
+	flowMu sync.RWMutex
+
+	// omu guards the routing overlays that bridge a handoff and the
+	// next table broadcast (see membership.go).
+	omu          sync.Mutex
+	pendingOwned map[resource.Location]bool
+	handedOff    map[resource.Location]ownerRef
+	learned      map[resource.Location]ownerRef
+	movedKeys    map[string]ownerRef
+
+	// smu guards the warm-standby shadows gossip ships here.
+	smu         sync.Mutex
+	shadows     map[resource.Location]server.LocationExport
+	lastShipped uint64 // ledger epoch at the last shadow shipment (gossip goroutine only)
 
 	httpStats map[string]*obs.EndpointStats
 
@@ -110,6 +144,16 @@ type Node struct {
 	fanouts       atomic.Uint64
 	coordLatency  *metrics.Histogram
 
+	joins             atomic.Uint64
+	leaves            atomic.Uint64
+	handoffs          atomic.Uint64
+	promotions        atomic.Uint64
+	redirectsServed   atomic.Uint64
+	redirectsFollowed atomic.Uint64
+	tableApplies      atomic.Uint64
+	shadowShips       atomic.Uint64
+	shadowMisses      atomic.Uint64
+
 	// Test instrumentation (see InjectCrashBeforeCommit / SetGate).
 	crashNext atomic.Bool
 	gate      func(stage, key string)
@@ -119,13 +163,19 @@ type Node struct {
 // filtered to this node's owned locations, so every node may be handed
 // the same cluster-wide availability.
 func New(cfg Config) (*Node, error) {
-	if err := ValidatePeers(cfg.Peers); err != nil {
+	if cfg.Join {
+		if len(cfg.Peers) != 1 || cfg.Peers[0].ID != cfg.Self || cfg.Peers[0].URL == "" {
+			return nil, errors.New("cluster: join mode needs exactly one peer entry: self with its URL")
+		}
+		if len(cfg.Peers[0].Locations) != 0 {
+			return nil, errors.New("cluster: a joiner owns no locations until the steward assigns them")
+		}
+	} else if err := ValidatePeers(cfg.Peers); err != nil {
 		return nil, err
 	}
 	n := &Node{
 		cfg:          cfg,
 		byID:         make(map[string]*peerState),
-		owners:       make(map[resource.Location]*peerState),
 		policy:       &admission.Rota{},
 		client:       newRPCClient(cfg.RPCTimeout, pickRetries(cfg.RPCRetries), cfg.Obs, cfg.Spans),
 		shutdownCh:   make(chan struct{}),
@@ -134,10 +184,17 @@ func New(cfg Config) (*Node, error) {
 		obs:          cfg.Obs,
 		spans:        cfg.Spans,
 		httpStats:    make(map[string]*obs.EndpointStats),
+		pendingOwned: make(map[resource.Location]bool),
+		handedOff:    make(map[resource.Location]ownerRef),
+		learned:      make(map[resource.Location]ownerRef),
+		movedKeys:    make(map[string]ownerRef),
+		shadows:      make(map[resource.Location]server.LocationExport),
 	}
 	if n.leaseTTL <= 0 {
 		n.leaseTTL = 50
 	}
+	members := make([]membership.Member, 0, len(cfg.Peers))
+	seedOwners := make(map[resource.Location]string)
 	for i := range cfg.Peers {
 		ps := &peerState{Peer: cfg.Peers[i], rpc: metrics.NewRPCStats()}
 		ps.isSelf = ps.ID == cfg.Self
@@ -146,17 +203,26 @@ func New(cfg Config) (*Node, error) {
 		}
 		n.peers = append(n.peers, ps)
 		n.byID[ps.ID] = ps
+		members = append(members, membership.Member{ID: ps.ID, URL: ps.URL})
 		for _, loc := range ps.Locations {
-			n.owners[loc] = ps
+			seedOwners[loc] = ps.ID
 		}
 	}
 	if n.self == nil {
 		return nil, fmt.Errorf("cluster: self %q not in peer table", cfg.Self)
 	}
+	seed := membership.NewTable(members, seedOwners)
+	if err := seed.Validate(); err != nil {
+		return nil, err
+	}
+	n.reg = membership.NewRegistry(seed)
 
 	scfg := cfg.Server
-	scfg.Owned = n.self.Locations
-	scfg.Theta = filterTheta(scfg.Theta, n.owners, n.self)
+	scfg.Owned = seed.Locations(n.self.ID)
+	if scfg.Owned == nil {
+		scfg.Owned = []resource.Location{} // joiner: own nothing, not everything
+	}
+	scfg.Theta = filterTheta(scfg.Theta, seed, n.self.ID)
 	scfg.Obs = cfg.Obs
 	scfg.Spans = cfg.Spans
 	srv, err := server.New(scfg)
@@ -165,6 +231,9 @@ func New(cfg Config) (*Node, error) {
 	}
 	n.srv = srv
 	n.maxBody = 1 << 20
+	// Standing watches evaluate through the cluster so their verdicts
+	// stay correct when footprint locations change owners.
+	srv.SetWatchEvaluator(n.clusterEval)
 
 	n.mux = http.NewServeMux()
 	n.route("POST /v1/admit", "admit", n.handleAdmit)
@@ -176,6 +245,18 @@ func New(cfg Config) (*Node, error) {
 	n.route("GET /v1/cluster/peers", "cluster.peers", n.handlePeers)
 	n.route("POST /v1/cluster/migrate", "cluster.migrate", n.handleMigrate)
 	n.route("POST /v1/cluster/advance", "cluster.advance", n.handleClusterAdvance)
+	n.route("POST /v1/cluster/join", "cluster.join", n.handleJoin)
+	n.route("POST /v1/cluster/leave", "cluster.leave", n.handleLeave)
+	n.route("POST /v1/cluster/handoff", "cluster.handoff", n.handleHandoff)
+	n.route("POST /v1/cluster/install", "cluster.install", n.handleInstall)
+	n.route("POST /v1/cluster/promote", "cluster.promote", n.handlePromote)
+	n.route("POST /v1/cluster/shadow", "cluster.shadow", n.handleShadow)
+	n.route("GET /v1/cluster/table", "cluster.table", n.handleTableGet)
+	n.route("POST /v1/cluster/table", "cluster.table.apply", n.handleTablePost)
+	n.route("POST /v1/cluster/prepare", "cluster.prepare", n.handlePrepareIntercept)
+	n.route("GET /v1/cluster/free", "cluster.free", n.handleFreeIntercept)
+	n.route("POST /v1/cluster/commit", "cluster.commit", n.handleCommitIntercept)
+	n.route("POST /v1/cluster/abort", "cluster.abort", n.handleAbortIntercept)
 	n.mux.HandleFunc("GET /metrics", obs.Handler(n))
 	n.mux.Handle("/", srv)
 
@@ -207,11 +288,12 @@ func pickRetries(r int) int {
 	return r
 }
 
-// filterTheta keeps only the terms whose owning shard belongs to self.
-func filterTheta(theta resource.Set, owners map[resource.Location]*peerState, self *peerState) resource.Set {
+// filterTheta keeps only the terms whose owning shard belongs to self
+// under the given table.
+func filterTheta(theta resource.Set, tbl *membership.Table, selfID string) resource.Set {
 	var out resource.Set
 	for _, t := range theta.Terms() {
-		if ps, ok := owners[t.Type.Loc]; ok && ps == self {
+		if id, ok := tbl.OwnerOf(t.Type.Loc); ok && id == selfID {
 			out.Add(t)
 		}
 	}
@@ -291,14 +373,16 @@ func jobFootprint(dist compute.Distributed) []resource.Location {
 	return locs
 }
 
-// ownersOf groups a job's footprint by owning peer.
+// ownersOf groups a job's footprint by owning peer, as resolved by the
+// live ownership table and its overlays.
 func (n *Node) ownersOf(dist compute.Distributed) (map[*peerState][]resource.Location, error) {
 	out := make(map[*peerState][]resource.Location)
 	for _, loc := range jobFootprint(dist) {
-		ps, ok := n.owners[loc]
+		ref, ok := n.lookupOwner(loc)
 		if !ok {
 			return nil, fmt.Errorf("cluster: no node owns location %s", loc)
 		}
+		ps := n.peerFor(ref)
 		out[ps] = append(out[ps], loc)
 	}
 	if len(out) == 0 {
@@ -329,41 +413,80 @@ func (n *Node) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	owners, err := n.ownersOf(job.Dist)
-	if err != nil {
-		n.misrouted.Add(1)
-		httpError(w, http.StatusUnprocessableEntity, err)
-		return
-	}
-	_, ownsSelf := owners[n.self]
 	forwarded := r.Header.Get(headerForwarded) != ""
-	if forwarded && (len(owners) != 1 || !ownsSelf) {
-		// A peer routed this here, but we are not its sole owner: count
-		// and refuse rather than bouncing it around the cluster.
-		n.misrouted.Add(1)
-		httpError(w, http.StatusUnprocessableEntity,
-			fmt.Errorf("cluster: %s forwarded %s here, but %s does not own its whole footprint",
-				r.Header.Get(headerForwarded), job.Dist.Name, n.self.ID))
-		return
-	}
-	if len(owners) == 1 && ownsSelf {
-		r.Body = io.NopCloser(bytes.NewReader(body))
-		r.ContentLength = int64(len(body))
-		n.srv.ServeHTTP(w, r)
-		return
-	}
-	if len(owners) == 1 {
-		for ps := range owners {
-			n.forward(w, r, ps, body)
+	for attempt := 0; ; attempt++ {
+		owners, err := n.ownersOf(job.Dist)
+		if err != nil {
+			n.misrouted.Add(1)
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		_, ownsSelf := owners[n.self]
+		if forwarded && (len(owners) != 1 || !ownsSelf) {
+			// A peer routed this here, but we are not its sole owner. If
+			// ownership just moved, answer with a redirect the sender can
+			// follow; otherwise count and refuse rather than bouncing the
+			// job around the cluster.
+			if red, ok := n.redirectFor(jobFootprint(job.Dist)); ok {
+				n.serveRedirect(w, red)
+				return
+			}
+			if red, ok := n.tableRedirect(jobFootprint(job.Dist)); ok {
+				n.serveRedirect(w, red)
+				return
+			}
+			n.misrouted.Add(1)
+			httpError(w, http.StatusUnprocessableEntity,
+				fmt.Errorf("cluster: %s forwarded %s here, but %s does not own its whole footprint",
+					r.Header.Get(headerForwarded), job.Dist.Name, n.self.ID))
+			return
+		}
+		retry := false
+		switch {
+		case len(owners) == 1 && ownsSelf:
+			retry = n.admitLocal(w, r, job, body)
+		case len(owners) == 1:
+			for ps := range owners {
+				retry = n.forward(w, r, ps, body)
+			}
+		default:
+			retry = n.coordinate(w, r, job, owners)
+		}
+		if !retry {
+			return
+		}
+		if attempt >= maxOwnerRetries {
+			n.misrouted.Add(1)
+			httpError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("cluster: ownership of %s's footprint kept moving, giving up after %d retries",
+					job.Dist.Name, attempt))
 			return
 		}
 	}
-	n.coordinate(w, r, job, owners)
+}
+
+// admitLocal serves a whole-footprint-local admission under the handoff
+// freeze. If the footprint left this node while we waited for the
+// freeze to lift, it reports retry so the caller re-resolves owners
+// instead of burning the request on ErrNotOwned.
+func (n *Node) admitLocal(w http.ResponseWriter, r *http.Request, job workload.Job, body []byte) (retry bool) {
+	n.flowMu.RLock()
+	defer n.flowMu.RUnlock()
+	for _, loc := range jobFootprint(job.Dist) {
+		if ref, ok := n.lookupOwner(loc); !ok || ref.id != n.self.ID {
+			return true
+		}
+	}
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	r.ContentLength = int64(len(body))
+	n.srv.ServeHTTP(w, r)
+	return false
 }
 
 // forward relays a single-owner admit to the owning peer and relays the
-// peer's verdict back verbatim.
-func (n *Node) forward(w http.ResponseWriter, r *http.Request, ps *peerState, body []byte) {
+// peer's verdict back verbatim. A 421 redirect is consumed here: the
+// new owner is learned and the caller retries against it.
+func (n *Node) forward(w http.ResponseWriter, r *http.Request, ps *peerState, body []byte) (retry bool) {
 	n.forwarded.Add(1)
 	sctx, sp := n.spans.Start(r.Context(), span.KindForward)
 	defer sp.End()
@@ -376,11 +499,19 @@ func (n *Node) forward(w http.ResponseWriter, r *http.Request, ps *peerState, bo
 	if err != nil {
 		sp.SetStatus(span.StatusError)
 		httpError(w, http.StatusBadGateway, fmt.Errorf("cluster: forwarding to %s: %w", ps.ID, err))
-		return
+		return false
+	}
+	if status == http.StatusMisdirectedRequest {
+		if red, derr := membership.DecodeRedirect(data); derr == nil {
+			n.learnRedirect(red)
+			sp.Attr("outcome", "redirected")
+			return true
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_, _ = w.Write(data)
+	return false
 }
 
 // nextKey mints a cluster-unique idempotency key.
@@ -400,7 +531,13 @@ type participant struct {
 // freeOn fetches one owner's free availability for the given locations.
 func (n *Node) freeOn(ctx context.Context, ps *peerState, locs []resource.Location) (resource.Set, interval.Time, error) {
 	if ps.isSelf {
-		return n.srv.Ledger().FreeView(locs)
+		n.flowMu.RLock()
+		free, now, err := n.srv.Ledger().FreeView(locs)
+		n.flowMu.RUnlock()
+		if errors.Is(err, server.ErrNotOwned) {
+			err = fmt.Errorf("%w: %v", errStaleOwner, err)
+		}
+		return free, now, err
 	}
 	parts := make([]string, len(locs))
 	for i, loc := range locs {
@@ -422,9 +559,14 @@ func (n *Node) freeOn(ctx context.Context, ps *peerState, locs []resource.Locati
 // is a capacity rejection; err is a protocol failure.
 func (n *Node) prepareOn(ctx context.Context, p *participant, key, name string, finish, deadline, expiry interval.Time) (held bool, reason string, err error) {
 	if p.ps.isSelf {
+		n.flowMu.RLock()
 		err := n.srv.Ledger().Prepare(key, name, p.demand, finish, deadline, expiry)
+		n.flowMu.RUnlock()
 		if errors.Is(err, server.ErrOvercommit) {
 			return false, err.Error(), nil
+		}
+		if errors.Is(err, server.ErrNotOwned) {
+			return false, "", fmt.Errorf("%w: %v", errStaleOwner, err)
 		}
 		return err == nil, "", err
 	}
@@ -445,7 +587,9 @@ func (n *Node) prepareOn(ctx context.Context, p *participant, key, name string, 
 // commitOn promotes one owner's hold.
 func (n *Node) commitOn(ctx context.Context, ps *peerState, key string) error {
 	if ps.isSelf {
-		return n.srv.Ledger().Commit(key)
+		// finishMoved covers the case where the hold's location left this
+		// node mid-2PC: the commit follows it to the new owner.
+		return n.finishMoved(ctx, key, "commit")
 	}
 	body, _ := json.Marshal(server.FinishRequest{Key: key})
 	headers := map[string]string{headerIdempotency: key}
@@ -471,7 +615,7 @@ func (n *Node) abortOn(parent context.Context, ps *peerState, key string) {
 	sp.Attr("key", key)
 	sp.Attr("detached", true)
 	if ps.isSelf {
-		if err := n.srv.Ledger().Abort(key); err != nil {
+		if err := n.finishMoved(ctx, key, "abort"); err != nil {
 			sp.SetStatus(span.StatusError)
 		}
 		return
@@ -489,7 +633,9 @@ func (n *Node) abortOn(parent context.Context, ps *peerState, key string) {
 // failure (an expired lease) rolls everything back. If this coordinator
 // dies between prepare and commit, every participant's lease expires and
 // the sweep reclaims the holds — no node is ever overcommitted.
-func (n *Node) coordinate(w http.ResponseWriter, r *http.Request, job workload.Job, owners map[*peerState][]resource.Location) {
+// Reports retry=true (nothing written) when a participant turned out to
+// no longer own its slice: the caller re-resolves owners and retries.
+func (n *Node) coordinate(w http.ResponseWriter, r *http.Request, job workload.Job, owners map[*peerState][]resource.Location) (retry bool) {
 	n.coordWg.Add(1)
 	defer n.coordWg.Done()
 	n.coordinations.Add(1)
@@ -518,11 +664,15 @@ func (n *Node) coordinate(w http.ResponseWriter, r *http.Request, job workload.J
 	for _, p := range parts {
 		set, pnow, err := n.freeOn(ctx, p.ps, p.locs)
 		if err != nil {
+			if n.staleOwner(err) {
+				csp.Attr("outcome", "stale_owner")
+				return true
+			}
 			csp.SetStatus(span.StatusError)
 			csp.Attr("outcome", "failed")
 			n.coordFailed.Add(1)
 			httpError(w, http.StatusServiceUnavailable, err)
-			return
+			return false
 		}
 		free = free.Union(set)
 		p.now = pnow
@@ -533,7 +683,7 @@ func (n *Node) coordinate(w http.ResponseWriter, r *http.Request, job workload.J
 	if now >= job.Dist.Deadline {
 		n.finishCoordination(w, trace, job, start, admission.Decision{
 			Reason: fmt.Sprintf("deadline %d already passed at t=%d", job.Dist.Deadline, now)}, csp, "")
-		return
+		return false
 	}
 
 	// Phase 1: decide against the merged view, exactly like a local
@@ -552,28 +702,29 @@ func (n *Node) coordinate(w http.ResponseWriter, r *http.Request, job workload.J
 	psp.End()
 	if !dec.Admit {
 		n.finishCoordination(w, trace, job, start, dec, csp, "")
-		return
+		return false
 	}
 	if dec.Plan == nil {
 		csp.SetStatus(span.StatusError)
 		csp.Attr("outcome", "failed")
 		n.coordFailed.Add(1)
 		httpError(w, http.StatusInternalServerError, server.ErrPlanless)
-		return
+		return false
 	}
 
-	// Split the witness plan's demand by owner.
+	// Split the witness plan's demand by owner (live table).
 	split := make(map[*peerState]resource.Set)
 	for _, t := range dec.Plan.Demand().Terms() {
-		ps, ok := n.owners[t.Type.Loc]
+		ref, ok := n.lookupOwner(t.Type.Loc)
 		if !ok {
 			csp.SetStatus(span.StatusError)
 			csp.Attr("outcome", "failed")
 			n.coordFailed.Add(1)
 			httpError(w, http.StatusInternalServerError,
 				fmt.Errorf("cluster: plan for %s consumes unowned location %s", job.Dist.Name, t.Type.Loc))
-			return
+			return false
 		}
+		ps := n.peerFor(ref)
 		set := split[ps]
 		set.Add(t)
 		split[ps] = set
@@ -584,6 +735,12 @@ func (n *Node) coordinate(w http.ResponseWriter, r *http.Request, job workload.J
 			p.demand = demand
 			active = append(active, p)
 		}
+	}
+	if len(active) != len(split) {
+		// Some demand resolved to an owner that was not a participant:
+		// ownership moved between resolution and planning. Retry clean.
+		csp.Attr("outcome", "stale_owner")
+		return true
 	}
 	parts = active
 
@@ -613,9 +770,14 @@ func (n *Node) coordinate(w http.ResponseWriter, r *http.Request, job workload.J
 	wg.Wait()
 	var rejectReason, rejectNode string
 	var protoErr error
+	stale := false
 	for _, res := range results {
 		res.p.held = res.held
 		if res.err != nil {
+			if n.staleOwner(res.err) {
+				stale = true
+				continue
+			}
 			protoErr = res.err
 		} else if !res.held && rejectReason == "" {
 			// Remember WHICH participant refused, so the surfaced
@@ -637,12 +799,19 @@ func (n *Node) coordinate(w http.ResponseWriter, r *http.Request, job workload.J
 		csp.Attr("outcome", "failed")
 		n.coordFailed.Add(1)
 		httpError(w, http.StatusServiceUnavailable, protoErr)
-		return
+		return false
+	}
+	if stale {
+		// A participant's slice moved mid-prepare; drop what was held and
+		// retry against the refreshed ownership.
+		abortHeld()
+		csp.Attr("outcome", "stale_owner")
+		return true
 	}
 	if rejectReason != "" {
 		abortHeld()
 		n.finishCoordination(w, trace, job, start, admission.Decision{Reason: rejectReason, Elapsed: dec.Elapsed}, csp, rejectNode)
-		return
+		return false
 	}
 
 	if n.gate != nil {
@@ -656,7 +825,7 @@ func (n *Node) coordinate(w http.ResponseWriter, r *http.Request, job workload.J
 		csp.Attr("outcome", "crashed")
 		httpError(w, http.StatusInternalServerError,
 			fmt.Errorf("cluster: injected coordinator crash before commit of %s", key))
-		return
+		return false
 	}
 	if n.draining() {
 		// Graceful drain: never leave prepares for the sweep when we can
@@ -666,7 +835,7 @@ func (n *Node) coordinate(w http.ResponseWriter, r *http.Request, job workload.J
 		csp.Attr("outcome", "aborted")
 		n.coordFailed.Add(1)
 		httpError(w, http.StatusServiceUnavailable, errors.New("cluster: draining, aborted in-flight prepare"))
-		return
+		return false
 	}
 
 	// Phase 3: commit everywhere. Commits are idempotent and retried;
@@ -687,9 +856,10 @@ func (n *Node) coordinate(w http.ResponseWriter, r *http.Request, job workload.J
 		csp.Attr("outcome", "aborted")
 		n.coordFailed.Add(1)
 		httpError(w, http.StatusServiceUnavailable, commitErr)
-		return
+		return false
 	}
 	n.finishCoordination(w, trace, job, start, dec, csp, "")
+	return false
 }
 
 // finishCoordination records the verdict on the coordinate span and
@@ -744,6 +914,8 @@ func (n *Node) handleRelease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if r.Header.Get(headerForwarded) != "" {
+		n.flowMu.RLock()
+		defer n.flowMu.RUnlock()
 		r.Body = io.NopCloser(bytes.NewReader(body))
 		r.ContentLength = int64(len(body))
 		n.srv.ServeHTTP(w, r)
@@ -758,9 +930,12 @@ func (n *Node) handleRelease(w http.ResponseWriter, r *http.Request) {
 	}
 	released := 0
 	var lastErr error
-	for _, ps := range n.peers {
+	for _, ps := range n.releaseTargets() {
 		if ps.isSelf {
-			if err := n.srv.Ledger().Release(req.Name); err == nil {
+			n.flowMu.RLock()
+			err := n.srv.Ledger().Release(req.Name)
+			n.flowMu.RUnlock()
+			if err == nil {
 				released++
 			}
 			continue
@@ -788,14 +963,19 @@ func (n *Node) handleRelease(w http.ResponseWriter, r *http.Request) {
 }
 
 // Gossip is the periodic Θ/reserved summary a node broadcasts: enough
-// for peers to see its clock, load, and per-location availability
-// without another RPC.
+// for peers to see its clock, load, per-location availability, and —
+// since dynamic membership — its table epoch (anti-entropy trigger) and
+// ledger epoch (standing watches on other nodes re-evaluate when a
+// remote ledger they depend on changed).
 type Gossip struct {
 	Node        string            `json:"node"`
+	URL         string            `json:"url,omitempty"`
 	Now         interval.Time     `json:"now"`
 	Shards      int               `json:"shards"`
 	Commitments int               `json:"commitments"`
 	Holds       int               `json:"holds"`
+	Epoch       uint64            `json:"epoch"`
+	LedgerEpoch uint64            `json:"ledger_epoch"`
 	Theta       map[string]string `json:"theta"`
 	Reserved    map[string]string `json:"reserved"`
 }
@@ -804,10 +984,13 @@ func (n *Node) buildGossip() Gossip {
 	snap := n.srv.Ledger().Snapshot()
 	g := Gossip{
 		Node:        n.self.ID,
+		URL:         n.self.URL,
 		Now:         snap.Now,
 		Shards:      len(snap.Shards),
 		Commitments: len(snap.Commitments),
 		Holds:       len(snap.Holds),
+		Epoch:       n.reg.Epoch(),
+		LedgerEpoch: n.srv.Ledger().Epoch(),
 		Theta:       make(map[string]string, len(snap.Shards)),
 		Reserved:    make(map[string]string, len(snap.Shards)),
 	}
@@ -818,7 +1001,8 @@ func (n *Node) buildGossip() Gossip {
 	return g
 }
 
-// gossipLoop periodically pushes this node's summary to every peer.
+// gossipLoop periodically pushes this node's summary to every peer and
+// ships warm-standby shadows when the ledger changed.
 func (n *Node) gossipLoop(every time.Duration) {
 	defer n.gossipWg.Done()
 	ticker := time.NewTicker(every)
@@ -834,12 +1018,13 @@ func (n *Node) gossipLoop(every time.Duration) {
 			continue
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), n.client.timeout)
-		for _, ps := range n.peers {
+		for _, ps := range n.peersSnapshot() {
 			if ps.isSelf {
 				continue
 			}
 			_ = n.client.call(ctx, http.MethodPost, ps.URL+"/v1/cluster/gossip", body, nil, nil, ps.rpc)
 		}
+		n.shipShadows(ctx, n.reg.Snapshot())
 		cancel()
 	}
 }
@@ -855,16 +1040,32 @@ func (n *Node) handleGossip(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("cluster: bad gossip body: %w", err))
 		return
 	}
-	ps, ok := n.byID[g.Node]
+	ps, ok := n.peerByID(g.Node)
 	if !ok || ps.isSelf {
+		if !ok && g.Epoch > n.reg.Epoch() && g.URL != "" {
+			// A member we have not heard of, on a newer table: fetch it.
+			go n.fetchTable(g.URL)
+			writeJSON(w, http.StatusOK, map[string]string{"syncing": g.Node})
+			return
+		}
 		httpError(w, http.StatusUnprocessableEntity, fmt.Errorf("cluster: gossip from unknown node %q", g.Node))
 		return
+	}
+	if g.Epoch > n.reg.Epoch() {
+		go n.fetchTable(ps.URL)
 	}
 	ps.mu.Lock()
 	ps.lastHeard = time.Now()
 	ps.lastNow = g.Now
 	ps.lastHolds = g.Holds
+	ledgerMoved := g.LedgerEpoch != ps.lastLedgerEpoch
+	ps.lastLedgerEpoch = g.LedgerEpoch
 	ps.mu.Unlock()
+	if ledgerMoved {
+		// A remote ledger this node's standing watches may depend on
+		// changed; re-evaluate them through the cluster evaluator.
+		n.srv.Queries().Bump(n.srv.Ledger().Epoch(), "gossip")
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"ok": g.Node})
 }
 
@@ -883,10 +1084,13 @@ type PeerStatus struct {
 }
 
 func (n *Node) peerStatuses() []PeerStatus {
-	out := make([]PeerStatus, 0, len(n.peers))
-	for _, ps := range n.peers {
-		locs := make([]string, len(ps.Locations))
-		for i, loc := range ps.Locations {
+	tbl := n.reg.Snapshot()
+	peers := n.peersSnapshot()
+	out := make([]PeerStatus, 0, len(peers))
+	for _, ps := range peers {
+		owned := tbl.Locations(ps.ID)
+		locs := make([]string, len(owned))
+		for i, loc := range owned {
 			locs[i] = string(loc)
 		}
 		st := PeerStatus{ID: ps.ID, URL: ps.URL, Locations: locs, Self: ps.isSelf, RPC: ps.rpc.Summary()}
@@ -923,6 +1127,20 @@ type ClusterCounters struct {
 	// remote free views (all-local queries delegate to the server layer).
 	FanoutQueries uint64 `json:"fanout_queries"`
 
+	// Dynamic-membership counters. MembershipEpoch is the table version
+	// this node currently routes by; Joins/Leaves count changes this node
+	// stewarded, Handoffs/Promotions ownership moves it executed.
+	MembershipEpoch   uint64 `json:"membership_epoch"`
+	Joins             uint64 `json:"joins"`
+	Leaves            uint64 `json:"leaves"`
+	Handoffs          uint64 `json:"handoffs"`
+	Promotions        uint64 `json:"promotions"`
+	RedirectsServed   uint64 `json:"redirects_served"`
+	RedirectsFollowed uint64 `json:"redirects_followed"`
+	TableApplies      uint64 `json:"table_applies"`
+	ShadowShips       uint64 `json:"shadow_ships"`
+	ShadowMisses      uint64 `json:"shadow_misses"`
+
 	CoordLatencyMeanUS float64 `json:"coord_latency_mean_us"`
 	CoordLatencyP50US  float64 `json:"coord_latency_p50_us"`
 	CoordLatencyP99US  float64 `json:"coord_latency_p99_us"`
@@ -954,6 +1172,16 @@ func (n *Node) Stats() NodeStats {
 			Migrations:         n.migrations.Load(),
 			Releases:           n.releases.Load(),
 			FanoutQueries:      n.fanouts.Load(),
+			MembershipEpoch:    n.reg.Epoch(),
+			Joins:              n.joins.Load(),
+			Leaves:             n.leaves.Load(),
+			Handoffs:           n.handoffs.Load(),
+			Promotions:         n.promotions.Load(),
+			RedirectsServed:    n.redirectsServed.Load(),
+			RedirectsFollowed:  n.redirectsFollowed.Load(),
+			TableApplies:       n.tableApplies.Load(),
+			ShadowShips:        n.shadowShips.Load(),
+			ShadowMisses:       n.shadowMisses.Load(),
 			CoordLatencyMeanUS: lat.Mean,
 			CoordLatencyP50US:  lat.P50,
 			CoordLatencyP99US:  lat.P99,
@@ -989,7 +1217,7 @@ func (n *Node) handleMigrate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, errors.New("cluster: migrate needs {name, target}"))
 		return
 	}
-	target, ok := n.byID[req.Target]
+	target, ok := n.peerByID(req.Target)
 	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Errorf("cluster: unknown target node %s", req.Target))
 		return
@@ -998,12 +1226,19 @@ func (n *Node) handleMigrate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("cluster: %s already lives here", req.Name))
 		return
 	}
+	tbl := n.reg.Snapshot()
+	selfLocs := tbl.Locations(n.self.ID)
+	targetLocs := tbl.Locations(target.ID)
+	if len(targetLocs) == 0 {
+		httpError(w, http.StatusConflict, fmt.Errorf("cluster: target %s owns no locations", target.ID))
+		return
+	}
 	demand, info, err := n.srv.Ledger().RemainingDemand(req.Name)
 	if err != nil {
 		httpError(w, http.StatusNotFound, err)
 		return
 	}
-	remapped, mapping := remapDemand(demand, n.self.Locations, target.Locations)
+	remapped, mapping := remapDemand(demand, selfLocs, targetLocs)
 
 	// The migration span parents everything downstream — including the
 	// detached abort issued if the make-before-break handover fails
@@ -1015,7 +1250,7 @@ func (n *Node) handleMigrate(w http.ResponseWriter, r *http.Request) {
 	msp.Attr("to", target.ID)
 
 	// Lease against the target's clock, then prepare/commit there.
-	_, targetNow, err := n.freeOn(sctx, target, target.Locations)
+	_, targetNow, err := n.freeOn(sctx, target, targetLocs)
 	if err != nil {
 		msp.SetStatus(span.StatusError)
 		msp.Attr("outcome", "failed")
@@ -1118,9 +1353,10 @@ func (n *Node) handleClusterAdvance(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("cluster: bad advance body: %w", err))
 		return
 	}
-	results := make(map[string]any, len(n.peers))
+	peers := n.peersSnapshot()
+	results := make(map[string]any, len(peers))
 	failed := false
-	for _, ps := range n.peers {
+	for _, ps := range peers {
 		if ps.isSelf {
 			completed, err := n.srv.Ledger().Advance(req.Now)
 			if err != nil {

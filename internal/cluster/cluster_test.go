@@ -17,6 +17,7 @@ import (
 	"repro/internal/compute"
 	"repro/internal/cost"
 	"repro/internal/interval"
+	"repro/internal/membership"
 	"repro/internal/obs"
 	"repro/internal/obs/span"
 	"repro/internal/resource"
@@ -28,17 +29,18 @@ import (
 // HTTP listeners. Each node's structured event log lands in its logs
 // buffer; read them only while no traffic is in flight.
 type testCluster struct {
-	peers []Peer
-	nodes []*Node
-	urls  []string
-	logs  []*bytes.Buffer
-	spans []*span.Store
+	peers    []Peer
+	nodes    []*Node
+	urls     []string
+	logs     []*bytes.Buffer
+	spans    []*span.Store
+	httpSrvs []*http.Server
 }
 
 // newTestCluster boots nNodes nodes owning locsPerNode cpu locations
 // each (rate units/tick over (0, horizon)), with the given lease TTL and
 // fast gossip.
-func newTestCluster(t *testing.T, nNodes, locsPerNode int, rate int64, horizon, ttl interval.Time) *testCluster {
+func newTestCluster(t testing.TB, nNodes, locsPerNode int, rate int64, horizon, ttl interval.Time) *testCluster {
 	t.Helper()
 	var locs []resource.Location
 	for i := 0; i < nNodes*locsPerNode; i++ {
@@ -62,7 +64,7 @@ func newTestCluster(t *testing.T, nNodes, locsPerNode int, rate int64, horizon, 
 		tc.urls = append(tc.urls, url)
 		tc.peers = append(tc.peers, Peer{ID: fmt.Sprintf("n%d", i+1), URL: url, Locations: parts[i]})
 	}
-	httpSrvs := make([]*http.Server, nNodes)
+	tc.httpSrvs = make([]*http.Server, nNodes)
 	for i := 0; i < nNodes; i++ {
 		buf := &bytes.Buffer{}
 		tc.logs = append(tc.logs, buf)
@@ -80,15 +82,15 @@ func newTestCluster(t *testing.T, nNodes, locsPerNode int, rate int64, horizon, 
 			t.Fatal(err)
 		}
 		tc.nodes = append(tc.nodes, nd)
-		httpSrvs[i] = &http.Server{Handler: nd}
-		go func(i int) { _ = httpSrvs[i].Serve(listeners[i]) }(i)
+		tc.httpSrvs[i] = &http.Server{Handler: nd}
+		go func(i int) { _ = tc.httpSrvs[i].Serve(listeners[i]) }(i)
 	}
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		for i := range tc.nodes {
 			_ = tc.nodes[i].Shutdown(ctx)
-			_ = httpSrvs[i].Shutdown(ctx)
+			_ = tc.httpSrvs[i].Shutdown(ctx)
 		}
 	})
 	return tc
@@ -278,7 +280,8 @@ func TestClusterFederatedAdmissionUnderCrash(t *testing.T) {
 // TestClusterForwardingAndMisroute checks single-owner routing: a job
 // pinned to another node's location is forwarded to its owner and
 // admitted there, while a forwarded request landing on a non-owner is
-// refused (422) instead of bouncing around the cluster.
+// answered with a 421 naming the true owner (the sender follows the
+// redirect instead of the job bouncing server-side).
 func TestClusterForwardingAndMisroute(t *testing.T) {
 	tc := newTestCluster(t, 3, 1, 4, 1000, 50)
 	job := pinnedJob(t, "fwd-1", tc.peers[1].Locations[0], 1000)
@@ -297,18 +300,26 @@ func TestClusterForwardingAndMisroute(t *testing.T) {
 		t.Fatal("router kept a commitment")
 	}
 
-	// A forwarded request whose footprint the receiver does not own.
+	// A forwarded request whose footprint the receiver does not own is
+	// answered with a redirect naming the true owner from the table.
 	bad := pinnedJob(t, "fwd-2", tc.peers[2].Locations[0], 1000)
-	status, _ = post(t, tc.urls[0]+"/v1/admit", bad, map[string]string{headerForwarded: "n9"})
-	if status != http.StatusUnprocessableEntity {
-		t.Fatalf("misrouted admit returned %d, want 422", status)
+	status, data := post(t, tc.urls[0]+"/v1/admit", bad, map[string]string{headerForwarded: "n9"})
+	if status != http.StatusMisdirectedRequest {
+		t.Fatalf("misrouted admit returned %d, want 421", status)
 	}
-	if got := tc.nodes[0].Stats().Cluster.Misrouted; got != 1 {
-		t.Fatalf("n1 misrouted = %d, want 1", got)
+	var red membership.RedirectResponse
+	if err := json.Unmarshal(data, &red); err != nil {
+		t.Fatalf("decoding redirect: %v", err)
+	}
+	if red.OwnerID != tc.peers[2].ID || red.OwnerURL != tc.urls[2] {
+		t.Fatalf("redirect names %s at %s, want %s at %s", red.OwnerID, red.OwnerURL, tc.peers[2].ID, tc.urls[2])
+	}
+	if got := tc.nodes[0].Stats().Cluster.RedirectsServed; got != 1 {
+		t.Fatalf("n1 redirects served = %d, want 1", got)
 	}
 	// A job naming a location nobody owns is rejected with a clear error.
 	ghost := pinnedJob(t, "fwd-3", "l99", 1000)
-	status, data := post(t, tc.urls[0]+"/v1/admit", ghost, nil)
+	status, data = post(t, tc.urls[0]+"/v1/admit", ghost, nil)
 	if status != http.StatusUnprocessableEntity || !bytes.Contains(data, []byte("no node owns")) {
 		t.Fatalf("unowned-location admit: status %d body %s", status, data)
 	}

@@ -1,0 +1,510 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	neturl "net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/interval"
+	"repro/internal/obs"
+	"repro/internal/obs/span"
+	"repro/internal/query"
+	"repro/internal/resource"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// newJoiner boots a Join-mode node (owns nothing, serves on a real
+// listener) ready to JoinCluster through a steward.
+func newJoiner(t *testing.T, id string) (*Node, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + ln.Addr().String()
+	nd, err := New(Config{
+		Self:           id,
+		Peers:          []Peer{{ID: id, URL: url}},
+		Join:           true,
+		Server:         server.Config{Policy: &admission.Rota{}},
+		LeaseTTL:       50,
+		GossipInterval: 50 * time.Millisecond,
+		Obs:            obs.New(obs.Options{Log: &bytes.Buffer{}, Node: id}),
+		Spans:          span.NewStore(span.DefaultCapacity, id),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: nd}
+	go func() { _ = hs.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = nd.Shutdown(ctx)
+		_ = hs.Shutdown(ctx)
+	})
+	return nd, url
+}
+
+// commitmentHome counts how many cluster ledgers hold a commitment.
+func commitmentHome(nodes []*Node, name string) int {
+	homes := 0
+	for _, nd := range nodes {
+		if _, ok := nd.Server().Ledger().Commitment(name); ok {
+			homes++
+		}
+	}
+	return homes
+}
+
+// TestJoinMovesOwnershipWithoutLosingReservations: a new member joins a
+// loaded 2-node cluster with explicit pins spanning both incumbents.
+// Every committed reservation on the pinned locations must survive the
+// handoffs, the epoch must advance everywhere, and admissions for the
+// moved locations must land on the joiner afterwards.
+func TestJoinMovesOwnershipWithoutLosingReservations(t *testing.T) {
+	tc := newTestCluster(t, 2, 2, 8, 100000, 50)
+	// n1 owns l1,l2; n2 owns l3,l4. Commit one job per location.
+	jobs := map[string]resource.Location{}
+	for i, loc := range []resource.Location{"l1", "l2", "l3", "l4"} {
+		name := fmt.Sprintf("pre-join-%d", i)
+		status, verdict := admitVerdict(t, tc.urls[i/2], pinnedJob(t, name, loc, 100000))
+		if status != http.StatusOK || !verdict.Admit {
+			t.Fatalf("seeding %s on %s: status %d, verdict %+v", name, loc, status, verdict)
+		}
+		jobs[name] = loc
+	}
+
+	joiner, _ := newJoiner(t, "n3")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	// Pins span both incumbents: l2 is handed off by the steward itself,
+	// l3 by a steward-ordered RPC handoff on n2.
+	if err := joiner.JoinCluster(ctx, tc.urls[0], []resource.Location{"l2", "l3"}); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+
+	all := append(append([]*Node{}, tc.nodes...), joiner)
+	for _, nd := range all {
+		tbl := nd.Table()
+		if tbl.Epoch < 2 {
+			t.Fatalf("%s still routes by epoch %d", nd.ID(), tbl.Epoch)
+		}
+		for _, loc := range []resource.Location{"l2", "l3"} {
+			if owner, ok := tbl.OwnerOf(loc); !ok || owner != "n3" {
+				t.Fatalf("%s's table says %s owns %s, want n3", nd.ID(), owner, loc)
+			}
+		}
+	}
+	// Zero lost committed reservations: every pre-join job lives on
+	// exactly one node, and the pinned ones moved to the joiner.
+	for name, loc := range jobs {
+		if homes := commitmentHome(all, name); homes != 1 {
+			t.Fatalf("%s (on %s) lives on %d nodes after the join, want exactly 1", name, loc, homes)
+		}
+	}
+	for _, name := range []string{"pre-join-1", "pre-join-2"} { // l2, l3
+		if _, ok := joiner.Server().Ledger().Commitment(name); !ok {
+			t.Fatalf("%s did not move to the joiner with its location", name)
+		}
+	}
+	for i, nd := range all {
+		if err := nd.Server().Ledger().Audit(); err != nil {
+			t.Fatalf("node %d audit after join: %v", i, err)
+		}
+	}
+
+	// New load on a moved location routes to the joiner — submitted via an
+	// incumbent, which forwards (following any redirect) to n3.
+	status, verdict := admitVerdict(t, tc.urls[1], pinnedJob(t, "post-join", "l2", 100000))
+	if status != http.StatusOK || !verdict.Admit {
+		t.Fatalf("post-join admit: status %d, verdict %+v", status, verdict)
+	}
+	if _, ok := joiner.Server().Ledger().Commitment("post-join"); !ok {
+		t.Fatal("post-join commitment did not land on the new owner")
+	}
+	// Cluster-wide release reaches the joiner too.
+	if status, _ := post(t, tc.urls[0]+"/v1/release", map[string]string{"name": "pre-join-1"}, nil); status != http.StatusOK {
+		t.Fatalf("releasing a moved commitment returned %d", status)
+	}
+	if _, ok := joiner.Server().Ledger().Commitment("pre-join-1"); ok {
+		t.Fatal("release did not reach the moved commitment")
+	}
+}
+
+// TestConcurrentAdmissionsDuringHandoff hammers every location with
+// admissions while a join rebalances ownership mid-flight. Run under
+// -race this doubles as the ownership-table/handoff data-race test.
+// Every request must end in a clean verdict (transient redirects are
+// retried internally), and every admitted job must live on exactly one
+// ledger afterwards — nothing lost, nothing duplicated.
+func TestConcurrentAdmissionsDuringHandoff(t *testing.T) {
+	tc := newTestCluster(t, 2, 2, 64, 100000, 50)
+	locs := []resource.Location{"l1", "l2", "l3", "l4"}
+
+	var admitted sync.Map
+	var wg sync.WaitGroup
+	const clients, perClient = 4, 25
+	start := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perClient; i++ {
+				name := fmt.Sprintf("churn-%d-%d", c, i)
+				job := pinnedJob(t, name, locs[(c+i)%len(locs)], 100000)
+				status, verdict := admitVerdict(t, tc.urls[(c+i)%len(tc.urls)], job)
+				if status != http.StatusOK {
+					t.Errorf("admit %s returned %d mid-handoff", name, status)
+					return
+				}
+				if verdict.Admit {
+					admitted.Store(name, true)
+				}
+			}
+		}(c)
+	}
+
+	joiner, _ := newJoiner(t, "n3")
+	close(start)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := joiner.JoinCluster(ctx, tc.urls[0], []resource.Location{"l1", "l3"}); err != nil {
+		t.Fatalf("join under load: %v", err)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	all := append(append([]*Node{}, tc.nodes...), joiner)
+	count := 0
+	admitted.Range(func(k, _ any) bool {
+		count++
+		if homes := commitmentHome(all, k.(string)); homes != 1 {
+			t.Errorf("%s lives on %d ledgers, want exactly 1", k, homes)
+		}
+		return true
+	})
+	if count == 0 {
+		t.Fatal("nothing admitted during the handoff window")
+	}
+	for _, nd := range all {
+		if err := nd.Server().Ledger().Audit(); err != nil {
+			t.Fatalf("%s audit after join under load: %v", nd.ID(), err)
+		}
+	}
+	if joiner.Table().Epoch < 2 {
+		t.Fatalf("join did not advance the epoch: %d", joiner.Table().Epoch)
+	}
+}
+
+// TestForceLeavePromotesStandby kills a primary and force-leaves it:
+// the rendezvous standby must promote from its gossip-fed shadow with
+// the committed reservation intact, and the cluster must keep admitting
+// on the moved location.
+func TestForceLeavePromotesStandby(t *testing.T) {
+	tc := newTestCluster(t, 3, 1, 8, 100000, 50)
+	// Pick n2 (owns l2) as the victim; its standby is the rendezvous
+	// runner-up, exactly where LeaveMoves will send l2.
+	victim := 1
+	loc := tc.peers[victim].Locations[0]
+	standbyID := tc.nodes[0].Table().StandbyOf(loc)
+	if standbyID == "" || standbyID == tc.peers[victim].ID {
+		t.Fatalf("no usable standby for %s: %q", loc, standbyID)
+	}
+	var standby *Node
+	var survivor string
+	for i, p := range tc.peers {
+		if p.ID == standbyID {
+			standby = tc.nodes[i]
+		} else if i != victim {
+			survivor = tc.urls[i]
+		}
+	}
+
+	status, verdict := admitVerdict(t, tc.urls[victim], pinnedJob(t, "survives-crash", loc, 100000))
+	if status != http.StatusOK || !verdict.Admit {
+		t.Fatalf("seeding the victim: status %d, verdict %+v", status, verdict)
+	}
+	// Wait for the victim's gossip tick to ship the shadow.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		standby.smu.Lock()
+		_, ok := standby.shadows[loc]
+		standby.smu.Unlock()
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no shadow of %s reached standby %s within 5s", loc, standbyID)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Crash the primary: its listener dies, no graceful handoff possible.
+	_ = tc.httpSrvs[victim].Close()
+	body, _ := json.Marshal(map[string]any{"id": tc.peers[victim].ID, "force": true})
+	resp, err := http.Post(survivor+"/v1/cluster/leave", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("force leave returned %d", resp.StatusCode)
+	}
+
+	if _, ok := standby.Server().Ledger().Commitment("survives-crash"); !ok {
+		t.Fatal("committed reservation lost in the failover")
+	}
+	if owner, ok := standby.Table().OwnerOf(loc); !ok || owner != standbyID {
+		t.Fatalf("%s owned by %s after failover, want %s", loc, owner, standbyID)
+	}
+	if _, ok := standby.Table().Member(tc.peers[victim].ID); ok {
+		t.Fatal("dead member still in the table")
+	}
+	if err := standby.Server().Ledger().Audit(); err != nil {
+		t.Fatalf("standby audit after promotion: %v", err)
+	}
+	if got := standby.Stats().Cluster.Promotions; got != 1 {
+		t.Fatalf("standby promotions = %d, want 1", got)
+	}
+
+	// The cluster keeps admitting on the failed-over location.
+	status, verdict = admitVerdict(t, survivor, pinnedJob(t, "post-failover", loc, 100000))
+	if status != http.StatusOK || !verdict.Admit {
+		t.Fatalf("post-failover admit: status %d, verdict %+v", status, verdict)
+	}
+	if _, ok := standby.Server().Ledger().Commitment("post-failover"); !ok {
+		t.Fatal("post-failover commitment missed the promoted standby")
+	}
+}
+
+// sseWatch is a minimal /v1/watch client for membership tests.
+type sseWatch struct {
+	resp   *http.Response
+	events chan query.Event
+}
+
+func openSSEWatch(t *testing.T, baseURL, q string) *sseWatch {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, baseURL+"/v1/watch?q="+neturl.QueryEscape(q), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("watch returned %d", resp.StatusCode)
+	}
+	w := &sseWatch{resp: resp, events: make(chan query.Event, 16)}
+	t.Cleanup(func() { resp.Body.Close() })
+	go func() {
+		defer close(w.events)
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var ev query.Event
+			if json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev) == nil {
+				w.events <- ev
+			}
+		}
+	}()
+	return w
+}
+
+func (w *sseWatch) next(t *testing.T, timeout time.Duration) query.Event {
+	t.Helper()
+	select {
+	case ev, ok := <-w.events:
+		if !ok {
+			t.Fatal("watch stream closed")
+		}
+		return ev
+	case <-time.After(timeout):
+		t.Fatal("no watch event in time")
+	}
+	return query.Event{}
+}
+
+// TestWatchStaysCorrectAcrossOwnershipMove is the regression test for
+// the static-ownership bug in the query fan-out: a standing watch whose
+// footprint location changes owners mid-subscription must keep
+// delivering correct verdicts, resolved through the live table.
+func TestWatchStaysCorrectAcrossOwnershipMove(t *testing.T) {
+	tc := newTestCluster(t, 2, 1, 8, 100000, 50)
+	// Watch l2 (owned by n2) from n1: remote footprint, fan-out evaluator.
+	// Window (now, now+1): exactly the tick the one-shot filler below
+	// reserves, so its admission flips the verdict and its release flips
+	// it back. (A wider window would stay satisfiable around the filler.)
+	q := fmt.Sprintf("holds(%s, cpu>=8, next 1)", tc.peers[1].Locations[0])
+	w := openSSEWatch(t, tc.urls[0], q)
+	if ev := w.next(t, 5*time.Second); !ev.Holds {
+		t.Fatalf("initial verdict holds=false, want true (l2 is free): %+v", ev)
+	}
+
+	// Move l2 to a fresh joiner. The watch's footprint now lives on a
+	// node that did not exist when it subscribed.
+	joiner, _ := newJoiner(t, "n3")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	loc := tc.peers[1].Locations[0]
+	if err := joiner.JoinCluster(ctx, tc.urls[0], []resource.Location{loc}); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if owner, _ := tc.nodes[0].Table().OwnerOf(loc); owner != "n3" {
+		t.Fatalf("%s owned by %s, want n3", loc, owner)
+	}
+
+	// Fill the moved location via the OLD owner's URL — the admission is
+	// redirected to the joiner, whose ledger change must flip the watch
+	// on n1 (delivered by the gossip-driven re-evaluation).
+	status, verdict := admitVerdict(t, tc.urls[1], pinnedJob(t, "filler", loc, 100000))
+	if status != http.StatusOK || !verdict.Admit {
+		t.Fatalf("filler admit: status %d, verdict %+v", status, verdict)
+	}
+	if _, ok := joiner.Server().Ledger().Commitment("filler"); !ok {
+		t.Fatal("filler did not land on the new owner")
+	}
+	flipped := false
+	deadline := time.Now().Add(10 * time.Second)
+	for !flipped && time.Now().Before(deadline) {
+		ev := w.next(t, 10*time.Second)
+		if !ev.Holds {
+			flipped = true
+		}
+	}
+	if !flipped {
+		t.Fatal("watch never saw the post-move admission")
+	}
+	// One-shot fan-out from n1 agrees, resolved through the live table.
+	resp, err := http.Get(tc.urls[0] + "/v1/query?q=" + neturl.QueryEscape(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr server.QueryResponse
+	err = json.NewDecoder(resp.Body).Decode(&qr)
+	resp.Body.Close()
+	if err != nil || qr.Holds {
+		t.Fatalf("one-shot verdict after move: holds=%v err=%v, want false", qr.Holds, err)
+	}
+
+	// Releasing the filler flips the watch back.
+	if status, _ := post(t, tc.urls[0]+"/v1/release", map[string]string{"name": "filler"}, nil); status != http.StatusOK {
+		t.Fatalf("release returned %d", status)
+	}
+	for {
+		ev := w.next(t, 10*time.Second)
+		if ev.Holds {
+			break
+		}
+	}
+}
+
+// TestGracefulLeaveHandsOffEverything: a member leaves politely; its
+// locations and live commitments must move to the rendezvous successors
+// before the table drops it.
+func TestGracefulLeaveHandsOffEverything(t *testing.T) {
+	tc := newTestCluster(t, 3, 1, 8, 100000, 50)
+	loc := tc.peers[2].Locations[0]
+	status, verdict := admitVerdict(t, tc.urls[2], pinnedJob(t, "moves-out", loc, 100000))
+	if status != http.StatusOK || !verdict.Admit {
+		t.Fatalf("seed: status %d, verdict %+v", status, verdict)
+	}
+
+	status, data := post(t, tc.urls[0]+"/v1/cluster/leave", map[string]any{"id": "n3"}, nil)
+	if status != http.StatusOK {
+		t.Fatalf("graceful leave returned %d: %s", status, data)
+	}
+	tbl := tc.nodes[0].Table()
+	if _, ok := tbl.Member("n3"); ok {
+		t.Fatal("left member still in the table")
+	}
+	newOwner, ok := tbl.OwnerOf(loc)
+	if !ok || newOwner == "n3" {
+		t.Fatalf("%s owned by %q after leave", loc, newOwner)
+	}
+	if homes := commitmentHome(tc.nodes[:2], "moves-out"); homes != 1 {
+		t.Fatalf("moves-out lives on %d surviving ledgers, want 1", homes)
+	}
+	// The departed node's ledger no longer owns the location.
+	if tc.nodes[2].Server().Ledger().NumCommitments() != 0 {
+		t.Fatal("departed node still holds the commitment")
+	}
+	for _, nd := range tc.nodes[:2] {
+		if err := nd.Server().Ledger().Audit(); err != nil {
+			t.Fatalf("%s audit after leave: %v", nd.ID(), err)
+		}
+	}
+	// Last-member and unknown-member guard rails.
+	if status, _ := post(t, tc.urls[0]+"/v1/cluster/leave", map[string]any{"id": "ghost"}, nil); status != http.StatusNotFound {
+		t.Fatalf("unknown member leave: %d, want 404", status)
+	}
+}
+
+// TestRedirectServedForHandedOffLocation exercises the 421 contract
+// directly: after a handoff, the old owner answers the cluster-protocol
+// endpoints with a redirect naming the new owner, until the new table
+// supersedes the overlay.
+func TestRedirectServedForHandedOffLocation(t *testing.T) {
+	tc := newTestCluster(t, 2, 1, 8, 100000, 50)
+	n1 := tc.nodes[0]
+	loc := tc.peers[0].Locations[0]
+	// Execute a raw handoff (no table update): n1 → n2 at a future epoch.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := n1.executeHandoff(ctx, []resource.Location{loc}, "n2", tc.urls[1], n1.Table().Epoch+1); err != nil {
+		t.Fatalf("handoff: %v", err)
+	}
+	resp, err := http.Get(tc.urls[0] + "/v1/cluster/free?locs=" + string(loc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("free on handed-off location returned %d, want 421", resp.StatusCode)
+	}
+	var red struct {
+		OwnerID  string `json:"owner_id"`
+		OwnerURL string `json:"owner_url"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&red); err != nil {
+		t.Fatal(err)
+	}
+	if red.OwnerID != "n2" || red.OwnerURL != tc.urls[1] {
+		t.Fatalf("redirect points at %s (%s), want n2 (%s)", red.OwnerID, red.OwnerURL, tc.urls[1])
+	}
+	if got := n1.Stats().Cluster.RedirectsServed; got == 0 {
+		t.Fatal("redirects_served did not count")
+	}
+	// An admit submitted to the old owner still succeeds: the forward
+	// path follows the redirect to the new owner.
+	status, verdict := admitVerdict(t, tc.urls[0], pinnedJob(t, "after-redirect", loc, 100000))
+	if status != http.StatusOK || !verdict.Admit {
+		t.Fatalf("admit after handoff: status %d, verdict %+v", status, verdict)
+	}
+	if _, ok := tc.nodes[1].Server().Ledger().Commitment("after-redirect"); !ok {
+		t.Fatal("redirected admission missed the new owner")
+	}
+}
+
+var _ = workload.Job{}
+var _ interval.Time

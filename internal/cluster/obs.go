@@ -16,7 +16,9 @@ import (
 func (n *Node) CollectMetrics(e *obs.Exposition) {
 	n.srv.CollectMetrics(e)
 
-	e.Gauge("rota_cluster_peers", "Static cluster membership size, including self.", nil, float64(len(n.peers)))
+	peers := n.peersSnapshot()
+	e.Gauge("rota_cluster_peers", "Live cluster membership size, including self.", nil, float64(len(peers)))
+	e.Gauge("rota_cluster_membership_epoch", "Ownership-table epoch this node currently routes by.", nil, float64(n.reg.Epoch()))
 
 	e.Counter("rota_cluster_forwarded_total", "Single-owner admissions relayed to the owning peer.", nil, float64(n.forwarded.Load()))
 	e.Counter("rota_cluster_misrouted_total", "Forwarded admissions refused because this node does not own the footprint.", nil, float64(n.misrouted.Load()))
@@ -29,9 +31,19 @@ func (n *Node) CollectMetrics(e *obs.Exposition) {
 	e.Counter("rota_cluster_releases_total", "Cluster-wide releases fanned out from this node.", nil, float64(n.releases.Load()))
 	e.Counter("rota_cluster_fanout_queries_total", "Temporal queries answered against merged remote free views.", nil, float64(n.fanouts.Load()))
 
+	e.Counter("rota_cluster_joins_total", "Membership joins stewarded by this node.", nil, float64(n.joins.Load()))
+	e.Counter("rota_cluster_leaves_total", "Membership leaves stewarded by this node.", nil, float64(n.leaves.Load()))
+	e.Counter("rota_cluster_handoffs_total", "Make-before-break ownership handoffs executed with this node as source.", nil, float64(n.handoffs.Load()))
+	e.Counter("rota_cluster_promotions_total", "Standby promotions executed on this node (failover).", nil, float64(n.promotions.Load()))
+	e.Counter("rota_cluster_redirects_served_total", "421 ownership redirects answered for handed-off locations.", nil, float64(n.redirectsServed.Load()))
+	e.Counter("rota_cluster_redirects_followed_total", "421 ownership redirects this node consumed and learned from.", nil, float64(n.redirectsFollowed.Load()))
+	e.Counter("rota_cluster_table_applies_total", "Newer membership tables installed (steward, broadcast, or anti-entropy).", nil, float64(n.tableApplies.Load()))
+	e.Counter("rota_cluster_shadow_ships_total", "Warm-standby shadow shipments sent to rendezvous runners-up.", nil, float64(n.shadowShips.Load()))
+	e.Counter("rota_cluster_shadow_misses_total", "Locations promoted empty because no shadow had arrived.", nil, float64(n.shadowMisses.Load()))
+
 	e.Summary("rota_cluster_coordination_latency_us", "End-to-end federated admission latency in microseconds (free view through commit).", nil, n.coordLatency.Summary())
 
-	for _, ps := range n.peers {
+	for _, ps := range peers {
 		if ps.isSelf {
 			continue
 		}

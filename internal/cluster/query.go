@@ -90,14 +90,34 @@ func (n *Node) serveQuery(w http.ResponseWriter, r *http.Request, c *query.Compi
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// allSelf reports whether every location is owned by this node.
+// allSelf reports whether every location is owned by this node under
+// the live ownership table (including its handoff overlays).
 func (n *Node) allSelf(locs []resource.Location) bool {
 	for _, loc := range locs {
-		if ps, ok := n.owners[loc]; !ok || !ps.isSelf {
+		if ref, ok := n.lookupOwner(loc); !ok || ref.id != n.self.ID {
 			return false
 		}
 	}
 	return true
+}
+
+// clusterEval is the standing-watch evaluator in cluster mode: a watch
+// whose footprint stays on this node evaluates against the local ledger
+// exactly as before; one touching remote owners evaluates through the
+// same fan-out path as a one-shot query. Because ownership is resolved
+// per evaluation, a watch keeps answering correctly when its footprint
+// locations change owners mid-subscription.
+func (n *Node) clusterEval(c *query.Compiled) (query.Verdict, error) {
+	if len(c.Names()) == 0 && n.allSelf(c.Footprint(nil)) {
+		return n.srv.LocalEval(c)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.client.timeout)
+	defer cancel()
+	resp, err := n.fanoutQuery(ctx, c)
+	if err != nil {
+		return query.Verdict{}, err
+	}
+	return query.Verdict{Holds: resp.Holds, Epoch: resp.Epoch, Now: resp.Now}, nil
 }
 
 // resolveCommitment finds a named commitment anywhere in the cluster:
@@ -107,7 +127,7 @@ func (n *Node) allSelf(locs []resource.Location) bool {
 func (n *Node) resolveCommitment(ctx context.Context, name string) (query.Commitment, bool, error) {
 	info, ok := n.srv.Ledger().Commitment(name)
 	if !ok {
-		for _, ps := range n.peers {
+		for _, ps := range n.peersSnapshot() {
 			if ps.isSelf {
 				continue
 			}
@@ -162,26 +182,44 @@ func (n *Node) fanoutQuery(ctx context.Context, c *query.Compiled) (server.Query
 			comms[name] = cm
 		}
 	}
-	byOwner := make(map[*peerState][]resource.Location)
-	for _, loc := range c.Footprint(comms) {
-		if ps, ok := n.owners[loc]; ok {
-			byOwner[ps] = append(byOwner[ps], loc)
-		}
-	}
+	footprint := c.Footprint(comms)
 	var free resource.Set
 	var now interval.Time
-	for ps, locs := range byOwner {
-		set, pnow, err := n.freeOn(ctx, ps, locs)
-		if err != nil {
-			return server.QueryResponse{}, err
+	for attempt := 0; ; attempt++ {
+		// Resolve owners per attempt: a 421 consumed below refreshes the
+		// learned overlay, so the retry routes to the new owner.
+		byOwner := make(map[*peerState][]resource.Location)
+		for _, loc := range footprint {
+			if ref, ok := n.lookupOwner(loc); ok {
+				ps := n.peerFor(ref)
+				byOwner[ps] = append(byOwner[ps], loc)
+			}
 		}
-		free = free.Union(set)
-		if pnow > now {
-			now = pnow
+		free, now = resource.Set{}, 0
+		stale := false
+		for ps, locs := range byOwner {
+			set, pnow, err := n.freeOn(ctx, ps, locs)
+			if err != nil {
+				if n.staleOwner(err) {
+					stale = true
+					break
+				}
+				return server.QueryResponse{}, err
+			}
+			free = free.Union(set)
+			if pnow > now {
+				now = pnow
+			}
 		}
-	}
-	if len(byOwner) == 0 {
-		now = n.srv.Ledger().Now()
+		if !stale {
+			if len(byOwner) == 0 {
+				now = n.srv.Ledger().Now()
+			}
+			break
+		}
+		if attempt >= maxOwnerRetries {
+			return server.QueryResponse{}, errStaleOwner
+		}
 	}
 	snap := query.Snapshot{
 		Now:         now,

@@ -1,0 +1,101 @@
+package membership
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// The wire decoders sit on the cluster's open membership surface
+// (/v1/cluster/join|leave|handoff and table broadcasts), so they get
+// the same fuzz treatment as the prepare/finish decoders in
+// internal/server: no panic on arbitrary bytes, and everything that
+// decodes cleanly must survive a marshal→decode round trip.
+
+func FuzzDecodeJoinRequest(f *testing.F) {
+	f.Add([]byte(`{"id":"n4","url":"http://127.0.0.1:9","pins":["l1","l2"]}`))
+	f.Add([]byte(`{"id":"","url":""}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := DecodeJoinRequest(body)
+		if err != nil {
+			return
+		}
+		again, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("re-marshal of valid join failed: %v", err)
+		}
+		if _, err := DecodeJoinRequest(again); err != nil {
+			t.Fatalf("round trip of valid join rejected: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeLeaveRequest(f *testing.F) {
+	f.Add([]byte(`{"id":"n2","force":true}`))
+	f.Add([]byte(`{"id":"n2"}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := DecodeLeaveRequest(body)
+		if err != nil {
+			return
+		}
+		again, _ := json.Marshal(req)
+		if _, err := DecodeLeaveRequest(again); err != nil {
+			t.Fatalf("round trip of valid leave rejected: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeHandoffRequest(f *testing.F) {
+	f.Add([]byte(`{"epoch":2,"locs":["l1"],"to":"n4","to_url":"http://127.0.0.1:9"}`))
+	f.Add([]byte(`{"epoch":0,"locs":[],"to":""}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := DecodeHandoffRequest(body)
+		if err != nil {
+			return
+		}
+		again, _ := json.Marshal(req)
+		if _, err := DecodeHandoffRequest(again); err != nil {
+			t.Fatalf("round trip of valid handoff rejected: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeTable(f *testing.F) {
+	seed, _ := json.Marshal(seedTable().ToWire())
+	f.Add(seed)
+	f.Add([]byte(`{"epoch":1,"members":[],"owners":{}}`))
+	f.Add([]byte(`{"epoch":1,"members":[{"id":"a","url":"u"}],"owners":{"l1":"b"}}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		tab, err := DecodeTable(body)
+		if err != nil {
+			return
+		}
+		if err := tab.Validate(); err != nil {
+			t.Fatalf("decoded table fails its own validation: %v", err)
+		}
+		again, _ := json.Marshal(tab.ToWire())
+		back, err := DecodeTable(again)
+		if err != nil {
+			t.Fatalf("round trip of valid table rejected: %v", err)
+		}
+		if back.Epoch != tab.Epoch || len(back.Owners) != len(tab.Owners) {
+			t.Fatal("round trip changed the table")
+		}
+	})
+}
+
+func FuzzDecodeRedirect(f *testing.F) {
+	f.Add([]byte(`{"owner_id":"n2","owner_url":"http://127.0.0.1:9","epoch":3}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		resp, err := DecodeRedirect(body)
+		if err != nil {
+			return
+		}
+		again, _ := json.Marshal(resp)
+		if _, err := DecodeRedirect(again); err != nil {
+			t.Fatalf("round trip of valid redirect rejected: %v", err)
+		}
+	})
+}

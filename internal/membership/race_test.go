@@ -1,0 +1,79 @@
+package membership
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/resource"
+)
+
+// TestRegistryConcurrentReadersDuringChurn is the -race proof for the
+// hot path: admission-side readers snapshot the table and resolve
+// owners while joins and leaves advance the epoch concurrently. Readers
+// must always see an internally consistent table (owners refer to
+// roster members) and a monotonic epoch.
+func TestRegistryConcurrentReadersDuringChurn(t *testing.T) {
+	reg := NewRegistry(seedTable())
+	locs := []resource.Location{"l1", "l2", "l3", "l4", "l5", "l6"}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 16)
+
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastEpoch uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tab := reg.Snapshot()
+				if tab.Epoch < lastEpoch {
+					errs <- fmt.Errorf("epoch went backward: %d after %d", tab.Epoch, lastEpoch)
+					return
+				}
+				lastEpoch = tab.Epoch
+				for _, loc := range locs {
+					owner, ok := tab.OwnerOf(loc)
+					if !ok {
+						continue
+					}
+					if _, member := tab.Member(owner); !member {
+						errs <- fmt.Errorf("epoch %d: %s owned by non-member %s", tab.Epoch, loc, owner)
+						return
+					}
+					tab.StandbyOf(loc)
+				}
+			}
+		}()
+	}
+
+	// Churn: join n4..n23, leaving the previous joiner each round.
+	for i := 4; i < 24; i++ {
+		m := Member{ID: fmt.Sprintf("n%d", i), URL: "http://x"}
+		cur := reg.Snapshot()
+		moves := cur.JoinMoves(m, []resource.Location{locs[i%len(locs)]})
+		if !reg.Apply(cur.Joined(m, moves, []resource.Location{locs[i%len(locs)]})) {
+			t.Fatal("join apply rejected")
+		}
+		if i > 4 {
+			prev := fmt.Sprintf("n%d", i-1)
+			cur = reg.Snapshot()
+			if !reg.Apply(cur.Left(prev, cur.LeaveMoves(prev))) {
+				t.Fatal("leave apply rejected")
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}

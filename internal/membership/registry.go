@@ -1,0 +1,56 @@
+package membership
+
+import (
+	"sync/atomic"
+
+	"repro/internal/resource"
+)
+
+// Registry holds the node's current view of the membership table. Reads
+// are lock-free snapshots (the hot admission path consults it on every
+// request); writes are epoch-gated compare-and-swaps, so a stale
+// broadcast arriving after a newer one is a no-op rather than a
+// regression.
+type Registry struct {
+	table atomic.Pointer[Table]
+}
+
+// NewRegistry seeds a registry. The seed table may be nil (a joining
+// node before its first table broadcast); Snapshot then returns an
+// empty epoch-0 table.
+func NewRegistry(seed *Table) *Registry {
+	r := &Registry{}
+	if seed == nil {
+		seed = &Table{
+			Owners: map[resource.Location]string{},
+			Pins:   map[resource.Location]string{},
+		}
+	}
+	r.table.Store(seed)
+	return r
+}
+
+// Snapshot returns the current table. Callers must treat it as
+// immutable.
+func (r *Registry) Snapshot() *Table {
+	return r.table.Load()
+}
+
+// Apply installs t if and only if its epoch is strictly newer than the
+// current table's. Returns whether the table advanced.
+func (r *Registry) Apply(t *Table) bool {
+	for {
+		cur := r.table.Load()
+		if t.Epoch <= cur.Epoch {
+			return false
+		}
+		if r.table.CompareAndSwap(cur, t) {
+			return true
+		}
+	}
+}
+
+// Epoch returns the current table's epoch.
+func (r *Registry) Epoch() uint64 {
+	return r.table.Load().Epoch
+}

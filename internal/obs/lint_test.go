@@ -88,6 +88,16 @@ var statFamilies = map[string]string{
 	"migrations":            "rota_cluster_migrations_total",
 	"releases":              "rota_cluster_releases_total",
 	"fanout_queries":        "rota_cluster_fanout_queries_total",
+	"membership_epoch":      "rota_cluster_membership_epoch",
+	"joins":                 "rota_cluster_joins_total",
+	"leaves":                "rota_cluster_leaves_total",
+	"handoffs":              "rota_cluster_handoffs_total",
+	"promotions":            "rota_cluster_promotions_total",
+	"redirects_served":      "rota_cluster_redirects_served_total",
+	"redirects_followed":    "rota_cluster_redirects_followed_total",
+	"table_applies":         "rota_cluster_table_applies_total",
+	"shadow_ships":          "rota_cluster_shadow_ships_total",
+	"shadow_misses":         "rota_cluster_shadow_misses_total",
 	"coord_latency_mean_us": "rota_cluster_coordination_latency_us",
 	"coord_latency_p50_us":  "rota_cluster_coordination_latency_us",
 	"coord_latency_p99_us":  "rota_cluster_coordination_latency_us",

@@ -126,6 +126,36 @@ var (
 		"events", "verdict events delivered over the stream",
 		"error", "subscribe failure")
 
+	// Dynamic-membership kinds (internal/cluster/membership.go).
+	KindJoin = defineKind("join",
+		"steward-side admission of a new member: plan moves, hand off, publish table",
+		"member", "joining node ID",
+		"epoch", "table epoch the join published",
+		"moves", "ownership moves executed",
+		"error", "failure that aborted the join")
+
+	KindLeave = defineKind("leave",
+		"steward-side removal of a member: hand off (graceful) or promote standbys (forced)",
+		"member", "leaving node ID",
+		"force", "true when the member is presumed dead",
+		"epoch", "table epoch the leave published",
+		"error", "failure that aborted the leave")
+
+	KindHandoff = defineKind("handoff",
+		"one make-before-break ownership handoff: freeze, export, install on the new owner, drop",
+		"to", "node receiving the locations",
+		"locations", "number of locations moved",
+		"epoch", "table epoch the handoff belongs to",
+		"moved_keys", "mid-2PC holds whose keys now forward to the new owner",
+		"error", "failure that left the locations with the old owner")
+
+	KindPromote = defineKind("promote",
+		"standby promotion: adopt locations from gossip-fed shadow exports",
+		"locations", "number of locations adopted",
+		"epoch", "table epoch the promotion belongs to",
+		"shadow_misses", "locations adopted empty because no shadow had arrived",
+		"error", "import failure during promotion")
+
 	// Sim-bridge kinds: synthetic spans reconstructed from internal/sim
 	// JSONL traces so rotatrace -spans analyses simulator runs too.
 	KindSimJob = defineKind("sim.job",

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/resource"
+)
+
+// installCommitment plants a committed reservation through the public
+// two-phase path (Prepare + Commit), the same way a handoff source
+// acquired it.
+func installCommitment(tb testing.TB, l *Ledger, key, name, demand string) {
+	tb.Helper()
+	if err := l.Prepare(key, name, mustSet(tb, demand), 10, 20, 1000); err != nil {
+		tb.Fatalf("prepare %s: %v", key, err)
+	}
+	if err := l.Commit(key); err != nil {
+		tb.Fatalf("commit %s: %v", key, err)
+	}
+}
+
+func TestExportImportRoundTripMovesEverything(t *testing.T) {
+	src := NewLedger(cpuTheta(4, 100, "l1", "l2"), 0)
+	src.RestrictOwned([]resource.Location{"l1", "l2"})
+	installCommitment(t, src, "k1", "j1", "2:cpu@l1:(0,10)")
+	installCommitment(t, src, "k2", "j2", "1:cpu@l1:(5,15),1:cpu@l2:(5,15)")
+	if err := src.Prepare("k3", "j3", mustSet(t, "1:cpu@l1:(20,30)"), 30, 40, 500); err != nil {
+		t.Fatal(err)
+	}
+	mustAudit(t, src)
+
+	exports := src.ExportLocations([]resource.Location{"l1"})
+	if len(exports) != 1 || exports[0].Loc != "l1" {
+		t.Fatalf("exports = %+v", exports)
+	}
+	exp := exports[0]
+	if len(exp.Commitments) != 2 || len(exp.Holds) != 1 {
+		t.Fatalf("export carries %d commitments, %d holds", len(exp.Commitments), len(exp.Holds))
+	}
+
+	dst := NewLedger(resource.Set{}, 0)
+	dst.RestrictOwned([]resource.Location{})
+	dst.AddOwned([]resource.Location{"l1"})
+	if err := dst.ImportLocations(exports); err != nil {
+		t.Fatal(err)
+	}
+	moved := src.DropLocations([]resource.Location{"l1"})
+	if len(moved) != 1 || moved[0] != "k3" {
+		t.Fatalf("moved keys = %v, want [k3]", moved)
+	}
+	mustAudit(t, src)
+	mustAudit(t, dst)
+
+	// j1 lived entirely on l1: gone from src, live on dst.
+	if _, ok := src.Commitment("j1"); ok {
+		t.Fatal("j1 survived the drop on the source")
+	}
+	if _, ok := dst.Commitment("j1"); !ok {
+		t.Fatal("j1 missing on the new owner")
+	}
+	// j2 spanned l1+l2: split across both ledgers, demand partitioned.
+	srcJ2, ok := src.Commitment("j2")
+	if !ok || len(srcJ2.Locations) != 1 || srcJ2.Locations[0] != "l2" {
+		t.Fatalf("source j2 = %+v", srcJ2)
+	}
+	dstJ2, ok := dst.Commitment("j2")
+	if !ok || len(dstJ2.Locations) != 1 || dstJ2.Locations[0] != "l1" {
+		t.Fatalf("dest j2 = %+v", dstJ2)
+	}
+	// The moved hold commits on the new owner under its original key.
+	if err := dst.Commit("k3"); err != nil {
+		t.Fatalf("committing moved hold: %v", err)
+	}
+	if _, ok := dst.Commitment("j3"); !ok {
+		t.Fatal("j3 missing after committing the moved hold")
+	}
+	mustAudit(t, dst)
+
+	// The source no longer owns l1.
+	if err := src.Prepare("k9", "j9", mustSet(t, "1:cpu@l1:(0,5)"), 5, 9, 100); !errors.Is(err, ErrNotOwned) {
+		t.Fatalf("prepare on dropped location: %v, want ErrNotOwned", err)
+	}
+}
+
+func TestImportMergesSpanningJobSlices(t *testing.T) {
+	// The receiver already holds j-span's slice on l2 under the same 2PC
+	// key; importing l1's slice must merge, not duplicate.
+	dst := NewLedger(cpuTheta(4, 100, "l2"), 0)
+	dst.RestrictOwned([]resource.Location{"l2"})
+	installCommitment(t, dst, "kspan", "j-span", "1:cpu@l2:(0,10)")
+
+	src := NewLedger(cpuTheta(4, 100, "l1"), 0)
+	src.RestrictOwned([]resource.Location{"l1"})
+	installCommitment(t, src, "kspan", "j-span", "1:cpu@l1:(0,10)")
+
+	dst.AddOwned([]resource.Location{"l1"})
+	if err := dst.ImportLocations(src.ExportLocations([]resource.Location{"l1"})); err != nil {
+		t.Fatal(err)
+	}
+	src.DropLocations([]resource.Location{"l1"})
+	mustAudit(t, dst)
+	c, ok := dst.Commitment("j-span")
+	if !ok {
+		t.Fatal("merged commitment missing")
+	}
+	if len(c.Locations) != 2 {
+		t.Fatalf("merged commitment spans %v, want both locations", c.Locations)
+	}
+	// One release returns both slices.
+	if err := dst.Release("j-span"); err != nil {
+		t.Fatal(err)
+	}
+	mustAudit(t, dst)
+}
+
+func TestImportRefusesOvercommit(t *testing.T) {
+	dst := NewLedger(resource.Set{}, 0)
+	exports := []LocationExport{{
+		Loc:   "l1",
+		Theta: "1:cpu@l1:(0,10)",
+		Commitments: []ExportCommitment{
+			{Name: "too-big", Demand: "5:cpu@l1:(0,10)", Finish: 10, Deadline: 20},
+		},
+	}}
+	if err := dst.ImportLocations(exports); err == nil {
+		t.Fatal("import that breaks the shard invariant must fail")
+	}
+}
+
+func TestDropUnknownLocationIsHarmless(t *testing.T) {
+	l := NewLedger(cpuTheta(2, 100, "l1"), 0)
+	l.RestrictOwned([]resource.Location{"l1"})
+	if moved := l.DropLocations([]resource.Location{"ghost"}); len(moved) != 0 {
+		t.Fatalf("moved = %v", moved)
+	}
+	mustAudit(t, l)
+}
+
+// BenchmarkLedgerHandoff measures the full ownership-handoff round trip
+// (export one loaded location, install it on a fresh owner, drop it
+// from the source) at increasing ledger sizes — the hot cost of
+// rebalancing under load (EXPERIMENTS.md E15, BENCH_PR7.json).
+func BenchmarkLedgerHandoff(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("commitments=%d", n), func(b *testing.B) {
+			src := NewLedger(cpuTheta(int64(n)+8, 1<<30, "l1", "l2"), 0)
+			src.RestrictOwned([]resource.Location{"l1", "l2"})
+			for i := 0; i < n; i++ {
+				installCommitment(b, src, fmt.Sprintf("k%d", i), fmt.Sprintf("j%d", i),
+					fmt.Sprintf("1:cpu@l1:(%d,%d)", i, i+10))
+			}
+			exports := src.ExportLocations([]resource.Location{"l1"})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst := NewLedger(resource.Set{}, 0)
+				dst.RestrictOwned([]resource.Location{})
+				dst.AddOwned([]resource.Location{"l1"})
+				if err := dst.ImportLocations(exports); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

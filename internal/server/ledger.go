@@ -65,6 +65,34 @@ type shard struct {
 	theta    resource.Set
 	reserved resource.Set
 	now      interval.Time
+	// free caches theta \ reserved between mutations: every query (and
+	// every standing-watch re-evaluation after an epoch bump) needs the
+	// free view, and recomputing the subtraction per evaluation dominates
+	// query cost on a loaded shard. Valid iff freeOK; any write to theta,
+	// reserved or now must call dirty. Shared read-only — callers clone
+	// (Union does) before mutating.
+	free   resource.Set
+	freeOK bool
+}
+
+// freeView returns the shard's free availability (θ minus reserved),
+// computing and caching it on the first call after a mutation. The
+// caller must hold sh.mu and must not mutate the returned set in place.
+func (sh *shard) freeView() (resource.Set, error) {
+	if sh.freeOK {
+		return sh.free, nil
+	}
+	part, err := sh.theta.Subtract(sh.reserved)
+	if err != nil {
+		return resource.Set{}, err
+	}
+	sh.free, sh.freeOK = part, true
+	return part, nil
+}
+
+// dirty drops the cached free view. The caller must hold sh.mu.
+func (sh *shard) dirty() {
+	sh.free, sh.freeOK = resource.Set{}, false
 }
 
 // commitment is one admitted computation in the live ledger.
@@ -272,8 +300,17 @@ var (
 )
 
 // checkOwned verifies every location is owned by this node, counting
-// rejections. A nil owned set (standalone mode) accepts everything.
+// rejections. A nil owned set (standalone mode) accepts everything. The
+// owned set mutates at runtime (ownership handoff, standby promotion),
+// so reads go under l.mu.
 func (l *Ledger) checkOwned(locs []resource.Location) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.checkOwnedLocked(locs)
+}
+
+// checkOwnedLocked is checkOwned for callers already holding l.mu.
+func (l *Ledger) checkOwnedLocked(locs []resource.Location) error {
 	if l.owned == nil {
 		return nil
 	}
@@ -284,6 +321,26 @@ func (l *Ledger) checkOwned(locs []resource.Location) error {
 		}
 	}
 	return nil
+}
+
+// AddOwned extends the owned set at runtime (ownership handoff in). A
+// no-op in standalone mode (nil owned accepts everything already).
+func (l *Ledger) AddOwned(locs []resource.Location) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.owned == nil {
+		return
+	}
+	for _, loc := range locs {
+		l.owned[loc] = true
+	}
+}
+
+// Owned reports whether this node currently owns loc.
+func (l *Ledger) Owned(loc resource.Location) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.owned == nil || l.owned[loc]
 }
 
 // Admit claims the job's name, locks the shards of its resource
@@ -334,13 +391,22 @@ func (l *Ledger) AdmitCtx(ctx context.Context, policy admission.Policy, job work
 		return admission.Decision{}, err
 	}
 	shards, unlock := l.lockedShards(locs)
+	// Re-check under the shard locks: a concurrent ownership handoff may
+	// have dropped one of these locations between the first check and the
+	// lock acquisition, and reserving into a dropped shard would strand
+	// the reservation on a node that no longer owns it.
+	if err := l.checkOwned(locs); err != nil {
+		unlock()
+		abandon()
+		return admission.Decision{}, err
+	}
 
 	// Merged free availability across the footprint: Θ minus reserved,
 	// shard by shard. The shard invariant guarantees the subtraction is
 	// defined.
 	var free resource.Set
 	for _, sh := range shards {
-		part, err := sh.theta.Subtract(sh.reserved)
+		part, err := sh.freeView()
 		if err != nil {
 			unlock()
 			abandon()
@@ -397,6 +463,7 @@ func (l *Ledger) AdmitCtx(ctx context.Context, policy admission.Policy, job work
 			return admission.Decision{}, fmt.Errorf("server: plan for %s consumes outside its footprint (shard %s)", job.Dist.Name, loc)
 		}
 		target.reserved = target.reserved.Union(part)
+		target.dirty()
 		if !target.theta.Dominates(target.reserved) {
 			unlock()
 			abandon()
@@ -458,6 +525,7 @@ func (l *Ledger) releaseDemand(locs []resource.Location, demand resource.Set) er
 			return fmt.Errorf("server: shard %s reservation inconsistent: %w", sh.loc, err)
 		}
 		sh.reserved = freed
+		sh.dirty()
 	}
 	return nil
 }
@@ -474,6 +542,7 @@ func (l *Ledger) Acquire(theta resource.Set) {
 		sh := shards[0]
 		part.TrimBefore(sh.now) // the shard clock may have advanced since the read above
 		sh.theta = sh.theta.Union(part)
+		sh.dirty()
 		unlock()
 	}
 	l.bumpEpoch("acquire")
@@ -526,6 +595,7 @@ func (l *Ledger) Advance(to interval.Time) ([]string, error) {
 			sh.theta.TrimBefore(to)
 			sh.reserved.TrimBefore(to)
 			sh.now = to
+			sh.dirty()
 		}
 		sh.mu.Unlock()
 	}

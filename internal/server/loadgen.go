@@ -4,18 +4,22 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	neturl "net/url"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/membership"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/resource"
 	"repro/internal/workload"
 )
 
@@ -72,6 +76,14 @@ type LoadReport struct {
 	// (QueryFrac of the stream); QueryHolds of them held.
 	Queries    int
 	QueryHolds int
+	// Redirects counts 421 ownership redirects followed: the location a
+	// request targeted had moved since the client last looked. Each one
+	// is a retry within the same request, so the Admitted + Rejected +
+	// Errors + Queries = Requests accounting is unaffected.
+	Redirects int
+	// FirstError is the first request failure observed (empty when
+	// Errors is zero) — a sample to diagnose what the count is hiding.
+	FirstError string
 
 	Duration   time.Duration
 	Throughput float64 // requests per second
@@ -120,8 +132,12 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 	client := &http.Client{Timeout: cfg.Timeout}
 	hist := metrics.NewHistogram()
 	qhist := metrics.NewHistogram()
-	var next, admitted, rejected, errs, released, unexplained, queries, queryHolds atomic.Int64
+	var next, admitted, rejected, errs, released, unexplained, queries, queryHolds, redirects atomic.Int64
 	var firstErr atomic.Value
+	// owners caches ownership learned from 421 redirects (location ->
+	// base URL), shared by all clients so one redirect reroutes the
+	// whole run after a rebalance.
+	var owners sync.Map
 	// Deterministic admit/query interleaving: request i is a query iff
 	// i mod 100 falls below the rounded percentage, so reruns mix
 	// identically and the accounting stays exact.
@@ -181,7 +197,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 					continue
 				}
 				reqStart := time.Now()
-				resp, trace, err := postAdmit(ctx, client, url, job)
+				resp, trace, admitURL, err := admitFollowingRedirects(ctx, client, url, job, &owners, &redirects)
 				latencyUS := time.Since(reqStart).Microseconds()
 				hist.Observe(float64(latencyUS))
 				if err != nil {
@@ -199,7 +215,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 				}
 				admitted.Add(1)
 				if cfg.ReleaseAdmitted {
-					if err := postRelease(ctx, client, url, job.Dist.Name); err != nil {
+					if err := releaseFollowingRedirects(ctx, client, admitURL, job, &owners, &redirects); err != nil {
 						errs.Add(1)
 						firstErr.CompareAndSwap(nil, err)
 					} else {
@@ -222,6 +238,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 		Released:   int(released.Load()),
 		Queries:    int(queries.Load()),
 		QueryHolds: int(queryHolds.Load()),
+		Redirects:  int(redirects.Load()),
 		Duration:   elapsed,
 		MeanUS:     sum.Mean,
 		P50US:      sum.P50,
@@ -238,6 +255,9 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 	}
 	if elapsed > 0 {
 		report.Throughput = float64(cfg.Requests) / elapsed.Seconds()
+	}
+	if err, ok := firstErr.Load().(error); ok {
+		report.FirstError = err.Error()
 	}
 	if err := ctx.Err(); err != nil {
 		return report, err
@@ -293,6 +313,62 @@ func getQueryText(ctx context.Context, client *http.Client, base, q string) (Que
 	return out, nil
 }
 
+// redirectError carries a 421 Misdirected Request body up to the load
+// loop: the location a request targeted has a new owner.
+type redirectError struct {
+	resp membership.RedirectResponse
+}
+
+func (e *redirectError) Error() string {
+	return fmt.Sprintf("server: ownership moved to %s (%s, epoch %d)", e.resp.OwnerID, e.resp.OwnerURL, e.resp.Epoch)
+}
+
+// maxRedirectHops bounds redirect-chasing per request: one rebalance
+// moves ownership once, so more than a couple of hops means the
+// cluster's tables disagree and the error should surface.
+const maxRedirectHops = 3
+
+// admitFollowingRedirects posts the admit, consulting and refreshing
+// the learned ownership cache: a 421 updates the cache for every
+// location the redirect names and retries at the new owner. Returns
+// the node that finally answered so the release can go to the same
+// place.
+func admitFollowingRedirects(ctx context.Context, client *http.Client, base string, job workload.Job,
+	owners *sync.Map, redirects *atomic.Int64) (AdmitResponse, string, string, error) {
+	loc := firstFootprintLoc(job)
+	if loc != "" {
+		if v, ok := owners.Load(loc); ok {
+			base = v.(string)
+		}
+	}
+	for hop := 0; ; hop++ {
+		resp, trace, err := postAdmit(ctx, client, base, job)
+		var rd *redirectError
+		if err == nil || !errors.As(err, &rd) || hop >= maxRedirectHops {
+			return resp, trace, base, err
+		}
+		redirects.Add(1)
+		base = strings.TrimSuffix(rd.resp.OwnerURL, "/")
+		locs := rd.resp.Locs
+		if len(locs) == 0 && loc != "" {
+			locs = []resource.Location{loc}
+		}
+		for _, l := range locs {
+			owners.Store(l, base)
+		}
+	}
+}
+
+// firstFootprintLoc is the cache key for a job's learned owner: the
+// first location of its initial concurrent step (same choice loadQuery
+// makes), empty when the job has no footprint.
+func firstFootprintLoc(job workload.Job) resource.Location {
+	if locs := footprint(core.ConcurrentAt(job.Dist, 0)); len(locs) > 0 {
+		return locs[0]
+	}
+	return ""
+}
+
 // postAdmit submits one job and returns the verdict plus the trace ID
 // the daemon stamped on the response — the correlation handle for the
 // slow log.
@@ -317,6 +393,26 @@ func postRelease(ctx context.Context, client *http.Client, base string, name str
 	return postJSON(ctx, client, base+"/v1/release", body, nil)
 }
 
+// releaseFollowingRedirects releases a commitment at the node that
+// admitted it, chasing 421s if an ownership handoff moved the
+// reservation between the admit and the release (the commitment moves
+// with its location, so the new owner honors the release).
+func releaseFollowingRedirects(ctx context.Context, client *http.Client, base string, job workload.Job,
+	owners *sync.Map, redirects *atomic.Int64) error {
+	for hop := 0; ; hop++ {
+		err := postRelease(ctx, client, base, job.Dist.Name)
+		var rd *redirectError
+		if err == nil || !errors.As(err, &rd) || hop >= maxRedirectHops {
+			return err
+		}
+		redirects.Add(1)
+		base = strings.TrimSuffix(rd.resp.OwnerURL, "/")
+		for _, l := range rd.resp.Locs {
+			owners.Store(l, base)
+		}
+	}
+}
+
 func postJSON(ctx context.Context, client *http.Client, url string, body []byte, out any) error {
 	_, err := postJSONTraced(ctx, client, url, body, out)
 	return err
@@ -337,6 +433,11 @@ func postJSONTraced(ctx context.Context, client *http.Client, url string, body [
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
 		return trace, err
+	}
+	if resp.StatusCode == http.StatusMisdirectedRequest {
+		if rd, derr := membership.DecodeRedirect(data); derr == nil {
+			return trace, &redirectError{resp: rd}
+		}
 	}
 	if resp.StatusCode != http.StatusOK {
 		return trace, fmt.Errorf("server: %s returned %d: %s", url, resp.StatusCode, bytes.TrimSpace(data))

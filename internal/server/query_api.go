@@ -108,13 +108,34 @@ func (s *Server) evalQuery(c *query.Compiled) (query.Result, query.Snapshot, err
 	return res, snap, err
 }
 
-// managerEval adapts evalQuery for the subscription manager.
+// managerEval adapts evalQuery for the subscription manager. An
+// installed override (SetWatchEvaluator) takes precedence: the cluster
+// layer injects one that fans footprints spanning other owners out to
+// the live ownership table, so a standing watch keeps evaluating
+// correctly after the locations it names change hands.
 func (s *Server) managerEval(c *query.Compiled) (query.Verdict, error) {
+	if fn, ok := s.watchEval.Load().(query.Evaluator); ok && fn != nil {
+		return fn(c)
+	}
+	return s.LocalEval(c)
+}
+
+// LocalEval evaluates a compiled query against this node's ledger only
+// — the building block a cluster-aware watch evaluator falls back to
+// for all-local footprints.
+func (s *Server) LocalEval(c *query.Compiled) (query.Verdict, error) {
 	res, snap, err := s.evalQuery(c)
 	if err != nil {
 		return query.Verdict{}, err
 	}
 	return query.Verdict{Holds: res.Holds, Epoch: snap.Epoch, Now: snap.Now}, nil
+}
+
+// SetWatchEvaluator overrides the evaluator standing watches re-run on
+// every ledger epoch. Intended to be called once, before the server
+// accepts subscriptions.
+func (s *Server) SetWatchEvaluator(fn query.Evaluator) {
+	s.watchEval.Store(fn)
 }
 
 // Queries exposes the subscription manager (selftest and tests).

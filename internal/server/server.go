@@ -47,7 +47,9 @@ type Config struct {
 	MaxBodyBytes int64
 	// Owned restricts the ledger to these locations (cluster mode):
 	// admissions and prepares naming any other location are rejected
-	// with ErrNotOwned. Empty means standalone — own everything.
+	// with ErrNotOwned. Nil means standalone — own everything. A
+	// non-nil empty slice means "own nothing yet": a node joining a
+	// cluster starts that way and gains locations via handoff.
 	Owned []resource.Location
 	// Obs is the observability sink: structured event logging, trace
 	// correlation and the slow-decision tracer. Nil disables event
@@ -140,7 +142,10 @@ type Server struct {
 	httpStats map[string]*obs.EndpointStats
 
 	// queries is the temporal-query subscription manager: standing
-	// queries re-evaluated on every ledger epoch bump.
+	// queries re-evaluated on every ledger epoch bump. watchEval holds
+	// an optional query.Evaluator override (the cluster layer's
+	// ownership-aware evaluator) consulted by managerEval.
+	watchEval      atomic.Value
 	queries        *query.Manager
 	queryCount     atomic.Uint64
 	queryLatencyUS *metrics.Histogram
@@ -170,7 +175,7 @@ func New(cfg Config) (*Server, error) {
 		httpStats:      make(map[string]*obs.EndpointStats),
 		webhooks:       make(map[uint64]*query.Subscription),
 	}
-	if len(cfg.Owned) > 0 {
+	if cfg.Owned != nil {
 		s.ledger.RestrictOwned(cfg.Owned)
 	}
 	s.ledger.SetObserver(cfg.Obs)

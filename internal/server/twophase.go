@@ -131,6 +131,14 @@ func (l *Ledger) Prepare(key, name string, demand resource.Set, finish, deadline
 	}
 
 	shards, unlock := l.lockedShards(locs)
+	// Re-check ownership under the shard locks: a concurrent handoff may
+	// have dropped a location since the first check, and a hold placed on
+	// a dropped shard would never be committed or swept here.
+	if err := l.checkOwned(locs); err != nil {
+		unlock()
+		abandon()
+		return fmt.Errorf("prepare %s for %s: %w", key, name, err)
+	}
 	parts := splitByShard(trimmed)
 	// Check every shard before touching any, so a rejection leaves the
 	// ledger exactly as it was.
@@ -151,6 +159,7 @@ func (l *Ledger) Prepare(key, name string, demand resource.Set, finish, deadline
 	for i, sh := range shards {
 		if _, ok := parts[sh.loc]; ok {
 			sh.reserved = candidates[i]
+			sh.dirty()
 		}
 	}
 	unlock()
@@ -244,7 +253,7 @@ func (l *Ledger) FreeView(locs []resource.Location) (resource.Set, interval.Time
 	defer unlock()
 	var free resource.Set
 	for _, sh := range shards {
-		part, err := sh.theta.Subtract(sh.reserved)
+		part, err := sh.freeView()
 		if err != nil {
 			return resource.Set{}, 0, fmt.Errorf("server: shard %s invariant broken: %w", sh.loc, err)
 		}
