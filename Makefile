@@ -6,13 +6,14 @@ GO ?= go
 # coordination + gossip, including the injected-crash and drain
 # integration tests), the observability layer (shared Observer +
 # per-endpoint stats), the span store (lock-free-looking ring buffer fed
-# by every request), the metrics histogram, and the core decision path
-# they drive.
-RACE_PKGS = ./internal/server/ ./internal/cluster/ ./internal/membership/ ./internal/query/ ./internal/obs/ ./internal/obs/span/ ./internal/metrics/ ./internal/admission/ ./internal/core/ ./internal/schedule/ ./cmd/rotad/
+# by every request), the metrics histogram, the core decision path they
+# drive, and the self-healing layer (φ-accrual detector fed from every
+# gossip receipt, fault-injection transport under concurrent RPCs).
+RACE_PKGS = ./internal/server/ ./internal/cluster/ ./internal/membership/ ./internal/query/ ./internal/obs/ ./internal/obs/span/ ./internal/metrics/ ./internal/admission/ ./internal/core/ ./internal/schedule/ ./internal/health/ ./internal/fault/ ./cmd/rotad/
 
-.PHONY: ci fmt vet build test race metrics-lint bench-gate selftest cluster-selftest trace-selftest query-selftest bench clean
+.PHONY: ci fmt vet build test race metrics-lint bench-gate selftest cluster-selftest trace-selftest query-selftest chaos-selftest bench clean
 
-ci: fmt vet build test race metrics-lint bench-gate trace-selftest query-selftest
+ci: fmt vet build test race metrics-lint bench-gate trace-selftest query-selftest chaos-selftest
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -39,7 +40,7 @@ metrics-lint:
 # drift more than the tolerance between consecutive PRs (same-machine
 # runs; see EXPERIMENTS.md E15).
 bench-gate:
-	$(GO) run ./cmd/benchjson -compare BENCH_PR6.json BENCH_PR7.json -tolerance 15%
+	$(GO) run ./cmd/benchjson -compare BENCH_PR7.json BENCH_PR8.json -tolerance 15%
 
 # End-to-end: daemon + ≥1000 requests through the HTTP API.
 selftest:
@@ -64,14 +65,23 @@ trace-selftest:
 query-selftest:
 	$(GO) run ./cmd/rotad -selftest -requests 300 -clients 4
 
-# Regenerates BENCH_PR7.json at the repo root: every benchmark's
+# End-to-end self-healing check: a 3-node loopback cluster wired through
+# the fault-injection transport runs a seeded kill/partition/heal
+# schedule under live load with no operator — every eviction must come
+# from the φ-accrual detector + quorum rule, the healed partition must
+# fence-and-rejoin on its own, no committed reservation may be lost, and
+# every audit must stay clean (EXPERIMENTS.md E16).
+chaos-selftest:
+	$(GO) run ./cmd/rotad -selftest -chaos -cluster 3 -requests 150 -clients 4 -locations 6
+
+# Regenerates BENCH_PR8.json at the repo root: every benchmark's
 # ops/sec, ns/op and allocs/op, including the loaded-ledger query
 # benchmarks (E14) and the handoff-under-load benchmark (E15). Three
 # runs per benchmark; benchjson keeps each one's fastest (noise only
 # slows a run down), so the ledger is stable enough for bench-gate.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=200ms -count=3 -run '^$$' ./... | $(GO) run ./cmd/benchjson > BENCH_PR7.json
-	@cat BENCH_PR7.json | head -c 400; echo
+	$(GO) test -bench=. -benchmem -benchtime=200ms -count=3 -run '^$$' ./... | $(GO) run ./cmd/benchjson > BENCH_PR8.json
+	@cat BENCH_PR8.json | head -c 400; echo
 
 clean:
 	$(GO) clean ./...

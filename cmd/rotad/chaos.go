@@ -1,0 +1,711 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/interval"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/obs/span"
+	"repro/internal/resource"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// The chaos selftest is the acceptance harness for the self-healing
+// layer: an N-node loopback federation wired through the fault-injection
+// transport, a seeded kill/partition/heal schedule applied while a load
+// generator keeps hammering the stable nodes, and no operator anywhere —
+// every eviction must come from the φ-accrual detector plus the quorum
+// rule, every promotion from the deterministic runner-up steward, and
+// every fenced node must find its own way back in.
+//
+// Acceptance, enforced below:
+//   - no committed reservation is lost across any kill or partition
+//     (one home per seed commitment, on every surviving ledger set);
+//   - every node's no-overcommitment audit stays clean throughout;
+//   - ownership converges: one table, every location owned by a live
+//     member, after the schedule ends;
+//   - detection-to-first-admit latency on a killed owner's location is
+//     bounded (chaosAdmitBound, generous for race-detector runs).
+const (
+	// chaosGossip is deliberately fast so φ crosses the eviction level in
+	// well under a second of silence; chaosEvictPhi is set high enough
+	// that a scheduler stall of several intervals does not read as death
+	// under the race detector.
+	chaosGossip     = 40 * time.Millisecond
+	chaosSuspectPhi = 6
+	chaosEvictPhi   = 9
+	chaosRPCTimeout = 500 * time.Millisecond
+	chaosRPCRetries = 1
+	chaosAdmitBound = 30 * time.Second
+)
+
+type chaosSelftestConfig struct {
+	nodes    int
+	locs     []resource.Location
+	server   server.Config
+	leaseTTL interval.Time
+	requests int
+	clients  int
+	seed     int64
+	slack    float64
+	horizon  interval.Time
+	csv      bool
+	spanCap  int
+}
+
+// chaosMember is one node slot in the harness. A kill round tears the
+// slot down and restarts it as a fresh dynamic joiner under the same ID,
+// so the slice indexes stay meaningful across the whole schedule.
+type chaosMember struct {
+	id    string
+	url   string
+	nd    *cluster.Node
+	http  *http.Server
+	alive bool
+}
+
+// chaosLog is a concurrency-safe log sink: each node's Observer writes
+// under its own lock, but the failure dump below reads while the nodes
+// are still running.
+type chaosLog struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (l *chaosLog) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.buf.Write(p)
+}
+
+func (l *chaosLog) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.buf.String()
+}
+
+// dumpChaosLogs prints every failover-relevant log line the nodes wrote,
+// grouped by node, so a failed schedule leaves a usable trail instead of
+// a bare assertion message.
+func dumpChaosLogs(out io.Writer, logs map[string]*chaosLog) {
+	ids := make([]string, 0, len(logs))
+	for id := range logs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(out, "--- %s failover log ---\n", id)
+		for _, line := range strings.Split(logs[id].String(), "\n") {
+			if strings.Contains(line, "health.") || strings.Contains(line, "membership.") || strings.Contains(line, "rpc.") {
+				fmt.Fprintln(out, line)
+			}
+		}
+	}
+}
+
+// chaosLoadTotals accumulates the background batches that ran while the
+// schedule was underway.
+type chaosLoadTotals struct {
+	batches     int
+	requests    int
+	admitted    int
+	rejected    int
+	errors      int
+	releaseErrs int
+	redirects   int
+	firstErr    string
+	runErr      error
+}
+
+func runChaosSelftest(out io.Writer, cfg chaosSelftestConfig) (err error) {
+	if len(cfg.locs) < cfg.nodes {
+		return fmt.Errorf("chaos selftest: %d nodes need at least %d locations (raise -locations)", cfg.nodes, cfg.nodes)
+	}
+	if cfg.leaseTTL <= 0 {
+		cfg.leaseTTL = 50
+	}
+	net0 := fault.NewNetwork(cfg.seed)
+	rng := rand.New(rand.NewSource(cfg.seed))
+	ctx := context.Background()
+	httpc := &http.Client{Timeout: 10 * time.Second}
+
+	logs := make(map[string]*chaosLog) // restarted slots keep appending to the same sink
+	defer func() {
+		if err != nil {
+			dumpChaosLogs(out, logs)
+		}
+	}()
+	newNode := func(id, url string, peers []cluster.Peer, join bool) (*cluster.Node, error) {
+		lg := logs[id]
+		if lg == nil {
+			lg = &chaosLog{}
+			logs[id] = lg
+		}
+		var spans *span.Store
+		if cfg.spanCap > 0 {
+			spans = span.NewStore(cfg.spanCap, id)
+		}
+		return cluster.New(cluster.Config{
+			Self:           id,
+			Peers:          peers,
+			Join:           join,
+			Server:         cfg.server,
+			LeaseTTL:       cfg.leaseTTL,
+			GossipInterval: chaosGossip,
+			RPCTimeout:     chaosRPCTimeout,
+			RPCRetries:     chaosRPCRetries,
+			RPCBackoffBase: 10 * time.Millisecond,
+			RPCBackoffCap:  100 * time.Millisecond,
+			SuspectPhi:     chaosSuspectPhi,
+			EvictPhi:       chaosEvictPhi, // > 0: automatic quorum eviction ON
+			Transport:      net0.Transport(id, nil),
+			Obs:            obs.New(obs.Options{Log: lg, Node: id}),
+			Spans:          spans,
+		})
+	}
+
+	// Boot the static seed cluster.
+	listeners := make([]net.Listener, cfg.nodes)
+	peers := make([]cluster.Peer, cfg.nodes)
+	parts := cluster.PartitionLocations(cfg.locs, cfg.nodes)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		listeners[i] = ln
+		peers[i] = cluster.Peer{
+			ID:        fmt.Sprintf("n%d", i+1),
+			URL:       "http://" + ln.Addr().String(),
+			Locations: parts[i],
+		}
+		net0.Register(peers[i].ID, peers[i].URL)
+	}
+	members := make([]*chaosMember, cfg.nodes)
+	for i := range members {
+		nd, err := newNode(peers[i].ID, peers[i].URL, peers, false)
+		if err != nil {
+			return err
+		}
+		m := &chaosMember{id: peers[i].ID, url: peers[i].URL, nd: nd, http: &http.Server{Handler: nd}, alive: true}
+		members[i] = m
+		go func(srv *http.Server, ln net.Listener) { _ = srv.Serve(ln) }(m.http, listeners[i])
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		for _, m := range members {
+			if m.alive {
+				_ = m.nd.Shutdown(ctx)
+				m.http.Close()
+			}
+		}
+	}()
+	alive := func() []*chaosMember {
+		var out []*chaosMember
+		for _, m := range members {
+			if m.alive {
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+
+	// Seed one pinned commitment per location: the reservations whose
+	// survival the whole schedule is judged by.
+	for _, loc := range cfg.locs {
+		job, err := pinnedJob("chaos-seed-"+string(loc), loc, 0, cfg.horizon)
+		if err != nil {
+			return err
+		}
+		status, data, err := postJSON(ctx, httpc, members[0].url+"/v1/admit", job)
+		var v server.AdmitResponse
+		if jerr := json.Unmarshal(data, &v); err != nil || status != http.StatusOK || jerr != nil || !v.Admit {
+			return fmt.Errorf("chaos selftest: seed on %s not admitted (status %d, err %v, body %s)",
+				loc, status, err, bytes.TrimSpace(data))
+		}
+	}
+	if err := waitShadowsWarm(members, cfg.locs, 15*time.Second); err != nil {
+		return fmt.Errorf("chaos selftest: %w", err)
+	}
+
+	// A mildly hostile wire for the whole run: every peer RPC is delayed
+	// and occasionally dropped, so the retry/backoff stack and the
+	// detector's adaptive window run against realistic jitter.
+	net0.SetRule(fault.Wildcard, fault.Wildcard, fault.Rule{Delay: time.Millisecond, Drop: 0.01})
+
+	// Background load against the stable nodes (index 0 and 1 are never
+	// victims), batch after batch until the schedule ends. Request errors
+	// during a failure window are expected — what must hold is the ledger
+	// invariant, not per-request success.
+	stableURLs := []string{members[0].url, members[1].url}
+	stopLoad := make(chan struct{})
+	loadDone := make(chan chaosLoadTotals, 1)
+	go func() {
+		var tot chaosLoadTotals
+		for batch := int64(0); ; batch++ {
+			select {
+			case <-stopLoad:
+				loadDone <- tot
+				return
+			default:
+			}
+			jobs, err := workload.Generate(workload.Config{
+				Seed:             cfg.seed + 100 + batch,
+				Locations:        cfg.locs,
+				NumJobs:          cfg.requests,
+				MeanInterarrival: float64(cfg.horizon) / float64(cfg.requests+1) / 4,
+				ActorsMin:        1,
+				ActorsMax:        2,
+				StepsMin:         1,
+				StepsMax:         3,
+				SendProb:         0.2,
+				EvalWeightMax:    2,
+				SlackFactor:      cfg.slack,
+			})
+			if err != nil {
+				tot.runErr = err
+				loadDone <- tot
+				return
+			}
+			for i := range jobs {
+				jobs[i].Dist.Name = fmt.Sprintf("chaos-%d-%s", batch, jobs[i].Dist.Name)
+			}
+			r, err := server.RunLoad(ctx, server.LoadConfig{
+				BaseURLs:        stableURLs,
+				Jobs:            jobs,
+				Requests:        len(jobs),
+				Clients:         cfg.clients,
+				ReleaseAdmitted: true,
+			})
+			if err != nil {
+				tot.runErr = err
+				loadDone <- tot
+				return
+			}
+			tot.batches++
+			tot.requests += r.Requests
+			tot.admitted += r.Admitted
+			tot.rejected += r.Rejected
+			tot.errors += r.Errors
+			tot.releaseErrs += r.ReleaseErrors
+			tot.redirects += r.Redirects
+			if tot.firstErr == "" {
+				tot.firstErr = r.FirstError
+			}
+		}
+	}()
+
+	// The schedule: at least one kill and one partition, victims drawn
+	// from the non-stable slots by the seeded RNG.
+	type roundResult struct {
+		kind     string
+		victim   string
+		detectMS float64 // kill/partition to victim gone from every survivor table
+		admitMS  float64 // kill to first successful admit on the victim's location (kill rounds)
+	}
+	rounds := []string{"kill", "partition"}
+	var results []roundResult
+	killSerial := 0
+	for _, kind := range rounds {
+		// A cold φ detector cannot tell silence from a peer that never
+		// spoke: every member needs its inter-arrival baseline (MinSamples
+		// observations of every other member) before a failure is staged.
+		if err := waitDetectorsWarm(alive(), 45*time.Second); err != nil {
+			return fmt.Errorf("chaos selftest: before %s round: %w", kind, err)
+		}
+		vi := 2 + rng.Intn(cfg.nodes-2)
+		victim := members[vi]
+		vlocs := victim.nd.Table().Locations(victim.id)
+		if len(vlocs) == 0 {
+			// The rendezvous shuffle can leave a node location-less; the
+			// failover latency probe needs an owned location, so fall
+			// back to any slot that has one.
+			for off := 1; off < cfg.nodes-2; off++ {
+				alt := members[2+(vi-2+off)%(cfg.nodes-2)]
+				if locs := alt.nd.Table().Locations(alt.id); len(locs) > 0 {
+					victim, vlocs = alt, locs
+					break
+				}
+			}
+		}
+		if len(vlocs) == 0 {
+			return fmt.Errorf("chaos selftest: no non-stable node owns a location; cannot stage a %s round", kind)
+		}
+		res := roundResult{kind: kind, victim: victim.id}
+
+		switch kind {
+		case "kill":
+			killedAt := time.Now()
+			victim.http.Close() // inbound gone
+			sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+			err := victim.nd.Shutdown(sctx) // outbound gossip gone: true silence
+			cancel()
+			if err != nil {
+				return fmt.Errorf("chaos selftest: killing %s: %w", victim.id, err)
+			}
+			victim.alive = false
+			if err := waitEvicted(alive(), victim.id, chaosAdmitBound); err != nil {
+				return fmt.Errorf("chaos selftest: kill round: %w", err)
+			}
+			res.detectMS = msSince(killedAt)
+
+			// Detection-to-first-admit: hammer the dead owner's first
+			// location through a stable node until an admission lands on
+			// the promoted standby.
+			for attempt := 0; ; attempt++ {
+				probe, err := pinnedJob(fmt.Sprintf("chaos-kill-%d-%d", killSerial, attempt), vlocs[0], 0, cfg.horizon)
+				if err != nil {
+					return err
+				}
+				status, data, err := postJSON(ctx, httpc, members[0].url+"/v1/admit", probe)
+				var v server.AdmitResponse
+				if err == nil && status == http.StatusOK && json.Unmarshal(data, &v) == nil && v.Admit {
+					res.admitMS = msSince(killedAt)
+					break
+				}
+				if time.Since(killedAt) > chaosAdmitBound {
+					return fmt.Errorf("chaos selftest: no admit on %s within %s of killing its owner (last status %d, err %v)",
+						vlocs[0], chaosAdmitBound, status, err)
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			killSerial++
+
+			// Restart the slot as a brand-new dynamic joiner under the
+			// same ID: the fresh node must be handed ownership while the
+			// load keeps running.
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			victim.url = "http://" + ln.Addr().String()
+			net0.Register(victim.id, victim.url)
+			nd, err := newNode(victim.id, victim.url, []cluster.Peer{{ID: victim.id, URL: victim.url}}, true)
+			if err != nil {
+				return fmt.Errorf("chaos selftest: restarting %s: %w", victim.id, err)
+			}
+			victim.nd = nd
+			victim.http = &http.Server{Handler: nd}
+			go func(srv *http.Server, ln net.Listener) { _ = srv.Serve(ln) }(victim.http, ln)
+			jctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+			err = nd.JoinCluster(jctx, members[0].url, nil)
+			cancel()
+			if err != nil {
+				return fmt.Errorf("chaos selftest: %s rejoining after kill: %w", victim.id, err)
+			}
+			victim.alive = true
+			if err := waitMember(alive(), victim.id, 15*time.Second); err != nil {
+				return fmt.Errorf("chaos selftest: restarted %s: %w", victim.id, err)
+			}
+
+		case "partition":
+			cutAt := time.Now()
+			net0.Partition([]string{victim.id}) // victim alone vs. everyone
+			survivors := make([]*chaosMember, 0, len(members))
+			for _, m := range alive() {
+				if m.id != victim.id {
+					survivors = append(survivors, m)
+				}
+			}
+			if err := waitEvicted(survivors, victim.id, chaosAdmitBound); err != nil {
+				return fmt.Errorf("chaos selftest: partition round: %w", err)
+			}
+			res.detectMS = msSince(cutAt)
+
+			// Heal. The victim is alive with a stale table; its next
+			// gossip push is fenced with 421 by the survivors, and it
+			// must drop its state and rejoin entirely on its own.
+			net0.Heal()
+			if err := waitMember(alive(), victim.id, chaosAdmitBound); err != nil {
+				return fmt.Errorf("chaos selftest: %s never rejoined after heal: %w", victim.id, err)
+			}
+			// The survivors list the victim as soon as the steward
+			// commits the join; the victim bumps its own counter only
+			// after its JoinCluster call returns — poll briefly rather
+			// than racing that gap.
+			rejoinDeadline := time.Now().Add(5 * time.Second)
+			for victim.nd.Stats().Cluster.Rejoins < 1 {
+				if time.Now().After(rejoinDeadline) {
+					return fmt.Errorf("chaos selftest: healed %s recorded %d rejoins, want >= 1 (rejoin must be automatic)",
+						victim.id, victim.nd.Stats().Cluster.Rejoins)
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+		}
+		results = append(results, res)
+	}
+
+	// Schedule over: stop the load, clean the wire, and let the cluster
+	// settle into one converged table.
+	close(stopLoad)
+	tot := <-loadDone
+	if tot.runErr != nil {
+		return fmt.Errorf("chaos selftest: load generator: %w", tot.runErr)
+	}
+	net0.ClearRules()
+	net0.Heal()
+	if err := waitConverged(alive(), cfg.locs, 20*time.Second); err != nil {
+		return fmt.Errorf("chaos selftest: %w", err)
+	}
+
+	// No committed reservation lost: every seed lives on exactly one
+	// surviving ledger. Checked before the sweep below — the ledger
+	// clock has not moved during the schedule, so a missing seed here
+	// means failover dropped it; after Advance the seeds complete
+	// legitimately (their plans finish long before the sweep point) and
+	// vanish from the commit table by design.
+	liveNodes := make([]*cluster.Node, 0, len(members))
+	for _, m := range alive() {
+		liveNodes = append(liveNodes, m.nd)
+	}
+	for _, loc := range cfg.locs {
+		name := "chaos-seed-" + string(loc)
+		if homes := ledgerHomes(liveNodes, name); homes != 1 {
+			owner, _ := liveNodes[0].Table().OwnerOf(loc)
+			var held []string
+			for _, m := range alive() {
+				if _, ok := m.nd.Server().Ledger().Commitment(name); ok {
+					held = append(held, m.id)
+				}
+			}
+			return fmt.Errorf("chaos selftest: %s lives on %d ledgers after the schedule, want exactly 1 (loc owned by %s, held on %v)",
+				name, homes, owner, held)
+		}
+	}
+
+	// Sweep every lease orphaned by a mid-protocol failure, then audit.
+	sweepAt := cfg.leaseTTL * 4
+	status, _, err := postJSON(ctx, httpc, members[0].url+"/v1/cluster/advance", map[string]any{"now": sweepAt})
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("chaos selftest: advance sweep: status %d, err %v", status, err)
+	}
+	for _, m := range alive() {
+		if holds := m.nd.Server().Ledger().NumHolds(); holds != 0 {
+			return fmt.Errorf("chaos selftest: node %s still has %d leased holds after the sweep", m.id, holds)
+		}
+		if err := m.nd.Server().Ledger().Audit(); err != nil {
+			return fmt.Errorf("chaos selftest: node %s audit: %w", m.id, err)
+		}
+	}
+
+	// Counter cross-checks: the evictions really were automatic (nothing
+	// in this harness ever calls /v1/cluster/leave), the fence fired, and
+	// the partitioned node came back by itself.
+	var evictions, rejoins, fenced, repairs, promotions uint64
+	for _, m := range alive() {
+		st := m.nd.Stats().Cluster
+		evictions += st.AutoEvictions
+		rejoins += st.Rejoins
+		fenced += st.FencedGossip
+		repairs += st.IntentRepairs
+		promotions += st.Promotions
+	}
+	if evictions < 1 {
+		return errors.New("chaos selftest: no automatic evictions recorded; the failure detector never fired")
+	}
+	if rejoins < 1 {
+		return errors.New("chaos selftest: no automatic rejoins recorded; the healed partition never fenced its victim back in")
+	}
+	if fenced < 1 {
+		return errors.New("chaos selftest: no gossip was fenced with 421; the epoch fence never engaged")
+	}
+	if tot.admitted == 0 {
+		return errors.New("chaos selftest: background load admitted nothing; the schedule was not exercised under load")
+	}
+
+	fc := net0.Counters()
+	t := metrics.NewTable(
+		fmt.Sprintf("rotad chaos selftest: %d nodes, seed %d, %d load batches", cfg.nodes, cfg.seed, tot.batches),
+		"metric", "value")
+	t.AddRow("load requests", tot.requests)
+	t.AddRow("load admitted", tot.admitted)
+	t.AddRow("load rejected", tot.rejected)
+	t.AddRow("load errors (failure windows)", tot.errors)
+	t.AddRow("load release errors", tot.releaseErrs)
+	t.AddRow("load redirects followed", tot.redirects)
+	for i, r := range results {
+		t.AddRow(fmt.Sprintf("round %d", i+1), fmt.Sprintf("%s %s", r.kind, r.victim))
+		t.AddRow(fmt.Sprintf("round %d detect+evict ms", i+1), r.detectMS)
+		if r.kind == "kill" {
+			t.AddRow(fmt.Sprintf("round %d kill to first admit ms", i+1), r.admitMS)
+		}
+	}
+	t.AddRow("auto evictions", evictions)
+	t.AddRow("auto rejoins", rejoins)
+	t.AddRow("fenced gossip 421s", fenced)
+	t.AddRow("intent repairs", repairs)
+	t.AddRow("standby promotions", promotions)
+	t.AddRow("wire passed", fc.Passed)
+	t.AddRow("wire dropped", fc.Dropped)
+	t.AddRow("wire partition drops", fc.Partition)
+	t.AddRow("membership epoch", members[0].nd.Table().Epoch)
+	if cfg.csv {
+		t.RenderCSV(out)
+	} else {
+		t.Render(out)
+	}
+	fmt.Fprintln(out, "chaos selftest ok")
+	return nil
+}
+
+func msSince(t time.Time) float64 { return float64(time.Since(t).Microseconds()) / 1000 }
+
+// waitShadowsWarm blocks until every location's rendezvous runner-up
+// holds a shadow with at least one commitment — the seeds must be
+// survivable before anything is allowed to die.
+func waitShadowsWarm(members []*chaosMember, locs []resource.Location, timeout time.Duration) error {
+	byID := make(map[string]*chaosMember, len(members))
+	for _, m := range members {
+		byID[m.id] = m
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		warm := true
+		var cold resource.Location
+		tbl := members[0].nd.Table()
+		for _, loc := range locs {
+			standby := byID[tbl.StandbyOf(loc)]
+			if standby == nil {
+				return fmt.Errorf("standby of %s is not a member", loc)
+			}
+			if cms, _, ok := standby.nd.ShadowFor(loc); !ok || cms < 1 {
+				warm, cold = false, loc
+				break
+			}
+		}
+		if warm {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("shadow for %s never warmed on its standby", cold)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// waitDetectorsWarm blocks until every live member's φ detector holds at
+// least MinSamples inter-arrival observations for every other live
+// member — the baseline without which silence carries no suspicion.
+func waitDetectorsWarm(ms []*chaosMember, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		warm := true
+		var cold string
+		for _, m := range ms {
+			samples := make(map[string]int)
+			for _, ph := range m.nd.Stats().Health.Peers {
+				samples[ph.Peer] = ph.Samples
+			}
+			for _, other := range ms {
+				if other.id != m.id && samples[other.id] < 3 {
+					warm = false
+					cold = fmt.Sprintf("%s has %d samples for %s", m.id, samples[other.id], other.id)
+				}
+			}
+		}
+		if warm {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("failure detectors never warmed within %s (%s)", timeout, cold)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// waitEvicted blocks until none of the given nodes' tables list victim.
+func waitEvicted(ms []*chaosMember, victim string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		gone := true
+		for _, m := range ms {
+			if _, ok := m.nd.Table().Member(victim); ok {
+				gone = false
+				break
+			}
+		}
+		if gone {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s was never auto-evicted within %s", victim, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// waitMember blocks until every given node's table lists id as a member.
+func waitMember(ms []*chaosMember, id string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		everywhere := true
+		for _, m := range ms {
+			if _, ok := m.nd.Table().Member(id); !ok {
+				everywhere = false
+				break
+			}
+		}
+		if everywhere {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s never (re)appeared in every member's table within %s", id, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// waitConverged blocks until all nodes agree on one table epoch and every
+// location is owned by a live member.
+func waitConverged(ms []*chaosMember, locs []resource.Location, timeout time.Duration) error {
+	liveIDs := make(map[string]bool, len(ms))
+	for _, m := range ms {
+		liveIDs[m.id] = true
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		ok := true
+		epoch := ms[0].nd.Table().Epoch
+		for _, m := range ms {
+			tbl := m.nd.Table()
+			if tbl.Epoch != epoch {
+				ok = false
+				break
+			}
+			for _, loc := range locs {
+				owner, found := tbl.OwnerOf(loc)
+				if !found || !liveIDs[owner] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("ownership never converged within %s (epochs and owners still disagree)", timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

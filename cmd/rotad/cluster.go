@@ -429,9 +429,9 @@ func runClusterSelftest(out io.Writer, cfg clusterSelftestConfig) error {
 	if bg.err != nil {
 		return fmt.Errorf("cluster selftest: background load during join: %w", bg.err)
 	}
-	if bg.report.Errors > 0 {
-		return fmt.Errorf("cluster selftest: %d background requests errored during join (redirects must be followed, not failed); first: %s",
-			bg.report.Errors, bg.report.FirstError)
+	if bg.report.Errors > 0 || bg.report.ReleaseErrors > 0 {
+		return fmt.Errorf("cluster selftest: %d background requests and %d releases errored during join (redirects must be followed, not failed); first: %s",
+			bg.report.Errors, bg.report.ReleaseErrors, bg.report.FirstError)
 	}
 	everyone := append(append([]*cluster.Node{}, nodes...), joiner)
 	for i := 0; i < memberSeeds; i++ {

@@ -84,7 +84,14 @@ func run(args []string, out io.Writer) error {
 	pinSpec := fs.String("pin", "", "cluster: comma-separated locations to pin onto this node when joining")
 	leaseTTL := fs.Int64("lease-ttl", 50, "cluster: prepare-lease TTL in ledger ticks")
 	gossip := fs.Duration("gossip", time.Second, "cluster: gossip interval (negative disables)")
+	rpcTimeout := fs.Duration("rpc-timeout", 2*time.Second, "cluster: per-attempt peer RPC deadline")
+	rpcRetries := fs.Int("rpc-retries", 2, "cluster: retries per failed peer RPC (exponential backoff, jittered)")
+	rpcBackoffBase := fs.Duration("rpc-backoff-base", 25*time.Millisecond, "cluster: first retry backoff (doubles per attempt)")
+	rpcBackoffCap := fs.Duration("rpc-backoff-cap", 400*time.Millisecond, "cluster: exponential backoff ceiling")
+	suspectPhi := fs.Float64("suspect-phi", 0, "cluster: φ-accrual level at which a peer is suspected (0 = detector default 8)")
+	evictPhi := fs.Float64("evict-phi", 0, "cluster: φ level declaring a peer dead; > 0 also enables quorum auto-eviction (0 disables)")
 	clusterN := fs.Int("cluster", 0, "selftest: boot an N-node loopback cluster instead of a single daemon")
+	chaos := fs.Bool("chaos", false, "selftest: randomized kill/partition/heal schedule with automatic failure detection (needs -cluster >= 3)")
 	metricsOn := fs.Bool("metrics", true, "serve the Prometheus text exposition on GET /metrics")
 	spanCap := fs.Int("span-store", span.DefaultCapacity, "span ring-buffer capacity (spans kept for GET /debug/rota/trace/{id}; 0 disables span tracing)")
 	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
@@ -148,6 +155,33 @@ func run(args []string, out io.Writer) error {
 		Spans:           spans,
 	}
 
+	rpc := rpcConfig{
+		timeout:     *rpcTimeout,
+		retries:     *rpcRetries,
+		backoffBase: *rpcBackoffBase,
+		backoffCap:  *rpcBackoffCap,
+		suspectPhi:  *suspectPhi,
+		evictPhi:    *evictPhi,
+	}
+
+	if *selftest && *chaos {
+		if *clusterN < 3 {
+			return errors.New("-chaos needs -cluster N with N >= 3 (quorum eviction is undefined below 3 members)")
+		}
+		return runChaosSelftest(out, chaosSelftestConfig{
+			nodes:    *clusterN,
+			locs:     locs,
+			server:   scfg,
+			leaseTTL: interval.Time(*leaseTTL),
+			requests: *requests,
+			clients:  *clients,
+			seed:     *seed,
+			slack:    *slack,
+			horizon:  interval.Time(*horizon),
+			csv:      *csv,
+			spanCap:  *spanCap,
+		})
+	}
 	if *selftest && *clusterN > 1 {
 		return runClusterSelftest(out, clusterSelftestConfig{
 			nodes:    *clusterN,
@@ -174,7 +208,7 @@ func run(args []string, out io.Writer) error {
 				pins = append(pins, resource.Location(p))
 			}
 		}
-		nd, err := cluster.New(cluster.Config{
+		nd, err := cluster.New(rpc.apply(cluster.Config{
 			Self:           *node,
 			Peers:          []cluster.Peer{{ID: *node, URL: strings.TrimSuffix(*selfURL, "/")}},
 			Join:           true,
@@ -183,7 +217,7 @@ func run(args []string, out io.Writer) error {
 			GossipInterval: *gossip,
 			Obs:            observer,
 			Spans:          spans,
-		})
+		}))
 		if err != nil {
 			return err
 		}
@@ -219,7 +253,7 @@ func run(args []string, out io.Writer) error {
 		if *node == "" {
 			return errors.New("cluster mode needs -node naming this daemon in the peer table")
 		}
-		nd, err := cluster.New(cluster.Config{
+		nd, err := cluster.New(rpc.apply(cluster.Config{
 			Self:           *node,
 			Peers:          peers,
 			Server:         scfg,
@@ -227,7 +261,7 @@ func run(args []string, out io.Writer) error {
 			GossipInterval: *gossip,
 			Obs:            observer,
 			Spans:          spans,
-		})
+		}))
 		if err != nil {
 			return err
 		}
@@ -245,6 +279,29 @@ func run(args []string, out io.Writer) error {
 	}
 	return serveHandler(out, debugHandler(srv, *metricsOn, *pprofOn), srv.Shutdown, *addr,
 		fmt.Sprintf("rotad: listening on %s (%d shards)", *addr, srv.Ledger().NumShards()))
+}
+
+// rpcConfig bundles the operator-tunable peer-RPC and failure-detector
+// knobs so every cluster.New call site gets the same wiring. The
+// resulting values are surfaced back at runtime in /v1/stats (rpc_config
+// and health blocks).
+type rpcConfig struct {
+	timeout     time.Duration
+	retries     int
+	backoffBase time.Duration
+	backoffCap  time.Duration
+	suspectPhi  float64
+	evictPhi    float64
+}
+
+func (r rpcConfig) apply(c cluster.Config) cluster.Config {
+	c.RPCTimeout = r.timeout
+	c.RPCRetries = r.retries
+	c.RPCBackoffBase = r.backoffBase
+	c.RPCBackoffCap = r.backoffCap
+	c.SuspectPhi = r.suspectPhi
+	c.EvictPhi = r.evictPhi
+	return c
 }
 
 // baseTheta builds the initial availability: baseRate cpu per location

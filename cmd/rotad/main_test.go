@@ -56,6 +56,42 @@ func TestClusterSelftestEndToEnd(t *testing.T) {
 	}
 }
 
+// TestChaosSelftest runs the randomized kill/partition/heal schedule
+// under live load: automatic φ-accrual detection, quorum eviction,
+// fence-and-rejoin, and the no-lost-reservations invariant all under
+// the test race detector.
+func TestChaosSelftest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos schedule takes seconds; skipped in -short")
+	}
+	var out bytes.Buffer
+	err := run([]string{
+		"-selftest",
+		"-chaos",
+		"-cluster", "3",
+		"-requests", "150",
+		"-clients", "4",
+		"-locations", "6",
+		"-seed", "7",
+	}, &out)
+	if err != nil {
+		t.Fatalf("chaos selftest failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "chaos selftest ok") {
+		t.Errorf("chaos selftest output missing %q:\n%s", "chaos selftest ok", out.String())
+	}
+}
+
+// TestChaosNeedsCluster: -chaos without a big enough -cluster must be
+// refused with a clear error, not hang waiting for a quorum that can
+// never form.
+func TestChaosNeedsCluster(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-selftest", "-chaos", "-cluster", "2"}, &out); err == nil {
+		t.Fatal("chaos selftest with 2 nodes should be refused (quorum eviction is undefined below 3 members)")
+	}
+}
+
 func TestSelftestCSV(t *testing.T) {
 	var out bytes.Buffer
 	err := run([]string{

@@ -17,6 +17,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/compute"
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/interval"
 	"repro/internal/membership"
 	"repro/internal/metrics"
@@ -54,6 +55,29 @@ type Config struct {
 	// RPCRetries is how many times a failed peer RPC is retried with
 	// jittered backoff; default 2.
 	RPCRetries int
+	// RPCBackoffBase is the first retry's backoff (doubling per
+	// attempt, ±50% jitter); default 25ms.
+	RPCBackoffBase time.Duration
+	// RPCBackoffCap caps the exponential backoff; default 400ms.
+	RPCBackoffCap time.Duration
+	// Transport, when set, wraps every outbound peer RPC — the
+	// fault-injection hook (internal/fault). Nil uses the process
+	// default transport.
+	Transport http.RoundTripper
+	// SuspectPhi is the φ-accrual level at which a peer is suspected
+	// (excluded from steward election, advertised in gossip); 0 keeps
+	// the detector's default (8).
+	SuspectPhi float64
+	// EvictPhi is the φ level at which a peer is locally declared dead.
+	// A positive value ALSO enables automatic failover: when a quorum
+	// of survivors agrees, the deterministic runner-up steward
+	// force-leaves the victim with no operator involvement. 0 disables
+	// auto-eviction (the detector still runs for the φ gauge).
+	EvictPhi float64
+	// StewardWait bounds how long a join/leave queues behind another
+	// membership change on the same steward before failing with a clear
+	// error; default 10s.
+	StewardWait time.Duration
 	// Obs is the observability sink shared with the embedded server:
 	// structured event logging and trace correlation across the
 	// federation protocol. Nil disables event logging.
@@ -99,8 +123,11 @@ type Node struct {
 	peers []*peerState // membership order, including self
 	byID  map[string]*peerState
 
-	// mmu serializes membership changes this node stewards.
-	mmu sync.Mutex
+	// mmu serializes membership changes this node stewards: a
+	// 1-slot semaphore so a second change queues behind the first with
+	// a bounded wait (acquireSteward) instead of blocking forever.
+	mmu         chan struct{}
+	stewardWait time.Duration
 
 	// flowMu is the handoff freeze: every path that mutates or reads
 	// ledger flow state holds it shared, executeHandoff holds it
@@ -109,9 +136,12 @@ type Node struct {
 	flowMu sync.RWMutex
 
 	// omu guards the routing overlays that bridge a handoff and the
-	// next table broadcast (see membership.go).
+	// next table broadcast (see membership.go). pendingOwned maps each
+	// installed-but-not-yet-granted location to the table epoch its
+	// install belongs to, so a final table that assigns it elsewhere
+	// (a rolled-back plan) clears the overlay AND the installed state.
 	omu          sync.Mutex
-	pendingOwned map[resource.Location]bool
+	pendingOwned map[resource.Location]uint64
 	handedOff    map[resource.Location]ownerRef
 	learned      map[resource.Location]ownerRef
 	movedKeys    map[string]ownerRef
@@ -120,6 +150,22 @@ type Node struct {
 	smu         sync.Mutex
 	shadows     map[resource.Location]server.LocationExport
 	lastShipped uint64 // ledger epoch at the last shadow shipment (gossip goroutine only)
+
+	// Failure detection and self-healing (see health.go). hmu guards
+	// the accusation ledger, the per-victim eviction guards, and the
+	// suspect snapshot gossiped to peers; imu guards the intent journal
+	// (own open choreography plus the last open intent heard from each
+	// peer steward).
+	detector    *health.Detector
+	autoEvict   bool
+	gossipEvery time.Duration
+	hmu         sync.Mutex
+	accusals    map[string]map[string]time.Time // victim → accuser → heard-at
+	evicting    map[string]bool
+	suspects    []string
+	imu         sync.Mutex
+	intents     map[string]*membership.Intent // steward → open intent
+	rejoining   atomic.Bool
 
 	httpStats map[string]*obs.EndpointStats
 
@@ -154,6 +200,12 @@ type Node struct {
 	shadowShips       atomic.Uint64
 	shadowMisses      atomic.Uint64
 
+	autoEvictions atomic.Uint64
+	rejoins       atomic.Uint64
+	intentRepairs atomic.Uint64
+	fencedGossip  atomic.Uint64
+	suspectedNow  atomic.Uint64 // gauge: peers currently suspect or worse
+
 	// Test instrumentation (see InjectCrashBeforeCommit / SetGate).
 	crashNext atomic.Bool
 	gate      func(stage, key string)
@@ -173,25 +225,48 @@ func New(cfg Config) (*Node, error) {
 	} else if err := ValidatePeers(cfg.Peers); err != nil {
 		return nil, err
 	}
+	dopts := health.Defaults()
+	if cfg.SuspectPhi > 0 {
+		dopts.SuspectPhi = cfg.SuspectPhi
+	}
+	if cfg.EvictPhi > 0 {
+		dopts.EvictPhi = cfg.EvictPhi
+	}
 	n := &Node{
-		cfg:          cfg,
-		byID:         make(map[string]*peerState),
-		policy:       &admission.Rota{},
-		client:       newRPCClient(cfg.RPCTimeout, pickRetries(cfg.RPCRetries), cfg.Obs, cfg.Spans),
+		cfg:    cfg,
+		byID:   make(map[string]*peerState),
+		policy: &admission.Rota{},
+		client: newRPCClient(rpcOptions{
+			timeout:     cfg.RPCTimeout,
+			retries:     pickRetries(cfg.RPCRetries),
+			backoffBase: cfg.RPCBackoffBase,
+			backoffCap:  cfg.RPCBackoffCap,
+			transport:   cfg.Transport,
+		}, cfg.Obs, cfg.Spans),
+		mmu:          make(chan struct{}, 1),
+		stewardWait:  cfg.StewardWait,
 		shutdownCh:   make(chan struct{}),
 		leaseTTL:     cfg.LeaseTTL,
 		coordLatency: metrics.NewHistogram(),
 		obs:          cfg.Obs,
 		spans:        cfg.Spans,
 		httpStats:    make(map[string]*obs.EndpointStats),
-		pendingOwned: make(map[resource.Location]bool),
+		pendingOwned: make(map[resource.Location]uint64),
 		handedOff:    make(map[resource.Location]ownerRef),
 		learned:      make(map[resource.Location]ownerRef),
 		movedKeys:    make(map[string]ownerRef),
 		shadows:      make(map[resource.Location]server.LocationExport),
+		detector:     health.NewDetector(dopts),
+		autoEvict:    cfg.EvictPhi > 0,
+		accusals:     make(map[string]map[string]time.Time),
+		evicting:     make(map[string]bool),
+		intents:      make(map[string]*membership.Intent),
 	}
 	if n.leaseTTL <= 0 {
 		n.leaseTTL = 50
+	}
+	if n.stewardWait <= 0 {
+		n.stewardWait = 10 * time.Second
 	}
 	members := make([]membership.Member, 0, len(cfg.Peers))
 	seedOwners := make(map[resource.Location]string)
@@ -251,6 +326,7 @@ func New(cfg Config) (*Node, error) {
 	n.route("POST /v1/cluster/install", "cluster.install", n.handleInstall)
 	n.route("POST /v1/cluster/promote", "cluster.promote", n.handlePromote)
 	n.route("POST /v1/cluster/shadow", "cluster.shadow", n.handleShadow)
+	n.route("GET /v1/cluster/owned", "cluster.owned", n.handleOwned)
 	n.route("GET /v1/cluster/table", "cluster.table", n.handleTableGet)
 	n.route("POST /v1/cluster/table", "cluster.table.apply", n.handleTablePost)
 	n.route("POST /v1/cluster/prepare", "cluster.prepare", n.handlePrepareIntercept)
@@ -264,6 +340,7 @@ func New(cfg Config) (*Node, error) {
 	if interval == 0 {
 		interval = time.Second
 	}
+	n.gossipEvery = interval
 	if interval > 0 {
 		n.gossipWg.Add(1)
 		go n.gossipLoop(interval)
@@ -978,6 +1055,13 @@ type Gossip struct {
 	LedgerEpoch uint64            `json:"ledger_epoch"`
 	Theta       map[string]string `json:"theta"`
 	Reserved    map[string]string `json:"reserved"`
+	// Suspects names the peers this sender's φ-accrual detector holds
+	// at Suspect or worse — the accusation half of quorum eviction.
+	Suspects []string `json:"suspects,omitempty"`
+	// Intent is the sender's open membership choreography, if it is
+	// currently stewarding one — the gossiped journal that lets any
+	// survivor repair the plan if the sender dies mid-flight.
+	Intent *membership.Intent `json:"intent,omitempty"`
 }
 
 func (n *Node) buildGossip() Gossip {
@@ -998,6 +1082,10 @@ func (n *Node) buildGossip() Gossip {
 		g.Theta[string(sh.Location)] = sh.Theta
 		g.Reserved[string(sh.Location)] = sh.Reserved
 	}
+	n.hmu.Lock()
+	g.Suspects = append([]string(nil), n.suspects...)
+	n.hmu.Unlock()
+	g.Intent = n.ownIntent()
 	return g
 }
 
@@ -1022,11 +1110,24 @@ func (n *Node) gossipLoop(every time.Duration) {
 			if ps.isSelf {
 				continue
 			}
-			_ = n.client.call(ctx, http.MethodPost, ps.URL+"/v1/cluster/gossip", body, nil, nil, ps.rpc)
+			err := n.client.call(ctx, http.MethodPost, ps.URL+"/v1/cluster/gossip", body, nil, nil, ps.rpc)
+			if evictedReply(err) {
+				// The peer's table no longer lists us: we were evicted
+				// while partitioned. Drop everything and rejoin fresh.
+				n.maybeRejoin(ps.URL)
+			}
 		}
 		n.shipShadows(ctx, n.reg.Snapshot())
+		n.healthTick(ctx, time.Now())
 		cancel()
 	}
+}
+
+// evictedReply reports whether a gossip call failed because the peer
+// fenced us out (421 from a node whose table excludes us).
+func evictedReply(err error) bool {
+	var se *httpStatusError
+	return errors.As(err, &se) && se.status == http.StatusMisdirectedRequest
 }
 
 func (n *Node) handleGossip(w http.ResponseWriter, r *http.Request) {
@@ -1040,20 +1141,36 @@ func (n *Node) handleGossip(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("cluster: bad gossip body: %w", err))
 		return
 	}
-	ps, ok := n.peerByID(g.Node)
-	if !ok || ps.isSelf {
-		if !ok && g.Epoch > n.reg.Epoch() && g.URL != "" {
+	tbl := n.reg.Snapshot()
+	if _, member := tbl.Member(g.Node); !member {
+		if g.Epoch > tbl.Epoch && g.URL != "" {
 			// A member we have not heard of, on a newer table: fetch it.
 			go n.fetchTable(g.URL)
 			writeJSON(w, http.StatusOK, map[string]string{"syncing": g.Node})
 			return
 		}
+		// The sender is not in our (equal-or-newer) table: it was
+		// evicted. The forward-only registry epoch is the fence — a
+		// partitioned-but-alive node that comes back lands here, learns
+		// it lost, and rejoins cleanly instead of split-braining.
+		n.fencedGossip.Add(1)
+		writeJSON(w, http.StatusMisdirectedRequest, map[string]any{
+			"error": fmt.Sprintf("cluster: %s is not a member at epoch %d; rejoin required", g.Node, tbl.Epoch),
+			"epoch": tbl.Epoch,
+		})
+		return
+	}
+	ps, ok := n.peerByID(g.Node)
+	if !ok || ps.isSelf {
 		httpError(w, http.StatusUnprocessableEntity, fmt.Errorf("cluster: gossip from unknown node %q", g.Node))
 		return
 	}
 	if g.Epoch > n.reg.Epoch() {
 		go n.fetchTable(ps.URL)
 	}
+	// Gossip receipt IS the heartbeat: feed the φ-accrual detector and
+	// the accusation ledger, and journal the sender's open intent.
+	n.observeGossip(g, time.Now())
 	ps.mu.Lock()
 	ps.lastHeard = time.Now()
 	ps.lastNow = g.Now
@@ -1141,17 +1258,42 @@ type ClusterCounters struct {
 	ShadowShips       uint64 `json:"shadow_ships"`
 	ShadowMisses      uint64 `json:"shadow_misses"`
 
+	// Self-healing counters. AutoEvictions counts quorum-agreed
+	// force-leaves this node stewarded with no operator involvement;
+	// Rejoins counts fence-triggered drop-and-rejoin cycles this node
+	// performed after being evicted; IntentRepairs counts partially
+	// applied membership plans this node finished or rolled back for a
+	// dead steward; FencedGossip counts 421s served to evicted senders;
+	// SuspectedPeers is the current number of peers at Suspect or worse.
+	AutoEvictions  uint64 `json:"auto_evictions"`
+	Rejoins        uint64 `json:"rejoins"`
+	IntentRepairs  uint64 `json:"intent_repairs"`
+	FencedGossip   uint64 `json:"fenced_gossip"`
+	SuspectedPeers uint64 `json:"suspected_peers"`
+
 	CoordLatencyMeanUS float64 `json:"coord_latency_mean_us"`
 	CoordLatencyP50US  float64 `json:"coord_latency_p50_us"`
 	CoordLatencyP99US  float64 `json:"coord_latency_p99_us"`
 }
 
+// RPCConfig surfaces the peer-RPC tunables actually in effect (flags or
+// defaults) so an operator can read back what a node is running with.
+type RPCConfig struct {
+	TimeoutMS     int64 `json:"timeout_ms"`
+	Retries       int   `json:"retries"`
+	BackoffBaseMS int64 `json:"backoff_base_ms"`
+	BackoffCapMS  int64 `json:"backoff_cap_ms"`
+}
+
 // NodeStats is the combined /v1/stats body in cluster mode: the embedded
-// server's digest plus the federation layer's counters and peer table.
+// server's digest plus the federation layer's counters, failure-detector
+// assessments, RPC tuning, and peer table.
 type NodeStats struct {
 	server.StatsResponse
 	Node    string          `json:"node"`
 	Cluster ClusterCounters `json:"cluster"`
+	Health  HealthStatus    `json:"health"`
+	RPC     RPCConfig       `json:"rpc_config"`
 	Peers   []PeerStatus    `json:"peers"`
 }
 
@@ -1161,6 +1303,13 @@ func (n *Node) Stats() NodeStats {
 	return NodeStats{
 		StatsResponse: n.srv.Stats(),
 		Node:          n.self.ID,
+		Health:        n.healthStatus(),
+		RPC: RPCConfig{
+			TimeoutMS:     n.client.timeout.Milliseconds(),
+			Retries:       n.client.retries,
+			BackoffBaseMS: n.client.backoffBase.Milliseconds(),
+			BackoffCapMS:  n.client.backoffCap.Milliseconds(),
+		},
 		Cluster: ClusterCounters{
 			Forwarded:          n.forwarded.Load(),
 			Misrouted:          n.misrouted.Load(),
@@ -1182,6 +1331,11 @@ func (n *Node) Stats() NodeStats {
 			TableApplies:       n.tableApplies.Load(),
 			ShadowShips:        n.shadowShips.Load(),
 			ShadowMisses:       n.shadowMisses.Load(),
+			AutoEvictions:      n.autoEvictions.Load(),
+			Rejoins:            n.rejoins.Load(),
+			IntentRepairs:      n.intentRepairs.Load(),
+			FencedGossip:       n.fencedGossip.Load(),
+			SuspectedPeers:     n.suspectedNow.Load(),
 			CoordLatencyMeanUS: lat.Mean,
 			CoordLatencyP50US:  lat.P50,
 			CoordLatencyP99US:  lat.P99,

@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/interval"
+	"repro/internal/obs"
+	"repro/internal/resource"
+	"repro/internal/server"
+)
+
+// newHealthCluster boots a federation like newTestCluster but with the
+// failure detector armed for automatic eviction: fast gossip, low φ
+// thresholds, and any extra per-node Config tweaks from mutate.
+func newHealthCluster(t testing.TB, nNodes, locsPerNode int, mutate func(i int, c *Config)) *testCluster {
+	t.Helper()
+	var locs []resource.Location
+	for i := 0; i < nNodes*locsPerNode; i++ {
+		locs = append(locs, resource.Location(fmt.Sprintf("l%d", i+1)))
+	}
+	var theta resource.Set
+	for _, loc := range locs {
+		theta.Add(resource.NewTerm(resource.FromUnits(8), resource.CPUAt(loc), interval.New(0, 10000)))
+	}
+	parts := PartitionLocations(locs, nNodes)
+	tc := &testCluster{}
+	listeners := make([]net.Listener, nNodes)
+	for i := 0; i < nNodes; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		url := "http://" + ln.Addr().String()
+		tc.urls = append(tc.urls, url)
+		tc.peers = append(tc.peers, Peer{ID: fmt.Sprintf("n%d", i+1), URL: url, Locations: parts[i]})
+	}
+	tc.httpSrvs = make([]*http.Server, nNodes)
+	for i := 0; i < nNodes; i++ {
+		buf := &bytes.Buffer{}
+		tc.logs = append(tc.logs, buf)
+		cfg := Config{
+			Self:           tc.peers[i].ID,
+			Peers:          tc.peers,
+			Server:         server.Config{Policy: &admission.Rota{}, Theta: theta},
+			LeaseTTL:       50,
+			GossipInterval: 40 * time.Millisecond,
+			RPCTimeout:     500 * time.Millisecond,
+			RPCRetries:     1,
+			SuspectPhi:     6,
+			EvictPhi:       9,
+			Obs:            obs.New(obs.Options{Log: buf, Node: tc.peers[i].ID}),
+		}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		nd, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.nodes = append(tc.nodes, nd)
+		tc.httpSrvs[i] = &http.Server{Handler: nd}
+		go func(i int) { _ = tc.httpSrvs[i].Serve(listeners[i]) }(i)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for i := range tc.nodes {
+			_ = tc.nodes[i].Shutdown(ctx)
+			_ = tc.httpSrvs[i].Shutdown(ctx)
+		}
+	})
+	return tc
+}
+
+// waitDetectorWarm blocks until every node's φ detector has a baseline
+// (MinSamples inter-arrival observations) for every other node. Silence
+// before that is indistinguishable from a peer that never spoke, so
+// tests must not stage failures against a cold detector.
+func waitDetectorWarm(t testing.TB, nodes []*Node, ids []string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		warm := true
+		for i, nd := range nodes {
+			samples := make(map[string]int)
+			for _, ph := range nd.Stats().Health.Peers {
+				samples[ph.Peer] = ph.Samples
+			}
+			for j, id := range ids {
+				if j != i && samples[id] < 3 {
+					warm = false
+				}
+			}
+		}
+		if warm {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("failure detectors never warmed within %s", timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// kill hard-stops node i: listener closed, gossip loop drained — the
+// silence a crashed process would leave.
+func (tc *testCluster) kill(t testing.TB, i int) {
+	t.Helper()
+	tc.httpSrvs[i].Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := tc.nodes[i].Shutdown(ctx); err != nil {
+		t.Fatalf("killing %s: %v", tc.peers[i].ID, err)
+	}
+}
+
+// waitGone blocks until the victim is out of every listed node's table.
+func waitGone(t testing.TB, nodes []*Node, victim string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		gone := true
+		for _, nd := range nodes {
+			if _, ok := nd.Table().Member(victim); ok {
+				gone = false
+				break
+			}
+		}
+		if gone {
+			return
+		}
+		if time.Now().After(deadline) {
+			for _, nd := range nodes {
+				st := nd.Stats()
+				t.Logf("%s: epoch=%d suspected=%d evictions=%d health=%+v",
+					st.Node, st.Cluster.MembershipEpoch, st.Cluster.SuspectedPeers, st.Cluster.AutoEvictions, st.Health.Peers)
+			}
+			t.Fatalf("%s never auto-evicted within %s", victim, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestAutoEvictionOnSilence: killing a node must lead, with no operator
+// action, to quorum agreement and a stewarded force-leave; the victim's
+// committed reservation survives on the promoted standby.
+func TestAutoEvictionOnSilence(t *testing.T) {
+	tc := newHealthCluster(t, 3, 2, nil)
+	victim := 2
+	vloc := tc.peers[victim].Locations[0]
+
+	// A committed reservation on the victim, shipped to its standby.
+	job := pinnedJob(t, "evict-seed", vloc, 5000)
+	status, body := post(t, tc.urls[0]+"/v1/admit", job, nil)
+	if status != http.StatusOK {
+		t.Fatalf("seeding victim: %d: %s", status, body)
+	}
+	standbyID := tc.nodes[0].Table().StandbyOf(vloc)
+	var standby *Node
+	for i, p := range tc.peers {
+		if p.ID == standbyID {
+			standby = tc.nodes[i]
+		}
+	}
+	if standby == nil || standbyID == tc.peers[victim].ID {
+		t.Fatalf("standby of %s is %q; want a survivor", vloc, standbyID)
+	}
+	waitFor(t, 5*time.Second, "standby shadow warm", func() bool {
+		cms, _, ok := standby.ShadowFor(vloc)
+		return ok && cms >= 1
+	})
+
+	waitDetectorWarm(t, tc.nodes, []string{"n1", "n2", "n3"}, 10*time.Second)
+	tc.kill(t, victim)
+	survivors := []*Node{tc.nodes[0], tc.nodes[1]}
+	waitGone(t, survivors, tc.peers[victim].ID, 30*time.Second)
+
+	// Ownership moved to the standby; the seed survived.
+	for _, nd := range survivors {
+		owner, ok := nd.Table().OwnerOf(vloc)
+		if !ok || owner == tc.peers[victim].ID {
+			t.Fatalf("%s still owned by the dead node (%q, ok=%v)", vloc, owner, ok)
+		}
+	}
+	if _, ok := standby.Server().Ledger().Commitment("evict-seed"); !ok {
+		t.Fatal("committed reservation lost in automatic failover")
+	}
+	var evictions uint64
+	for _, nd := range survivors {
+		evictions += nd.Stats().Cluster.AutoEvictions
+	}
+	if evictions != 1 {
+		t.Fatalf("auto evictions = %d, want exactly 1 (deterministic steward election)", evictions)
+	}
+	for _, nd := range survivors {
+		if err := nd.Server().Ledger().Audit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// waitFor polls cond until true or the timeout trips.
+func waitFor(t testing.TB, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: never happened within %s", what, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

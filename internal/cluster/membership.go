@@ -111,9 +111,9 @@ func (n *Node) peerFor(ref ownerRef) *peerState {
 func (n *Node) lookupOwner(loc resource.Location) (ownerRef, bool) {
 	tbl := n.reg.Snapshot()
 	n.omu.Lock()
-	if n.pendingOwned[loc] {
+	if ep, ok := n.pendingOwned[loc]; ok && ep > tbl.Epoch {
 		n.omu.Unlock()
-		return ownerRef{id: n.self.ID, url: n.self.URL, epoch: tbl.Epoch + 1}, true
+		return ownerRef{id: n.self.ID, url: n.self.URL, epoch: ep}, true
 	}
 	if h, ok := n.handedOff[loc]; ok && h.epoch > tbl.Epoch {
 		n.omu.Unlock()
@@ -231,8 +231,42 @@ func (n *Node) staleOwner(err error) bool {
 // the peer list is rebuilt (existing peer states survive so RPC stats
 // and gossip history carry over), overlays the table supersedes are
 // cleared, and standing watches re-evaluate against the new ownership.
+//
+// A newer table that excludes this node is refused: it means the
+// cluster evicted us (we were partitioned, presumed dead, failed over).
+// Applying it would leave the node routing a cluster it no longer
+// belongs to; instead the fence-and-rejoin path runs — drop all stale
+// state and re-enter as a fresh member via any member of that table.
 func (n *Node) applyTable(t *membership.Table) bool {
-	if t == nil || !n.reg.Apply(t) {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Member(n.self.ID); !ok {
+		if t.Epoch > n.reg.Epoch() && len(t.Members) > 0 {
+			n.obs.Log("membership.evicted",
+				"node", n.self.ID, "epoch", t.Epoch)
+			// Any member of the fencing table can readmit us — and some
+			// of them may themselves be dead (the table that fenced us
+			// may predate their own eviction), so offer every URL.
+			vias := make([]string, 0, len(t.Members))
+			for _, m := range t.Members {
+				if m.ID != n.self.ID {
+					vias = append(vias, m.URL)
+				}
+			}
+			n.maybeRejoin(vias...)
+		}
+		return false
+	}
+	return n.installTable(t)
+}
+
+// installTable is applyTable without the self-membership check — the
+// graceful self-leave path applies a table that excludes this node on
+// purpose.
+func (n *Node) installTable(t *membership.Table) bool {
+	prev := n.reg.Snapshot()
+	if !n.reg.Apply(t) {
 		return false
 	}
 	n.tableApplies.Add(1)
@@ -241,7 +275,12 @@ func (n *Node) applyTable(t *membership.Table) bool {
 	byID := make(map[string]*peerState, len(t.Members))
 	for _, m := range t.Members {
 		ps, ok := n.byID[m.ID]
-		if !ok {
+		if !ok || ps.URL != m.URL {
+			// A member can rejoin under the same ID at a new address, and
+			// a stale overlay ref can re-mint the old address (peerFor)
+			// between its eviction and its return. The table is
+			// authoritative for member URLs: re-seat the peer whenever
+			// they disagree, or gossip to the dead incarnation forever.
 			ps = &peerState{Peer: Peer{ID: m.ID, URL: m.URL}, rpc: metrics.NewRPCStats()}
 			ps.isSelf = m.ID == n.self.ID
 		}
@@ -251,10 +290,37 @@ func (n *Node) applyTable(t *membership.Table) bool {
 	n.peers = peers
 	n.byID = byID
 	n.pmu.Unlock()
+	// A member absent from the previous table is a (re)joiner. Any
+	// detector history or accusations held under its ID describe a dead
+	// incarnation — including the very silence that evicted it — so a
+	// rejoiner would otherwise arrive with φ already above the eviction
+	// level and be force-left again before it ships its first shadow.
+	// Forget it: the fresh incarnation restarts inside the detector's
+	// bootstrap window, immune until a new inter-arrival baseline forms.
+	for _, m := range t.Members {
+		if m.ID == n.self.ID {
+			continue
+		}
+		if _, was := prev.Member(m.ID); !was {
+			n.detector.Forget(m.ID)
+			n.hmu.Lock()
+			delete(n.accusals, m.ID)
+			n.hmu.Unlock()
+		}
+	}
+	var rollback []resource.Location
 	n.omu.Lock()
-	for loc := range n.pendingOwned {
+	for loc, ep := range n.pendingOwned {
 		if id, ok := t.OwnerOf(loc); ok && id == n.self.ID {
+			// Granted: the table now records us as the owner.
 			delete(n.pendingOwned, loc)
+		} else if ep <= t.Epoch {
+			// Superseded: the epoch this install belonged to has been
+			// published and assigned the location elsewhere — a repaired
+			// (rolled-back) plan. Drop the un-granted install so we stop
+			// accepting traffic the table routes to someone else.
+			delete(n.pendingOwned, loc)
+			rollback = append(rollback, loc)
 		}
 	}
 	for loc, h := range n.handedOff {
@@ -268,6 +334,19 @@ func (n *Node) applyTable(t *membership.Table) bool {
 		}
 	}
 	n.omu.Unlock()
+	if len(rollback) > 0 {
+		n.srv.Ledger().DropLocations(rollback)
+		n.obs.Log("membership.rollback",
+			"node", n.self.ID, "epoch", t.Epoch, "locations", len(rollback))
+	}
+	// Close journaled intents the new table proves finished.
+	n.imu.Lock()
+	for steward, it := range n.intents {
+		if it.TargetEpoch <= t.Epoch {
+			delete(n.intents, steward)
+		}
+	}
+	n.imu.Unlock()
 	n.obs.Log("membership.apply",
 		"node", n.self.ID, "epoch", t.Epoch, "members", len(t.Members))
 	// Ownership changed: standing watches whose footprint touches moved
@@ -306,8 +385,12 @@ func (n *Node) fetchTable(url string) {
 }
 
 // installRequest ships exported location state between nodes: handoff
-// installs and standby shadow feeds use the same body.
+// installs and standby shadow feeds use the same body. Epoch is the
+// table epoch the install belongs to (handoffs only; zero for shadow
+// feeds): the receiver stamps its pendingOwned overlay with it so a
+// final table that rolls the plan back can also roll back the install.
 type installRequest struct {
+	Epoch   uint64                  `json:"epoch,omitempty"`
 	Exports []server.LocationExport `json:"exports"`
 }
 
@@ -332,7 +415,7 @@ func (n *Node) executeHandoff(ctx context.Context, locs []resource.Location, toI
 	n.flowMu.Lock()
 	defer n.flowMu.Unlock()
 	exports := n.srv.Ledger().ExportLocations(locs)
-	body, err := json.Marshal(installRequest{Exports: exports})
+	body, err := json.Marshal(installRequest{Epoch: epoch, Exports: exports})
 	if err != nil {
 		sp.SetStatus(span.StatusError)
 		return err
@@ -403,7 +486,7 @@ func (n *Node) promoteLocal(ctx context.Context, locs []resource.Location, epoch
 	}
 	n.omu.Lock()
 	for _, loc := range locs {
-		n.pendingOwned[loc] = true
+		n.pendingOwned[loc] = epoch
 		delete(n.handedOff, loc)
 		delete(n.learned, loc)
 	}
@@ -444,11 +527,13 @@ func (n *Node) JoinCluster(ctx context.Context, steward string, pins []resource.
 }
 
 // handleJoin is the steward side of /v1/cluster/join: announce the new
-// member (roster only, no ownership change), plan the moves it implies,
-// execute each as a make-before-break handoff, publish the final table,
-// and hand it back to the joiner. A handoff that fails simply leaves
-// its location with the old owner — the table only records moves that
-// completed.
+// member (roster only, no ownership change), journal the full plan as
+// an intent, execute the implied moves as make-before-break handoffs,
+// publish the final table, and hand it back to the joiner. A handoff
+// that fails simply leaves its location with the old owner — the table
+// only records moves that completed. If this steward dies partway, any
+// survivor holding the gossiped intent repairs the plan (repairIntent)
+// and publishes the final table itself.
 func (n *Node) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if n.draining() {
 		httpError(w, http.StatusServiceUnavailable, errors.New("cluster: draining, not accepting members"))
@@ -464,8 +549,11 @@ func (n *Node) handleJoin(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	n.mmu.Lock()
-	defer n.mmu.Unlock()
+	if err := n.acquireSteward(r.Context()); err != nil {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer n.releaseSteward()
 	cur := n.reg.Snapshot()
 	if m, ok := cur.Member(req.ID); ok && m.URL == req.URL {
 		// Idempotent re-join: already a member, hand back the table.
@@ -476,6 +564,7 @@ func (n *Node) handleJoin(w http.ResponseWriter, r *http.Request) {
 	defer sp.End()
 	sp.Attr("member", req.ID)
 	member := membership.Member{ID: req.ID, URL: req.URL}
+	moves := cur.JoinMoves(member, req.Pins)
 	// Announce the member before moving any data. Release, coordination,
 	// and query fan-outs target the roster, so a commitment that lands on
 	// the joiner mid-handoff is only reachable from nodes whose roster
@@ -488,9 +577,24 @@ func (n *Node) handleJoin(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, errors.New("cluster: membership changed concurrently, retry the join"))
 		return
 	}
+	// Journal the plan and push it to the survivors before any data
+	// moves: from here on, a steward crash is repairable by anyone who
+	// heard this gossip.
+	pinStrs := make([]string, len(req.Pins))
+	for i, loc := range req.Pins {
+		pinStrs[i] = string(loc)
+	}
+	n.setOwnIntent(&membership.Intent{
+		Steward: n.self.ID, Kind: membership.IntentJoin, Member: member,
+		AnnounceEpoch: announce.Epoch, TargetEpoch: announce.Epoch + 1,
+		Moves: moves, Pins: pinStrs, Stage: membership.StageAnnounced,
+	})
 	n.broadcastTable(sctx, announce)
-	moves := cur.JoinMoves(member, req.Pins)
+	n.pushGossip(sctx)
+	n.stage("join.announced", req.ID)
 	nextEpoch := announce.Epoch + 1
+	n.setOwnIntentStage(membership.StageMoving)
+	n.stage("join.moving", req.ID)
 	executed := make([]membership.Move, 0, len(moves))
 	for _, grp := range groupMovesByFrom(moves) {
 		var herr error
@@ -508,6 +612,7 @@ func (n *Node) handleJoin(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		executed = append(executed, grp.moves...)
+		n.stage("join.handoff", grp.from)
 	}
 	gained := make(map[resource.Location]bool, len(executed))
 	for _, mv := range executed {
@@ -519,12 +624,27 @@ func (n *Node) handleJoin(w http.ResponseWriter, r *http.Request) {
 			pins = append(pins, loc)
 		}
 	}
+	n.stage("join.committing", req.ID)
 	next := announce.Joined(member, executed, pins)
 	if !n.applyTable(next) {
+		n.clearOwnIntent()
+		// A survivor may have declared us dead mid-choreography and
+		// repaired the plan; if the current table already publishes the
+		// target epoch with the member aboard, the join succeeded —
+		// return the repaired table instead of a spurious conflict.
+		if repaired := n.reg.Snapshot(); repaired.Epoch >= next.Epoch {
+			if _, ok := repaired.Member(req.ID); ok {
+				n.obs.Log("membership.join_repaired",
+					"member", req.ID, "epoch", repaired.Epoch)
+				writeJSON(w, http.StatusOK, repaired.ToWire())
+				return
+			}
+		}
 		sp.SetStatus(span.StatusError)
 		httpError(w, http.StatusConflict, errors.New("cluster: membership changed concurrently, retry the join"))
 		return
 	}
+	n.clearOwnIntent()
 	n.joins.Add(1)
 	sp.Attr("epoch", next.Epoch)
 	sp.Attr("moves", len(executed))
@@ -534,12 +654,9 @@ func (n *Node) handleJoin(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, next.ToWire())
 }
 
-// handleLeave is the steward side of /v1/cluster/leave. Graceful: the
-// leaving node hands each location to its rendezvous successor (which
-// is its warm standby) before the table drops it. Forced: the node is
-// presumed dead, so each successor promotes from its gossip-fed shadow
-// instead — committed state survives up to the last shadow shipment,
-// and the ledger's lease sweep reclaims anything mid-2PC.
+// handleLeave is the steward side of /v1/cluster/leave: take the
+// steward semaphore (queueing behind an in-flight join with a bounded
+// wait) and run the leave choreography.
 func (n *Node) handleLeave(w http.ResponseWriter, r *http.Request) {
 	body, err := readBody(w, r, n.maxBody)
 	if err != nil {
@@ -551,24 +668,53 @@ func (n *Node) handleLeave(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	n.mmu.Lock()
-	defer n.mmu.Unlock()
+	if err := n.acquireSteward(r.Context()); err != nil {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer n.releaseSteward()
+	next, status, err := n.stewardLeave(r.Context(), req)
+	if err != nil {
+		httpError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, next.ToWire())
+}
+
+// stewardLeave runs the leave choreography with this node as steward
+// (caller holds the steward semaphore). Graceful: the leaving node
+// hands each location to its rendezvous successor (which is its warm
+// standby) before the table drops it. Forced: the node is presumed
+// dead, so each successor promotes from its gossip-fed shadow instead —
+// committed state survives up to the last shadow shipment, and the
+// ledger's lease sweep reclaims anything mid-2PC. The plan is journaled
+// as an intent before any promotion so a steward crash is repairable.
+func (n *Node) stewardLeave(ctx context.Context, req membership.LeaveRequest) (*membership.Table, int, error) {
 	cur := n.reg.Snapshot()
 	victim, ok := cur.Member(req.ID)
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("cluster: %s is not a member", req.ID))
-		return
+		return nil, http.StatusNotFound, fmt.Errorf("cluster: %s is not a member", req.ID)
 	}
 	if len(cur.Members) == 1 {
-		httpError(w, http.StatusBadRequest, errors.New("cluster: refusing to remove the last member"))
-		return
+		return nil, http.StatusBadRequest, errors.New("cluster: refusing to remove the last member")
 	}
-	sctx, sp := n.spans.Start(r.Context(), span.KindLeave)
+	sctx, sp := n.spans.Start(ctx, span.KindLeave)
 	defer sp.End()
 	sp.Attr("member", req.ID)
 	sp.Attr("force", req.Force)
 	moves := cur.LeaveMoves(req.ID)
 	nextEpoch := cur.Epoch + 1
+	// Journal the plan before any data moves (leaves announce no roster
+	// change, so the intent itself is the announcement).
+	n.setOwnIntent(&membership.Intent{
+		Steward: n.self.ID, Kind: membership.IntentLeave, Member: victim, Force: req.Force,
+		AnnounceEpoch: cur.Epoch, TargetEpoch: nextEpoch,
+		Moves: moves, Stage: membership.StageAnnounced,
+	})
+	n.pushGossip(sctx)
+	n.stage("leave.announced", req.ID)
+	n.setOwnIntentStage(membership.StageMoving)
+	n.stage("leave.moving", req.ID)
 	for _, grp := range groupMovesByTo(moves) {
 		if grp.to == "" {
 			continue // roster would be empty; Validate blocks this anyway
@@ -583,12 +729,13 @@ func (n *Node) handleLeave(w http.ResponseWriter, r *http.Request) {
 					Epoch: nextEpoch, Locs: grp.locs, To: grp.to, ToURL: toM.URL})
 			}
 			if herr != nil {
+				n.clearOwnIntent()
 				sp.SetStatus(span.StatusError)
 				sp.Attr("error", herr)
-				httpError(w, http.StatusBadGateway,
-					fmt.Errorf("cluster: graceful leave of %s failed (use force if it is dead): %w", req.ID, herr))
-				return
+				return nil, http.StatusBadGateway,
+					fmt.Errorf("cluster: graceful leave of %s failed (use force if it is dead): %w", req.ID, herr)
 			}
+			n.stage("leave.handoff", grp.to)
 			continue
 		}
 		var perr error
@@ -602,19 +749,38 @@ func (n *Node) handleLeave(w http.ResponseWriter, r *http.Request) {
 			// even if a standby cannot promote right now.
 			n.obs.Log("membership.promote_failed", "to", grp.to, "error", perr)
 		}
+		n.stage("leave.handoff", grp.to)
 	}
+	n.stage("leave.committing", req.ID)
 	next := cur.Left(req.ID, moves)
-	if !n.applyTable(next) {
-		sp.SetStatus(span.StatusError)
-		httpError(w, http.StatusConflict, errors.New("cluster: membership changed concurrently, retry the leave"))
-		return
+	applied := false
+	if req.ID == n.self.ID {
+		// Removing ourselves: the self-membership check must not refuse
+		// the table we are publishing on purpose.
+		applied = n.installTable(next)
+	} else {
+		applied = n.applyTable(next)
 	}
+	if !applied {
+		n.clearOwnIntent()
+		// A survivor may have repaired this plan after declaring us dead.
+		if repaired := n.reg.Snapshot(); repaired.Epoch >= next.Epoch {
+			if _, still := repaired.Member(req.ID); !still {
+				n.obs.Log("membership.leave_repaired",
+					"member", req.ID, "epoch", repaired.Epoch)
+				return repaired, http.StatusOK, nil
+			}
+		}
+		sp.SetStatus(span.StatusError)
+		return nil, http.StatusConflict, errors.New("cluster: membership changed concurrently, retry the leave")
+	}
+	n.clearOwnIntent()
 	n.leaves.Add(1)
 	sp.Attr("epoch", next.Epoch)
 	n.obs.Log("membership.leave",
 		"member", req.ID, "force", req.Force, "epoch", next.Epoch, "moves", len(moves))
 	n.broadcastTable(sctx, next)
-	writeJSON(w, http.StatusOK, next.ToWire())
+	return next, http.StatusOK, nil
 }
 
 // moveGroup is one handoff's worth of moves: same source, same target.
@@ -727,9 +893,13 @@ func (n *Node) handleInstall(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, err)
 		return
 	}
+	epoch := req.Epoch
+	if epoch == 0 {
+		epoch = n.reg.Epoch() + 1 // older senders: assume the next epoch
+	}
 	n.omu.Lock()
 	for _, loc := range locs {
-		n.pendingOwned[loc] = true
+		n.pendingOwned[loc] = epoch
 		delete(n.handedOff, loc)
 		delete(n.learned, loc)
 	}

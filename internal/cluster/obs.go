@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"time"
+
 	"repro/internal/obs"
 )
 
@@ -41,7 +43,19 @@ func (n *Node) CollectMetrics(e *obs.Exposition) {
 	e.Counter("rota_cluster_shadow_ships_total", "Warm-standby shadow shipments sent to rendezvous runners-up.", nil, float64(n.shadowShips.Load()))
 	e.Counter("rota_cluster_shadow_misses_total", "Locations promoted empty because no shadow had arrived.", nil, float64(n.shadowMisses.Load()))
 
+	e.Counter("rota_cluster_auto_evictions_total", "Quorum-agreed automatic force-leaves stewarded by this node.", nil, float64(n.autoEvictions.Load()))
+	e.Counter("rota_cluster_rejoins_total", "Fence-triggered drop-and-rejoin cycles performed by this node after eviction.", nil, float64(n.rejoins.Load()))
+	e.Counter("rota_cluster_intent_repairs_total", "Dead stewards' partially applied membership plans finished or rolled back by this node.", nil, float64(n.intentRepairs.Load()))
+	e.Counter("rota_cluster_fenced_gossip_total", "Gossip messages answered 421 because the sender was evicted (epoch fence).", nil, float64(n.fencedGossip.Load()))
+	e.Gauge("rota_cluster_suspected_peers", "Peers the failure detector currently holds at Suspect or worse.", nil, float64(n.suspectedNow.Load()))
+
 	e.Summary("rota_cluster_coordination_latency_us", "End-to-end federated admission latency in microseconds (free view through commit).", nil, n.coordLatency.Summary())
+
+	now := time.Now()
+	for _, id := range n.detector.Peers() {
+		e.Gauge("rota_health_phi", "Current φ-accrual suspicion level, by peer (0 = freshly heard from).",
+			obs.L("peer", id), n.detector.Phi(id, now))
+	}
 
 	for _, ps := range peers {
 		if ps.isSelf {

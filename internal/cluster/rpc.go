@@ -45,37 +45,61 @@ func (e *httpStatusError) Error() string {
 
 // rpcClient is the shared retrying transport for all peer calls.
 type rpcClient struct {
-	http    *http.Client
-	timeout time.Duration // per attempt
-	retries int           // additional attempts after the first
-	obs     *obs.Observer
-	spans   *span.Store
+	http        *http.Client
+	timeout     time.Duration // per attempt
+	retries     int           // additional attempts after the first
+	backoffBase time.Duration // first retry's backoff (doubles per attempt)
+	backoffCap  time.Duration // backoff ceiling
+	obs         *obs.Observer
+	spans       *span.Store
 }
 
-func newRPCClient(timeout time.Duration, retries int, o *obs.Observer, spans *span.Store) *rpcClient {
-	if timeout <= 0 {
-		timeout = 2 * time.Second
+// rpcOptions carries the tunable half of the client; zero fields take
+// the defaults (2s timeout, 2 retries, 25ms→400ms backoff, the
+// process-default transport).
+type rpcOptions struct {
+	timeout     time.Duration
+	retries     int
+	backoffBase time.Duration
+	backoffCap  time.Duration
+	transport   http.RoundTripper // e.g. a fault.Network wrapper; nil = default
+}
+
+func newRPCClient(opts rpcOptions, o *obs.Observer, spans *span.Store) *rpcClient {
+	if opts.timeout <= 0 {
+		opts.timeout = 2 * time.Second
 	}
-	if retries < 0 {
-		retries = 0
+	if opts.retries < 0 {
+		opts.retries = 0
+	}
+	if opts.backoffBase <= 0 {
+		opts.backoffBase = 25 * time.Millisecond
+	}
+	if opts.backoffCap <= 0 {
+		opts.backoffCap = 400 * time.Millisecond
+	}
+	if opts.backoffCap < opts.backoffBase {
+		opts.backoffCap = opts.backoffBase
 	}
 	return &rpcClient{
 		// The client timeout is a backstop; each attempt's context is
 		// the real per-call deadline.
-		http:    &http.Client{Timeout: 2 * timeout},
-		timeout: timeout,
-		retries: retries,
-		obs:     o,
-		spans:   spans,
+		http:        &http.Client{Timeout: 2 * opts.timeout, Transport: opts.transport},
+		timeout:     opts.timeout,
+		retries:     opts.retries,
+		backoffBase: opts.backoffBase,
+		backoffCap:  opts.backoffCap,
+		obs:         o,
+		spans:       spans,
 	}
 }
 
 // backoff sleeps before retry attempt i (1-based) with ±50% jitter,
 // respecting ctx.
-func backoff(ctx context.Context, i int) error {
-	base := 25 * time.Millisecond << (i - 1)
-	if base > 400*time.Millisecond {
-		base = 400 * time.Millisecond
+func (c *rpcClient) backoff(ctx context.Context, i int) error {
+	base := c.backoffBase << (i - 1)
+	if base > c.backoffCap || base <= 0 { // <=0: shift overflow
+		base = c.backoffCap
 	}
 	d := base/2 + time.Duration(rand.Int63n(int64(base)))
 	select {
@@ -110,7 +134,7 @@ func retryable(err error) bool {
 func (c *rpcClient) attemptLoop(ctx context.Context, method, url string, body []byte, out any, headers map[string]string) (status int, data []byte, attempts int, err error) {
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
-			if berr := backoff(ctx, attempt); berr != nil {
+			if berr := c.backoff(ctx, attempt); berr != nil {
 				// The caller went away mid-backoff. Keep the real attempt
 				// failure as the error chain; the abandonment is a note,
 				// not the verdict.

@@ -26,7 +26,7 @@ func TestRPCRetriesServerErrorsThenSucceeds(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	c := newRPCClient(time.Second, 3, nil, nil)
+	c := newRPCClient(rpcOptions{timeout: time.Second, retries: 3}, nil, nil)
 	var out struct {
 		OK bool `json:"ok"`
 	}
@@ -48,7 +48,7 @@ func TestRPCClientErrorIsFinal(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	c := newRPCClient(time.Second, 3, nil, nil)
+	c := newRPCClient(rpcOptions{timeout: time.Second, retries: 3}, nil, nil)
 	err := c.call(context.Background(), http.MethodGet, ts.URL, nil, nil, nil, nil)
 	var se *httpStatusError
 	if !errors.As(err, &se) || se.status != http.StatusNotFound {
@@ -77,7 +77,7 @@ func TestRPCNoRetryAfterCallerGone(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	c := newRPCClient(time.Second, 5, nil, nil)
+	c := newRPCClient(rpcOptions{timeout: time.Second, retries: 5}, nil, nil)
 	err := c.call(ctx, http.MethodGet, ts.URL, nil, nil, nil, nil)
 	if err == nil {
 		t.Fatal("call succeeded against a 500ing peer")
@@ -111,7 +111,7 @@ func TestRPCCallerCancellationNotRetried(t *testing.T) {
 		time.Sleep(30 * time.Millisecond)
 		cancel()
 	}()
-	c := newRPCClient(5*time.Second, 5, nil, nil)
+	c := newRPCClient(rpcOptions{timeout: 5 * time.Second, retries: 5}, nil, nil)
 	err := c.call(ctx, http.MethodGet, ts.URL, nil, nil, nil, nil)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled in the chain", err)
@@ -131,7 +131,7 @@ func TestRPCOnceCarriesTraceHeader(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	c := newRPCClient(time.Second, 0, nil, nil)
+	c := newRPCClient(rpcOptions{timeout: time.Second}, nil, nil)
 	ctx := obs.WithTrace(context.Background(), "rpc-trace-9")
 	if err := c.call(ctx, http.MethodGet, ts.URL, nil, nil, nil, nil); err != nil {
 		t.Fatal(err)

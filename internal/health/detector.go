@@ -1,0 +1,305 @@
+// Package health is a heartbeat-based φ-accrual failure detector
+// (Hayashibara et al., "The φ Accrual Failure Detector", SRDS 2004) for
+// the cluster's peers. Instead of a boolean alive/dead verdict from a
+// fixed timeout, each peer accrues a continuous suspicion level
+//
+//	φ(t) = -log10( P(X > t_since_last_heartbeat) )
+//
+// where X is modelled as a normal distribution fitted to the recent
+// inter-arrival history of that peer's heartbeats. φ = 1 means a ~10%
+// chance the peer is still alive and merely slow; φ = 8 means ~10⁻⁸.
+// Because φ scales with the *observed* heartbeat jitter, the same
+// threshold is conservative on a jittery WAN and aggressive on a quiet
+// loopback — exactly the adaptivity a deadline-assurance cluster needs:
+// the checker's promises (Theorem 4 feasibility) only hold while the
+// roster is honest about who is actually serving.
+//
+// The detector is passive and allocation-free on the hot path: callers
+// feed it heartbeat observations (gossip receipts) and periodically ask
+// for per-peer assessments. Hysteresis between the suspect and reinstate
+// thresholds stops a peer that hovers near the boundary from flapping.
+package health
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is the detector's view of one peer.
+type State int
+
+const (
+	// Alive: φ below the suspect threshold (or not enough samples yet).
+	Alive State = iota
+	// Suspect: φ crossed SuspectPhi and has not yet fallen back below
+	// the reinstate level (SuspectPhi/2 — hysteresis).
+	Suspect
+	// Dead: φ crossed EvictPhi; the peer is a candidate for quorum
+	// eviction. Only a fresh heartbeat revives it.
+	Dead
+)
+
+func (s State) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
+// Options tunes the detector. The zero value is unusable; use Defaults()
+// or fill every field.
+type Options struct {
+	// SuspectPhi is the φ level at which a peer becomes Suspect.
+	// Suspects are excluded from steward election and reported in
+	// gossip, but not yet acted on.
+	SuspectPhi float64
+	// EvictPhi is the φ level at which a peer is locally declared Dead
+	// and becomes a candidate for quorum-agreed eviction. Must be
+	// ≥ SuspectPhi.
+	EvictPhi float64
+	// WindowSize bounds the per-peer inter-arrival history (ring
+	// buffer). Hayashibara used 1000; 64 is plenty at gossip cadence.
+	WindowSize int
+	// MinSamples gates suspicion: until a peer has this many
+	// inter-arrival samples the detector reports Alive with φ = 0,
+	// so a freshly joined peer is not evicted for being new.
+	MinSamples int
+	// MinStdDev floors the fitted standard deviation so a perfectly
+	// regular heartbeat stream (σ→0 on loopback) does not make φ
+	// explode at the first microsecond of delay.
+	MinStdDev time.Duration
+}
+
+// Defaults returns production-shaped options: suspect at φ=8 (~10⁻⁸
+// chance of a false positive per evaluation), evict at φ=12, matching
+// the Akka/Cassandra convention of 8–12 for LAN deployments.
+func Defaults() Options {
+	return Options{
+		SuspectPhi: 8,
+		EvictPhi:   12,
+		WindowSize: 64,
+		MinSamples: 3,
+		MinStdDev:  10 * time.Millisecond,
+	}
+}
+
+func (o Options) withFloors() Options {
+	if o.WindowSize <= 0 {
+		o.WindowSize = 64
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 3
+	}
+	if o.MinSamples > o.WindowSize {
+		o.MinSamples = o.WindowSize
+	}
+	if o.MinStdDev <= 0 {
+		o.MinStdDev = 10 * time.Millisecond
+	}
+	if o.EvictPhi < o.SuspectPhi {
+		o.EvictPhi = o.SuspectPhi
+	}
+	return o
+}
+
+// history is one peer's bounded inter-arrival record plus running sums,
+// so mean and variance are O(1) per observation.
+type history struct {
+	last    time.Time // most recent heartbeat
+	samples []float64 // inter-arrival times, seconds; ring buffer
+	next    int       // ring cursor
+	sum     float64
+	sumSq   float64
+	state   State
+	// sinceSuspect marks when the peer entered Suspect/Dead, for
+	// detection-latency accounting.
+	sinceSuspect time.Time
+}
+
+func (h *history) count() int { return len(h.samples) }
+
+func (h *history) push(dt float64, window int) {
+	if len(h.samples) < window {
+		h.samples = append(h.samples, dt)
+	} else {
+		old := h.samples[h.next]
+		h.sum -= old
+		h.sumSq -= old * old
+		h.samples[h.next] = dt
+		h.next = (h.next + 1) % window
+	}
+	h.sum += dt
+	h.sumSq += dt * dt
+}
+
+func (h *history) meanStdDev(minStd float64) (mean, std float64) {
+	n := float64(len(h.samples))
+	if n == 0 {
+		return 0, minStd
+	}
+	mean = h.sum / n
+	variance := h.sumSq/n - mean*mean
+	if variance > 0 {
+		std = math.Sqrt(variance)
+	}
+	if std < minStd {
+		std = minStd
+	}
+	return mean, std
+}
+
+// Assessment is one peer's verdict at evaluation time.
+type Assessment struct {
+	Peer  string
+	Phi   float64
+	State State
+	// Samples is how many inter-arrival observations back the verdict.
+	Samples int
+	// SuspectFor is how long the peer has been continuously at
+	// Suspect or worse (zero when Alive).
+	SuspectFor time.Duration
+}
+
+// Detector tracks heartbeat inter-arrival distributions per peer and
+// turns elapsed silence into suspicion levels. Safe for concurrent use.
+type Detector struct {
+	mu    sync.Mutex
+	opts  Options
+	peers map[string]*history
+}
+
+// NewDetector builds a detector with floored options.
+func NewDetector(opts Options) *Detector {
+	return &Detector{opts: opts.withFloors(), peers: make(map[string]*history)}
+}
+
+// Options returns the (floored) options in effect.
+func (d *Detector) Options() Options { return d.opts }
+
+// Observe records a heartbeat from peer at time at. Out-of-order or
+// duplicate observations (at ≤ last) only refresh liveness, they do not
+// poison the inter-arrival history with zero/negative samples.
+func (d *Detector) Observe(peer string, at time.Time) {
+	d.mu.Lock()
+	h, ok := d.peers[peer]
+	if !ok {
+		h = &history{}
+		d.peers[peer] = h
+	}
+	if !h.last.IsZero() {
+		if dt := at.Sub(h.last).Seconds(); dt > 0 {
+			h.push(dt, d.opts.WindowSize)
+		}
+	}
+	if at.After(h.last) {
+		h.last = at
+	}
+	// A real heartbeat always reinstates: φ is recomputed from `last`,
+	// so the state machine can simply reset here.
+	if h.state != Alive {
+		h.state = Alive
+		h.sinceSuspect = time.Time{}
+	}
+	d.mu.Unlock()
+}
+
+// Phi returns the current suspicion level for peer at time now, without
+// mutating state. Unknown peers and peers below MinSamples report 0.
+func (d *Detector) Phi(peer string, now time.Time) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h, ok := d.peers[peer]
+	if !ok {
+		return 0
+	}
+	return d.phiLocked(h, now)
+}
+
+func (d *Detector) phiLocked(h *history, now time.Time) float64 {
+	if h.count() < d.opts.MinSamples || h.last.IsZero() {
+		return 0
+	}
+	elapsed := now.Sub(h.last).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	mean, std := h.meanStdDev(d.opts.MinStdDev.Seconds())
+	// P(X > elapsed) for X ~ N(mean, std²), via the complementary
+	// error function; φ = -log10 of that tail probability.
+	p := 0.5 * math.Erfc((elapsed-mean)/(std*math.Sqrt2))
+	if p < 1e-300 { // erfc underflow: cap φ rather than return +Inf
+		return 300
+	}
+	return -math.Log10(p)
+}
+
+// Evaluate advances every peer's state machine to time now and returns
+// the assessments, sorted by peer ID for deterministic iteration.
+// Transitions: Alive→Suspect at SuspectPhi, anything→Dead at EvictPhi,
+// Suspect→Alive only below SuspectPhi/2 (hysteresis); Dead→Alive only
+// via a fresh Observe.
+func (d *Detector) Evaluate(now time.Time) []Assessment {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Assessment, 0, len(d.peers))
+	for peer, h := range d.peers {
+		phi := d.phiLocked(h, now)
+		switch {
+		case phi >= d.opts.EvictPhi:
+			if h.state != Dead {
+				if h.sinceSuspect.IsZero() {
+					h.sinceSuspect = now
+				}
+				h.state = Dead
+			}
+		case phi >= d.opts.SuspectPhi:
+			if h.state == Alive {
+				h.state = Suspect
+				h.sinceSuspect = now
+			}
+		case phi < d.opts.SuspectPhi/2:
+			// Hysteresis: only a clear recovery reinstates a
+			// Suspect. Dead stays Dead until a real heartbeat.
+			if h.state == Suspect {
+				h.state = Alive
+				h.sinceSuspect = time.Time{}
+			}
+		}
+		a := Assessment{Peer: peer, Phi: phi, State: h.state, Samples: h.count()}
+		if !h.sinceSuspect.IsZero() {
+			a.SuspectFor = now.Sub(h.sinceSuspect)
+		}
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
+
+// Forget drops all state for peer — call after an eviction commits so a
+// rejoining node starts with a clean history (its old cadence is
+// meaningless after a restart).
+func (d *Detector) Forget(peer string) {
+	d.mu.Lock()
+	delete(d.peers, peer)
+	d.mu.Unlock()
+}
+
+// Peers returns the tracked peer IDs, sorted.
+func (d *Detector) Peers() []string {
+	d.mu.Lock()
+	ids := make([]string, 0, len(d.peers))
+	for id := range d.peers {
+		ids = append(ids, id)
+	}
+	d.mu.Unlock()
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,269 @@
+package health
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// feed delivers n heartbeats at a fixed interval and returns the time of
+// the last one.
+func feed(d *Detector, peer string, n int, every time.Duration) time.Time {
+	at := t0
+	for i := 0; i < n; i++ {
+		d.Observe(peer, at)
+		at = at.Add(every)
+	}
+	return at.Add(-every)
+}
+
+func TestPhiGrowsWithSilence(t *testing.T) {
+	d := NewDetector(Options{SuspectPhi: 4, EvictPhi: 8, MinStdDev: 50 * time.Millisecond})
+	last := feed(d, "n2", 20, 100*time.Millisecond)
+
+	if phi := d.Phi("n2", last.Add(50*time.Millisecond)); phi > 1 {
+		t.Fatalf("φ=%.2f half an interval after a heartbeat, want ~0", phi)
+	}
+	mid := d.Phi("n2", last.Add(300*time.Millisecond))
+	late := d.Phi("n2", last.Add(1*time.Second))
+	if !(mid > 1) || !(late > mid) {
+		t.Fatalf("φ not monotone in silence: mid=%.2f late=%.2f", mid, late)
+	}
+	if math.IsInf(late, 0) || math.IsNaN(late) {
+		t.Fatalf("φ overflowed: %v", late)
+	}
+	// Very long silence is capped, not +Inf.
+	if phi := d.Phi("n2", last.Add(time.Hour)); phi > 300 || math.IsInf(phi, 0) {
+		t.Fatalf("φ after an hour = %v, want capped ≤ 300", phi)
+	}
+}
+
+func TestMinSamplesGate(t *testing.T) {
+	d := NewDetector(Options{SuspectPhi: 4, EvictPhi: 8, MinSamples: 3})
+	// Two heartbeats → one inter-arrival sample: below the gate.
+	d.Observe("new", t0)
+	d.Observe("new", t0.Add(50*time.Millisecond))
+	if phi := d.Phi("new", t0.Add(time.Hour)); phi != 0 {
+		t.Fatalf("under-sampled peer reports φ=%.2f, want 0", phi)
+	}
+	if as := d.Evaluate(t0.Add(time.Hour)); as[0].State != Alive {
+		t.Fatalf("under-sampled peer is %v, want alive", as[0].State)
+	}
+	// Unknown peer is not suspected either.
+	if phi := d.Phi("ghost", t0.Add(time.Hour)); phi != 0 {
+		t.Fatalf("unknown peer φ=%.2f, want 0", phi)
+	}
+}
+
+func TestStateTransitionsAndHysteresis(t *testing.T) {
+	d := NewDetector(Options{SuspectPhi: 4, EvictPhi: 10, MinStdDev: 5 * time.Millisecond})
+	last := feed(d, "n2", 20, 100*time.Millisecond)
+
+	// Find the first instants where φ crosses each threshold.
+	var suspectAt, deadAt time.Time
+	for dt := 100 * time.Millisecond; dt < 10*time.Second; dt += 10 * time.Millisecond {
+		phi := d.Phi("n2", last.Add(dt))
+		if suspectAt.IsZero() && phi >= 4 {
+			suspectAt = last.Add(dt)
+		}
+		if phi >= 10 {
+			deadAt = last.Add(dt)
+			break
+		}
+	}
+	if suspectAt.IsZero() || deadAt.IsZero() {
+		t.Fatal("φ never crossed the thresholds")
+	}
+
+	as := d.Evaluate(suspectAt)
+	if as[0].State != Suspect {
+		t.Fatalf("at φ≥suspect: state %v, want suspect", as[0].State)
+	}
+	as = d.Evaluate(deadAt)
+	if as[0].State != Dead {
+		t.Fatalf("at φ≥evict: state %v, want dead", as[0].State)
+	}
+	if as[0].SuspectFor <= 0 {
+		t.Fatal("SuspectFor not tracked through suspect→dead")
+	}
+	// Dead does not self-heal by re-evaluating at a quiet moment…
+	if as := d.Evaluate(deadAt.Add(time.Millisecond)); as[0].State != Dead {
+		t.Fatalf("dead peer re-evaluated to %v without a heartbeat", as[0].State)
+	}
+	// …but a real heartbeat reinstates it.
+	d.Observe("n2", deadAt.Add(time.Second))
+	if as := d.Evaluate(deadAt.Add(time.Second)); as[0].State != Alive {
+		t.Fatalf("heartbeat did not reinstate: %v", as[0].State)
+	}
+}
+
+func TestHysteresisHoldsSuspectNearBoundary(t *testing.T) {
+	d := NewDetector(Options{SuspectPhi: 4, EvictPhi: 100, MinStdDev: 5 * time.Millisecond})
+	last := feed(d, "n2", 20, 100*time.Millisecond)
+
+	// Walk forward to a Suspect verdict.
+	var at time.Time
+	for dt := 100 * time.Millisecond; dt < 10*time.Second; dt += 10 * time.Millisecond {
+		if d.Phi("n2", last.Add(dt)) >= 4 {
+			at = last.Add(dt)
+			break
+		}
+	}
+	if as := d.Evaluate(at); as[0].State != Suspect {
+		t.Fatalf("state %v, want suspect", as[0].State)
+	}
+	// Evaluating at a moment where φ has dipped just below SuspectPhi
+	// (but above SuspectPhi/2) must keep the peer Suspect.
+	var dip time.Time
+	for dt := time.Duration(0); dt < 10*time.Second; dt += time.Millisecond {
+		phi := d.Phi("n2", last.Add(dt))
+		if phi >= 2 && phi < 4 {
+			dip = last.Add(dt)
+			break
+		}
+	}
+	if dip.IsZero() {
+		t.Fatal("no φ dip window found")
+	}
+	if as := d.Evaluate(dip); as[0].State != Suspect {
+		t.Fatalf("peer flapped to %v inside the hysteresis band", as[0].State)
+	}
+}
+
+func TestAdaptsToJitter(t *testing.T) {
+	// Same silence, two cadence histories: the jittery peer should be
+	// suspected later (lower φ) than the metronomic one.
+	steady := NewDetector(Options{SuspectPhi: 4, EvictPhi: 8, MinStdDev: time.Millisecond})
+	jitter := NewDetector(Options{SuspectPhi: 4, EvictPhi: 8, MinStdDev: time.Millisecond})
+	feed(steady, "p", 30, 100*time.Millisecond)
+	at := t0
+	for i := 0; i < 30; i++ {
+		jitter.Observe("p", at)
+		if i%2 == 0 {
+			at = at.Add(40 * time.Millisecond)
+		} else {
+			at = at.Add(160 * time.Millisecond)
+		}
+	}
+	lastSteady := t0.Add(29 * 100 * time.Millisecond)
+	lastJitter := at.Add(-40 * time.Millisecond)
+	probe := 400 * time.Millisecond
+	ps := steady.Phi("p", lastSteady.Add(probe))
+	pj := jitter.Phi("p", lastJitter.Add(probe))
+	if ps <= pj {
+		t.Fatalf("steady φ=%.2f ≤ jittery φ=%.2f at the same silence — detector not adaptive", ps, pj)
+	}
+}
+
+func TestOutOfOrderObservationsAreHarmless(t *testing.T) {
+	d := NewDetector(Defaults())
+	last := feed(d, "n2", 10, 100*time.Millisecond)
+	before := d.Phi("n2", last.Add(200*time.Millisecond))
+	// Duplicate and stale observations must not add ≤0 samples.
+	d.Observe("n2", last)
+	d.Observe("n2", last.Add(-time.Second))
+	after := d.Phi("n2", last.Add(200*time.Millisecond))
+	if math.Abs(before-after) > 1e-9 {
+		t.Fatalf("stale observations changed φ: %.4f → %.4f", before, after)
+	}
+}
+
+func TestForget(t *testing.T) {
+	d := NewDetector(Defaults())
+	feed(d, "n2", 10, 100*time.Millisecond)
+	d.Forget("n2")
+	if got := d.Peers(); len(got) != 0 {
+		t.Fatalf("peers after Forget: %v", got)
+	}
+	if phi := d.Phi("n2", t0.Add(time.Hour)); phi != 0 {
+		t.Fatalf("forgotten peer φ=%.2f", phi)
+	}
+}
+
+func TestWindowBoundsMemoryAndTracksRegimeChange(t *testing.T) {
+	d := NewDetector(Options{SuspectPhi: 4, EvictPhi: 8, WindowSize: 16, MinStdDev: time.Millisecond})
+	// Old slow regime, then a new fast regime long enough to flush the
+	// window: suspicion timing must follow the new cadence.
+	at := t0
+	for i := 0; i < 16; i++ {
+		d.Observe("p", at)
+		at = at.Add(time.Second)
+	}
+	for i := 0; i < 32; i++ {
+		d.Observe("p", at)
+		at = at.Add(20 * time.Millisecond)
+	}
+	last := at.Add(-20 * time.Millisecond)
+	if phi := d.Phi("p", last.Add(500*time.Millisecond)); phi < 4 {
+		t.Fatalf("φ=%.2f after 25 missed fast-regime beats — window still dominated by stale samples", phi)
+	}
+}
+
+func TestEvaluateDeterministicOrder(t *testing.T) {
+	d := NewDetector(Defaults())
+	for _, p := range []string{"n3", "n1", "n2"} {
+		feed(d, p, 5, 50*time.Millisecond)
+	}
+	as := d.Evaluate(t0.Add(time.Second))
+	for i := 1; i < len(as); i++ {
+		if as[i-1].Peer >= as[i].Peer {
+			t.Fatalf("assessments not sorted: %v", as)
+		}
+	}
+}
+
+func TestConcurrentObserveEvaluate(t *testing.T) {
+	d := NewDetector(Defaults())
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			peer := []string{"a", "b", "c", "d"}[g]
+			at := t0
+			for i := 0; i < 500; i++ {
+				d.Observe(peer, at)
+				at = at.Add(time.Millisecond)
+				if i%50 == 0 {
+					d.Evaluate(at)
+					d.Phi(peer, at)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(d.Peers()); got != 4 {
+		t.Fatalf("tracked %d peers, want 4", got)
+	}
+}
+
+// BenchmarkDetectorObserve measures the per-heartbeat overhead the
+// detector adds to gossip receipt — the E16 "heartbeat overhead" number.
+func BenchmarkDetectorObserve(b *testing.B) {
+	d := NewDetector(Defaults())
+	at := t0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at = at.Add(time.Millisecond)
+		d.Observe("peer", at)
+	}
+}
+
+// BenchmarkDetectorEvaluate measures a full-roster evaluation sweep (16
+// peers), the work done once per gossip tick.
+func BenchmarkDetectorEvaluate(b *testing.B) {
+	d := NewDetector(Defaults())
+	for p := 0; p < 16; p++ {
+		feed(d, string(rune('a'+p)), 64, 100*time.Millisecond)
+	}
+	now := t0.Add(time.Hour)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Evaluate(now)
+	}
+}

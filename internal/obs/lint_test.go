@@ -98,6 +98,11 @@ var statFamilies = map[string]string{
 	"table_applies":         "rota_cluster_table_applies_total",
 	"shadow_ships":          "rota_cluster_shadow_ships_total",
 	"shadow_misses":         "rota_cluster_shadow_misses_total",
+	"auto_evictions":        "rota_cluster_auto_evictions_total",
+	"rejoins":               "rota_cluster_rejoins_total",
+	"intent_repairs":        "rota_cluster_intent_repairs_total",
+	"fenced_gossip":         "rota_cluster_fenced_gossip_total",
+	"suspected_peers":       "rota_cluster_suspected_peers",
 	"coord_latency_mean_us": "rota_cluster_coordination_latency_us",
 	"coord_latency_p50_us":  "rota_cluster_coordination_latency_us",
 	"coord_latency_p99_us":  "rota_cluster_coordination_latency_us",

@@ -156,6 +156,23 @@ var (
 		"shadow_misses", "locations adopted empty because no shadow had arrived",
 		"error", "import failure during promotion")
 
+	// Self-healing kinds (internal/cluster/health.go).
+	KindRepair = defineKind("repair",
+		"journal repair of a dead steward's partially applied membership plan",
+		"steward", "dead steward whose intent is being repaired",
+		"member", "node the interrupted plan was admitting or removing",
+		"kind", "intent kind (join/leave)",
+		"stage", "stage the intent had reached when the steward died",
+		"epoch", "table epoch the repair published",
+		"moves", "ownership moves confirmed complete and kept in the table",
+		"error", "failure that aborted the repair")
+
+	KindRejoin = defineKind("rejoin",
+		"fenced node dropping its stale state and rejoining the cluster fresh",
+		"via", "member the rejoin request goes through",
+		"dropped", "owned locations demoted before rejoining",
+		"error", "rejoin failure (retried on the next fence)")
+
 	// Sim-bridge kinds: synthetic spans reconstructed from internal/sim
 	// JSONL traces so rotatrace -spans analyses simulator runs too.
 	KindSimJob = defineKind("sim.job",

@@ -343,6 +343,22 @@ func (l *Ledger) Owned(loc resource.Location) bool {
 	return l.owned == nil || l.owned[loc]
 }
 
+// OwnedLocations lists the locations this node currently owns, sorted.
+// Nil in standalone mode (ownership is unrestricted there).
+func (l *Ledger) OwnedLocations() []resource.Location {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.owned == nil {
+		return nil
+	}
+	out := make([]resource.Location, 0, len(l.owned))
+	for loc := range l.owned {
+		out = append(out, loc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Admit claims the job's name, locks the shards of its resource
 // footprint, runs the policy against the merged free availability, and on
 // admission reserves the witness plan shard by shard. The returned

@@ -81,6 +81,12 @@ type LoadReport struct {
 	// is a retry within the same request, so the Admitted + Rejected +
 	// Errors + Queries = Requests accounting is unaffected.
 	Redirects int
+	// ReleaseErrors counts admitted jobs whose follow-up release failed.
+	// Kept apart from Errors: the admission itself succeeded and is
+	// already counted, so folding these into Errors would double-count
+	// the request (Admitted + Rejected + Errors + Queries == Requests
+	// must hold exactly).
+	ReleaseErrors int
 	// FirstError is the first request failure observed (empty when
 	// Errors is zero) — a sample to diagnose what the count is hiding.
 	FirstError string
@@ -132,7 +138,10 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 	client := &http.Client{Timeout: cfg.Timeout}
 	hist := metrics.NewHistogram()
 	qhist := metrics.NewHistogram()
-	var next, admitted, rejected, errs, released, unexplained, queries, queryHolds, redirects atomic.Int64
+	var next, admitted, rejected, errs, released, releaseErrs, unexplained, queries, queryHolds, redirects atomic.Int64
+	// firstErr keeps the first failure as a plain string: atomic.Value
+	// panics when concurrent CompareAndSwap calls race with different
+	// concrete error types, and under fault injection they do.
 	var firstErr atomic.Value
 	// owners caches ownership learned from 421 redirects (location ->
 	// base URL), shared by all clients so one redirect reroutes the
@@ -187,7 +196,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 					qhist.Observe(float64(time.Since(reqStart).Microseconds()))
 					if err != nil {
 						errs.Add(1)
-						firstErr.CompareAndSwap(nil, err)
+						firstErr.CompareAndSwap(nil, err.Error())
 						continue
 					}
 					queries.Add(1)
@@ -202,7 +211,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 				hist.Observe(float64(latencyUS))
 				if err != nil {
 					errs.Add(1)
-					firstErr.CompareAndSwap(nil, err)
+					firstErr.CompareAndSwap(nil, err.Error())
 					continue
 				}
 				noteSlow(SlowRequest{Trace: trace, Job: job.Dist.Name, Admit: resp.Admit, LatencyUS: latencyUS})
@@ -216,8 +225,8 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 				admitted.Add(1)
 				if cfg.ReleaseAdmitted {
 					if err := releaseFollowingRedirects(ctx, client, admitURL, job, &owners, &redirects); err != nil {
-						errs.Add(1)
-						firstErr.CompareAndSwap(nil, err)
+						releaseErrs.Add(1)
+						firstErr.CompareAndSwap(nil, err.Error())
 					} else {
 						released.Add(1)
 					}
@@ -231,20 +240,21 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 	sum := hist.Summary()
 	qsum := qhist.Summary()
 	report := LoadReport{
-		Requests:   cfg.Requests,
-		Admitted:   int(admitted.Load()),
-		Rejected:   int(rejected.Load()),
-		Errors:     int(errs.Load()),
-		Released:   int(released.Load()),
-		Queries:    int(queries.Load()),
-		QueryHolds: int(queryHolds.Load()),
-		Redirects:  int(redirects.Load()),
-		Duration:   elapsed,
-		MeanUS:     sum.Mean,
-		P50US:      sum.P50,
-		P90US:      sum.P90,
-		P99US:      sum.P99,
-		MaxUS:      sum.Max,
+		Requests:      cfg.Requests,
+		Admitted:      int(admitted.Load()),
+		Rejected:      int(rejected.Load()),
+		Errors:        int(errs.Load()),
+		Released:      int(released.Load()),
+		ReleaseErrors: int(releaseErrs.Load()),
+		Queries:       int(queries.Load()),
+		QueryHolds:    int(queryHolds.Load()),
+		Redirects:     int(redirects.Load()),
+		Duration:      elapsed,
+		MeanUS:        sum.Mean,
+		P50US:         sum.P50,
+		P90US:         sum.P90,
+		P99US:         sum.P99,
+		MaxUS:         sum.Max,
 
 		QueryMeanUS: qsum.Mean,
 		QueryP50US:  qsum.P50,
@@ -256,8 +266,8 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 	if elapsed > 0 {
 		report.Throughput = float64(cfg.Requests) / elapsed.Seconds()
 	}
-	if err, ok := firstErr.Load().(error); ok {
-		report.FirstError = err.Error()
+	if msg, ok := firstErr.Load().(string); ok {
+		report.FirstError = msg
 	}
 	if err := ctx.Err(); err != nil {
 		return report, err
@@ -266,9 +276,9 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 		return report, fmt.Errorf("server: load accounting off: %d+%d+%d+%d != %d",
 			report.Admitted, report.Rejected, report.Errors, report.Queries, report.Requests)
 	}
-	if err, ok := firstErr.Load().(error); ok && report.Admitted+report.Rejected+report.Queries == 0 {
+	if msg, ok := firstErr.Load().(string); ok && report.Admitted+report.Rejected+report.Queries == 0 {
 		// Nothing got through at all; surface why.
-		return report, fmt.Errorf("server: load failed entirely: %w", err)
+		return report, fmt.Errorf("server: load failed entirely: %s", msg)
 	}
 	return report, nil
 }
