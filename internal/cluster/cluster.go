@@ -232,6 +232,12 @@ func New(cfg Config) (*Node, error) {
 	if cfg.EvictPhi > 0 {
 		dopts.EvictPhi = cfg.EvictPhi
 	}
+	if cfg.GossipInterval > 0 {
+		// Gossip receipt is the heartbeat, so the first-heartbeat
+		// estimate for a roster member we have never heard from is a
+		// wide multiple of the gossip cadence.
+		dopts.BootstrapInterval = 5 * cfg.GossipInterval
+	}
 	n := &Node{
 		cfg:    cfg,
 		byID:   make(map[string]*peerState),

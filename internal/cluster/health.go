@@ -26,11 +26,12 @@ import (
 // that advertisement is an *accusation*, and the accusation ledger is
 // what turns local suspicion into cluster-level consensus:
 //
-//   - a peer is only auto-evicted when a quorum (majority of the
-//     surviving roster) independently accuses it within a freshness
-//     window, so one node with a broken link cannot evict a healthy
-//     peer, and the minority side of a partition can never muster the
-//     votes to evict the majority;
+//   - a peer is only auto-evicted when a quorum (strict majority of
+//     the FULL roster, victim included) independently accuses it
+//     within a freshness window, so one node with a broken link cannot
+//     evict a healthy peer, no minority of a partition can ever evict
+//     across the cut, and an exact even split stalls on both sides
+//     instead of producing two live clusters;
 //
 //   - the steward of the eviction is deterministic — the warm standby
 //     of the victim's first owned location (the node already holding
@@ -198,6 +199,16 @@ func (n *Node) healthTick(ctx context.Context, now time.Time) {
 			n.detector.Forget(id)
 		}
 	}
+	// Register every roster member with the detector, so one we have
+	// never heard from (a joiner announced by a steward that died
+	// before the joiner ever gossiped) accrues bootstrap suspicion
+	// instead of holding φ = 0 forever — with the full-roster quorum
+	// an unjudgeable member could otherwise wedge every eviction.
+	for _, m := range tbl.Members {
+		if m.ID != n.self.ID {
+			n.detector.Expect(m.ID, now)
+		}
+	}
 	assessments := n.detector.Evaluate(now)
 	var suspects []string
 	dead := make([]health.Assessment, 0, 1)
@@ -226,8 +237,9 @@ func (n *Node) healthTick(ctx context.Context, now time.Time) {
 	n.hmu.Unlock()
 	n.suspectedNow.Store(uint64(len(suspects)))
 
-	// Quorum eviction needs at least 3 members: with 2, both sides of
-	// any split would "win" their 1-of-1 vote and evict each other.
+	// Quorum eviction needs at least 3 members: with 2, the full-roster
+	// quorum is 2 and the single survivor can never muster it, so the
+	// guard only spares pointless bookkeeping.
 	if !n.autoEvict || len(tbl.Members) < 3 || n.draining() {
 		return
 	}
@@ -245,17 +257,27 @@ func (n *Node) healthTick(ctx context.Context, now time.Time) {
 			}
 		}
 		n.hmu.Unlock()
-		survivors := len(tbl.Members) - 1
-		quorum := survivors/2 + 1
+		// Quorum over the FULL roster, victim included. Counting only
+		// survivors (len-1) looks natural but is unsafe: in an even N|N
+		// split of a 2N-node cluster each half has N accusers against a
+		// survivor-majority of N, so both halves would evict the other
+		// and admit against the same capacity. Against N/2+1 an exact
+		// half can never win — a tied split stalls safely (operator
+		// force-leave remains available) while every single-failure case
+		// still evicts.
+		quorum := len(tbl.Members)/2 + 1
 		if len(accusers) < quorum {
 			continue
 		}
-		// If the dead node journaled a leave, its victim cannot steward
-		// the eviction: the repair would publish a table excluding the
-		// repairer itself, which its own registry refuses. Every quorum
-		// member holds the same gossiped intent, so the exclusion is as
-		// deterministic as the rest of the election.
-		if it := n.intentFor(victim); it != nil && it.Kind == membership.IntentLeave {
+		// The member whose membership the dead steward was choreographing
+		// cannot steward the eviction: a leave victim would have to
+		// publish a table excluding itself (which its own registry
+		// refuses), and a joiner's own half-applied membership is exactly
+		// what the repair must adjudicate — its failed JoinCluster call
+		// has returned an error and it may abandon the join entirely.
+		// Every quorum member holds the same gossiped intent, so the
+		// exclusion is as deterministic as the rest of the election.
+		if it := n.intentFor(victim); it != nil {
 			bad[it.Member.ID] = true
 		}
 		steward := n.electSteward(tbl, victim, bad, accusers)

@@ -188,7 +188,11 @@ func (n *Network) plan(src, dstHost string) (r Rule, dst string, cut bool, drop,
 	if !ok {
 		dst = dstHost // unregistered target: rules may still match by host
 	}
-	if n.side[src] != n.side[dst] {
+	// Partitions only cut traffic between registered nodes. An
+	// unregistered destination would implicitly land in group 0, and a
+	// node assigned to any other group would then drop ALL traffic to
+	// endpoints outside the cluster wire, not just to its peers.
+	if ok && n.side[src] != n.side[dst] {
 		return Rule{}, dst, true, 0, 0
 	}
 	for _, k := range [4]pair{{src, dst}, {src, Wildcard}, {Wildcard, dst}, {Wildcard, Wildcard}} {

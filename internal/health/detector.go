@@ -36,8 +36,10 @@ const (
 	// Suspect: φ crossed SuspectPhi and has not yet fallen back below
 	// the reinstate level (SuspectPhi/2 — hysteresis).
 	Suspect
-	// Dead: φ crossed EvictPhi; the peer is a candidate for quorum
-	// eviction. Only a fresh heartbeat revives it.
+	// Dead: φ crossed EvictPhi against a real inter-arrival baseline
+	// (≥ MinSamples observations — bootstrap suspicion caps at
+	// Suspect); the peer is a candidate for quorum eviction. Only a
+	// fresh heartbeat revives it.
 	Dead
 )
 
@@ -68,10 +70,20 @@ type Options struct {
 	// WindowSize bounds the per-peer inter-arrival history (ring
 	// buffer). Hayashibara used 1000; 64 is plenty at gossip cadence.
 	WindowSize int
-	// MinSamples gates suspicion: until a peer has this many
-	// inter-arrival samples the detector reports Alive with φ = 0,
-	// so a freshly joined peer is not evicted for being new.
+	// MinSamples gates the fitted distribution: until a peer has this
+	// many inter-arrival samples its φ is computed against the wide
+	// BootstrapInterval estimate instead of the (still meaningless)
+	// fitted one, so a freshly joined peer is shielded from
+	// hair-trigger suspicion without being unjudgeable.
 	MinSamples int
+	// BootstrapInterval is the synthetic inter-arrival estimate (with
+	// standard deviation BootstrapInterval/4, floored by MinStdDev)
+	// used while a peer has fewer than MinSamples real observations —
+	// Akka's "first heartbeat estimate". Without it a roster member
+	// that never produced a single heartbeat (a joiner announced by a
+	// steward that died immediately, say) would hold φ = 0 forever and
+	// could never be suspected, wedging quorum eviction. Default 1s.
+	BootstrapInterval time.Duration
 	// MinStdDev floors the fitted standard deviation so a perfectly
 	// regular heartbeat stream (σ→0 on loopback) does not make φ
 	// explode at the first microsecond of delay.
@@ -83,11 +95,12 @@ type Options struct {
 // the Akka/Cassandra convention of 8–12 for LAN deployments.
 func Defaults() Options {
 	return Options{
-		SuspectPhi: 8,
-		EvictPhi:   12,
-		WindowSize: 64,
-		MinSamples: 3,
-		MinStdDev:  10 * time.Millisecond,
+		SuspectPhi:        8,
+		EvictPhi:          12,
+		WindowSize:        64,
+		MinSamples:        3,
+		MinStdDev:         10 * time.Millisecond,
+		BootstrapInterval: time.Second,
 	}
 }
 
@@ -103,6 +116,9 @@ func (o Options) withFloors() Options {
 	}
 	if o.MinStdDev <= 0 {
 		o.MinStdDev = 10 * time.Millisecond
+	}
+	if o.BootstrapInterval <= 0 {
+		o.BootstrapInterval = time.Second
 	}
 	if o.EvictPhi < o.SuspectPhi {
 		o.EvictPhi = o.SuspectPhi
@@ -211,8 +227,22 @@ func (d *Detector) Observe(peer string, at time.Time) {
 	d.mu.Unlock()
 }
 
+// Expect registers peer as a roster member that ought to be
+// heartbeating, without recording a heartbeat. A peer first seen here
+// starts its silence clock at `at` and is judged against the
+// BootstrapInterval estimate until real inter-arrivals accumulate, so a
+// member that never speaks at all still becomes suspectable. Peers the
+// detector already tracks are untouched.
+func (d *Detector) Expect(peer string, at time.Time) {
+	d.mu.Lock()
+	if _, ok := d.peers[peer]; !ok {
+		d.peers[peer] = &history{last: at}
+	}
+	d.mu.Unlock()
+}
+
 // Phi returns the current suspicion level for peer at time now, without
-// mutating state. Unknown peers and peers below MinSamples report 0.
+// mutating state. Unknown peers report 0.
 func (d *Detector) Phi(peer string, now time.Time) float64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -224,7 +254,7 @@ func (d *Detector) Phi(peer string, now time.Time) float64 {
 }
 
 func (d *Detector) phiLocked(h *history, now time.Time) float64 {
-	if h.count() < d.opts.MinSamples || h.last.IsZero() {
+	if h.last.IsZero() {
 		return 0
 	}
 	elapsed := now.Sub(h.last).Seconds()
@@ -232,6 +262,17 @@ func (d *Detector) phiLocked(h *history, now time.Time) float64 {
 		return 0
 	}
 	mean, std := h.meanStdDev(d.opts.MinStdDev.Seconds())
+	if h.count() < d.opts.MinSamples {
+		// Bootstrap: too little real history for the fit to mean
+		// anything. Judge silence against the deliberately wide
+		// first-heartbeat estimate instead — suspicion still accrues,
+		// just slowly, so a peer that never heartbeats at all cannot
+		// hide at φ = 0 forever.
+		mean = d.opts.BootstrapInterval.Seconds()
+		if std = mean / 4; std < d.opts.MinStdDev.Seconds() {
+			std = d.opts.MinStdDev.Seconds()
+		}
+	}
 	// P(X > elapsed) for X ~ N(mean, std²), via the complementary
 	// error function; φ = -log10 of that tail probability.
 	p := 0.5 * math.Erfc((elapsed-mean)/(std*math.Sqrt2))
@@ -243,9 +284,10 @@ func (d *Detector) phiLocked(h *history, now time.Time) float64 {
 
 // Evaluate advances every peer's state machine to time now and returns
 // the assessments, sorted by peer ID for deterministic iteration.
-// Transitions: Alive→Suspect at SuspectPhi, anything→Dead at EvictPhi,
-// Suspect→Alive only below SuspectPhi/2 (hysteresis); Dead→Alive only
-// via a fresh Observe.
+// Transitions: Alive→Suspect at SuspectPhi, anything→Dead at EvictPhi
+// once a real baseline exists (below MinSamples the bootstrap estimate
+// caps the verdict at Suspect), Suspect→Alive only below SuspectPhi/2
+// (hysteresis); Dead→Alive only via a fresh Observe.
 func (d *Detector) Evaluate(now time.Time) []Assessment {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -253,7 +295,14 @@ func (d *Detector) Evaluate(now time.Time) []Assessment {
 	for peer, h := range d.peers {
 		phi := d.phiLocked(h, now)
 		switch {
-		case phi >= d.opts.EvictPhi:
+		case phi >= d.opts.EvictPhi && h.count() >= d.opts.MinSamples:
+			// Dead needs a real inter-arrival baseline: suspicion
+			// accrued against the synthetic bootstrap estimate caps at
+			// Suspect. A bootstrapped peer can therefore be *accused*
+			// (its silence counts toward someone else's quorum) but
+			// never locally declared dead — so a freshly (re)joined
+			// member that is merely slow to gossip is not evicted, with
+			// its standbys still cold, on synthetic evidence alone.
 			if h.state != Dead {
 				if h.sinceSuspect.IsZero() {
 					h.sinceSuspect = now

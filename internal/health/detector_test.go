@@ -41,18 +41,46 @@ func TestPhiGrowsWithSilence(t *testing.T) {
 	}
 }
 
-func TestMinSamplesGate(t *testing.T) {
-	d := NewDetector(Options{SuspectPhi: 4, EvictPhi: 8, MinSamples: 3})
-	// Two heartbeats → one inter-arrival sample: below the gate.
+func TestBootstrapBelowMinSamples(t *testing.T) {
+	d := NewDetector(Options{SuspectPhi: 4, EvictPhi: 8, MinSamples: 3,
+		BootstrapInterval: time.Second})
+	// Two heartbeats → one inter-arrival sample: below the gate, so φ
+	// is judged against the wide bootstrap estimate, not the 50ms fit.
 	d.Observe("new", t0)
 	d.Observe("new", t0.Add(50*time.Millisecond))
-	if phi := d.Phi("new", t0.Add(time.Hour)); phi != 0 {
-		t.Fatalf("under-sampled peer reports φ=%.2f, want 0", phi)
+	if phi := d.Phi("new", t0.Add(350*time.Millisecond)); phi >= 4 {
+		t.Fatalf("under-sampled peer suspect after 300ms of silence (φ=%.2f); bootstrap must be forgiving", phi)
 	}
-	if as := d.Evaluate(t0.Add(time.Hour)); as[0].State != Alive {
-		t.Fatalf("under-sampled peer is %v, want alive", as[0].State)
+	// ...but prolonged silence still accrues: an under-sampled peer is
+	// judgeable, not invisible (a never-gossiping roster member must be
+	// accusable, or it wedges the full-roster quorum).
+	if phi := d.Phi("new", t0.Add(time.Hour)); phi < 8 {
+		t.Fatalf("under-sampled peer φ=%.2f after an hour of silence, want ≥ 8 (bootstrap estimate must accrue)", phi)
 	}
-	// Unknown peer is not suspected either.
+	// Bootstrap suspicion caps at Suspect: Dead — the verdict that can
+	// trigger an eviction — needs MinSamples of real history, so a
+	// rejoined member slow to ship its first gossips cannot be evicted
+	// on the synthetic curve.
+	for _, a := range d.Evaluate(t0.Add(time.Hour)) {
+		if a.Peer == "new" && a.State != Suspect {
+			t.Fatalf("under-sampled silent peer is %v, want Suspect (bootstrap must not reach Dead)", a.State)
+		}
+	}
+	// Expect starts the silence clock without a heartbeat: same curve.
+	d.Expect("announced", t0)
+	if phi := d.Phi("announced", t0.Add(350*time.Millisecond)); phi >= 4 {
+		t.Fatalf("expected peer suspect after 350ms (φ=%.2f), too eager", phi)
+	}
+	if phi := d.Phi("announced", t0.Add(time.Hour)); phi < 8 {
+		t.Fatalf("expected-but-silent peer φ=%.2f after an hour, want ≥ 8", phi)
+	}
+	// Expect never clobbers a live history: `new`'s last heartbeat
+	// stays where Observe put it.
+	d.Expect("new", t0.Add(2*time.Hour))
+	if phi := d.Phi("new", t0.Add(time.Hour)); phi < 8 {
+		t.Fatalf("Expect reset a tracked peer's history (φ=%.2f)", phi)
+	}
+	// Unknown peer is not suspected.
 	if phi := d.Phi("ghost", t0.Add(time.Hour)); phi != 0 {
 		t.Fatalf("unknown peer φ=%.2f, want 0", phi)
 	}

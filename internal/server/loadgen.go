@@ -87,8 +87,9 @@ type LoadReport struct {
 	// the request (Admitted + Rejected + Errors + Queries == Requests
 	// must hold exactly).
 	ReleaseErrors int
-	// FirstError is the first request failure observed (empty when
-	// Errors is zero) — a sample to diagnose what the count is hiding.
+	// FirstError is the first failure observed — a request failure or a
+	// failed release — kept as a sample to diagnose what the counts are
+	// hiding. Empty only when Errors and ReleaseErrors are both zero.
 	FirstError string
 
 	Duration   time.Duration
