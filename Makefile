@@ -40,7 +40,7 @@ metrics-lint:
 # drift more than the tolerance between consecutive PRs (same-machine
 # runs; see EXPERIMENTS.md E15).
 bench-gate:
-	$(GO) run ./cmd/benchjson -compare BENCH_PR7.json BENCH_PR8.json -tolerance 15%
+	$(GO) run ./cmd/benchjson -compare BENCH_PR8.json BENCH_PR9.json -tolerance 15%
 
 # End-to-end: daemon + ≥1000 requests through the HTTP API.
 selftest:
@@ -74,14 +74,15 @@ query-selftest:
 chaos-selftest:
 	$(GO) run ./cmd/rotad -selftest -chaos -cluster 3 -requests 150 -clients 4 -locations 6
 
-# Regenerates BENCH_PR8.json at the repo root: every benchmark's
+# Regenerates BENCH_PR9.json at the repo root: every benchmark's
 # ops/sec, ns/op and allocs/op, including the loaded-ledger query
-# benchmarks (E14) and the handoff-under-load benchmark (E15). Three
+# benchmarks (E14), the handoff-under-load benchmark (E15), the admit
+# hot-path matrix and the rotaload saturation p50/p99 rows (E17). Three
 # runs per benchmark; benchjson keeps each one's fastest (noise only
 # slows a run down), so the ledger is stable enough for bench-gate.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=200ms -count=3 -run '^$$' ./... | $(GO) run ./cmd/benchjson > BENCH_PR8.json
-	@cat BENCH_PR8.json | head -c 400; echo
+	$(GO) test -bench=. -benchmem -benchtime=200ms -count=3 -run '^$$' ./... | $(GO) run ./cmd/benchjson > BENCH_PR9.json
+	@cat BENCH_PR9.json | head -c 400; echo
 
 clean:
 	$(GO) clean ./...

@@ -30,6 +30,10 @@ type Record struct {
 	OpsPerSec   float64 `json:"ops_per_sec"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units (e.g. the saturation
+	// benchmark's p50-us / p99-us latency rows), keyed by unit. Only
+	// ns/op gates -compare; extras are informational.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 func main() {
@@ -116,6 +120,12 @@ func parse(r io.Reader) ([]Record, error) {
 				rec.BytesPerOp = v
 			case "allocs/op":
 				rec.AllocsPerOp = v
+			default:
+				// MB/s and custom b.ReportMetric units.
+				if rec.Extra == nil {
+					rec.Extra = map[string]float64{}
+				}
+				rec.Extra[fields[i+1]] = v
 			}
 		}
 		if rec.NsPerOp == 0 {

@@ -50,6 +50,25 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestParseCapturesCustomMetrics(t *testing.T) {
+	in := "pkg: repro/internal/server\n" +
+		"BenchmarkRotaloadSaturation/clients=64-8   3   402000000 ns/op   1250 p50-us   9800 p99-us   412 admitted\n"
+	recs, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("parsed %d records, want 1: %+v", len(recs), recs)
+	}
+	r := recs[0]
+	if r.NsPerOp != 402000000 {
+		t.Errorf("ns/op = %v", r.NsPerOp)
+	}
+	if r.Extra["p50-us"] != 1250 || r.Extra["p99-us"] != 9800 || r.Extra["admitted"] != 412 {
+		t.Errorf("custom ReportMetric units not captured: %+v", r.Extra)
+	}
+}
+
 func TestParseKeepsFastestOfRepeatedRuns(t *testing.T) {
 	in := "pkg: repro/internal/server\n" +
 		"BenchmarkQueryParse-8   10000   3500 ns/op\n" +
@@ -140,5 +159,30 @@ func TestCompareGate(t *testing.T) {
 	buf.Reset()
 	if code := runCompare(&buf, old, filepath.Join(t.TempDir(), "missing.json"), "15%"); code != 2 {
 		t.Fatalf("missing ledger: exit %d, want 2", code)
+	}
+}
+
+// A PR that only adds benchmarks must sail through the gate: the new
+// rows are informational (there is no baseline to regress against).
+func TestCompareNewOnlyBenchmarksPass(t *testing.T) {
+	old := ledgerFile(t, []Record{
+		{Pkg: "repro/internal/server", Name: "BenchmarkA", NsPerOp: 1000},
+	})
+	new := ledgerFile(t, []Record{
+		{Pkg: "repro/internal/server", Name: "BenchmarkA", NsPerOp: 1000},
+		{Pkg: "repro/internal/server", Name: "BenchmarkAdmitHot/conc=64", NsPerOp: 900},
+		{Pkg: "repro/internal/server", Name: "BenchmarkRotaloadSaturation", NsPerOp: 4e8,
+			Extra: map[string]float64{"p99-us": 9800}},
+	})
+	var buf strings.Builder
+	if code := runCompare(&buf, old, new, "15%"); code != 0 {
+		t.Fatalf("NEW-only benchmarks failed the gate: exit %d, want 0\n%s", code, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "BenchmarkAdmitHot/conc=64 only in") {
+		t.Errorf("NEW-only benchmark not noted:\n%s", out)
+	}
+	if strings.Contains(out, "REGRESSION") {
+		t.Errorf("unexpected regression line:\n%s", out)
 	}
 }

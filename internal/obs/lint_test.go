@@ -50,9 +50,17 @@ var statFamilies = map[string]string{
 	"in_flight":           "rota_inflight_decisions",
 	"holds":               "rota_ledger_holds",
 	"two_phase":           recurse,
+	"admit_hot":           recurse,
 	"decision_latency_us": "rota_decision_latency_us",
 	"spans":               recurse,
 	"query":               recurse,
+	// server.AdmitHotCounters
+	"batches":         "rota_admit_batches_total",
+	"batched_jobs":    "rota_admit_batched_jobs_total",
+	"plan_retries":    "rota_admit_plan_retries_total",
+	"plan_fallbacks":  "rota_admit_plan_fallbacks_total",
+	"free_patches":    "rota_free_view_patches_total",
+	"free_recomputes": "rota_free_view_recomputes_total",
 	// server.QueryStats
 	"queries":          "rota_queries_total",
 	"epoch":            "rota_ledger_epoch",

@@ -55,12 +55,15 @@ var (
 		"witness-plan search (schedule.Concurrent) over the free view",
 		"job", "job name",
 		"actors", "number of actors whose phases were searched",
+		"batch", "admission batch size, when decided in a batch of >1",
+		"attempt", "optimistic replan attempt, when >0 (snapshot conflicted)",
 		"error", "infeasibility reason when no witness exists")
 
 	KindReserve = defineKind("reserve",
 		"ledger shard locking + commitment write for an admitted plan",
 		"job", "job name",
-		"shards", "number of location shards touched")
+		"shards", "number of location shards touched",
+		"attempt", "optimistic validate attempt, when >0 (status reject = conflict, retried)")
 
 	KindCoordinate = defineKind("coordinate",
 		"cross-node admission: merged free view, split demand, 2PC",

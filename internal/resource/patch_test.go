@@ -1,0 +1,187 @@
+package resource
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/interval"
+)
+
+func patchTerm(units int64, lt LocatedType, start, end interval.Time) Term {
+	return NewTerm(FromUnits(units), lt, interval.New(start, end))
+}
+
+// randomPatchSet builds a small random set over a few located types.
+func randomPatchSet(rng *rand.Rand, locs []Location) Set {
+	var s Set
+	n := 1 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		loc := locs[rng.Intn(len(locs))]
+		lt := CPUAt(loc)
+		if rng.Intn(2) == 0 {
+			lt = MemoryAt(loc)
+		}
+		start := interval.Time(rng.Intn(50))
+		end := start + 1 + interval.Time(rng.Intn(40))
+		s.Add(patchTerm(int64(1+rng.Intn(8)), lt, start, end))
+	}
+	return s
+}
+
+func TestPatchUnionMatchesUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	locs := []Location{"l1", "l2"}
+	for i := 0; i < 200; i++ {
+		a := randomPatchSet(rng, locs)
+		b := randomPatchSet(rng, locs)
+		aBefore, bBefore := a.Clone(), b.Clone()
+		got := a.PatchUnion(b)
+		want := a.Union(b)
+		if !got.Equal(want) {
+			t.Fatalf("iter %d: PatchUnion %s != Union %s", i, got, want)
+		}
+		if !a.Equal(aBefore) || !b.Equal(bBefore) {
+			t.Fatalf("iter %d: PatchUnion mutated an input", i)
+		}
+	}
+}
+
+func TestPatchSubtractMatchesSubtract(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	locs := []Location{"l1", "l2"}
+	for i := 0; i < 200; i++ {
+		part := randomPatchSet(rng, locs)
+		base := part.Union(randomPatchSet(rng, locs)) // guarantees dominance
+		baseBefore, partBefore := base.Clone(), part.Clone()
+		got, err := base.PatchSubtract(part)
+		if err != nil {
+			t.Fatalf("iter %d: PatchSubtract of dominated part: %v", i, err)
+		}
+		want, err := base.Subtract(part)
+		if err != nil {
+			t.Fatalf("iter %d: Subtract: %v", i, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("iter %d: PatchSubtract %s != Subtract %s", i, got, want)
+		}
+		if !base.Equal(baseBefore) || !part.Equal(partBefore) {
+			t.Fatalf("iter %d: PatchSubtract mutated an input", i)
+		}
+	}
+}
+
+func TestPatchSubtractInsufficient(t *testing.T) {
+	var a, b Set
+	a.Add(patchTerm(2, CPUAt("l1"), 0, 10))
+	b.Add(patchTerm(3, CPUAt("l1"), 0, 10))
+	if _, err := a.PatchSubtract(b); err == nil {
+		t.Fatal("PatchSubtract of a dominating subtrahend must fail")
+	}
+}
+
+func TestAddSetMatchesUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	locs := []Location{"l1", "l2", "l3"}
+	for i := 0; i < 200; i++ {
+		a := randomPatchSet(rng, locs)
+		b := randomPatchSet(rng, locs)
+		bBefore := b.Clone()
+		want := a.Union(b)
+		a.AddSet(b)
+		if !a.Equal(want) {
+			t.Fatalf("iter %d: AddSet %s != Union %s", i, a, want)
+		}
+		if !b.Equal(bBefore) {
+			t.Fatalf("iter %d: AddSet mutated its argument", i)
+		}
+	}
+	// The zero value grows in place too.
+	var zero Set
+	var one Set
+	one.Add(patchTerm(1, CPUAt("l1"), 0, 5))
+	zero.AddSet(one)
+	if !zero.Equal(one) {
+		t.Fatalf("AddSet into zero set = %s, want %s", zero, one)
+	}
+}
+
+func TestTrimmedBeforeMatchesTrimBefore(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	locs := []Location{"l1", "l2"}
+	for i := 0; i < 200; i++ {
+		s := randomPatchSet(rng, locs)
+		cut := interval.Time(rng.Intn(60))
+		before := s.Clone()
+		got := s.TrimmedBefore(cut)
+		want := s.Clone()
+		want.TrimBefore(cut)
+		if !got.Equal(want) {
+			t.Fatalf("iter %d: TrimmedBefore(%d) %s != TrimBefore %s", i, cut, got, want)
+		}
+		if !s.Equal(before) {
+			t.Fatalf("iter %d: TrimmedBefore mutated the receiver", i)
+		}
+	}
+}
+
+// The sharing contract: mutating a set derived by a patch op (via the
+// documented owner-only mutators applied to a *fresh clone*) must never
+// be observable through the source — and, critically, profile-level ops
+// on the derived set never write into shared segment storage.
+func TestPatchSharingIsCopyOnWrite(t *testing.T) {
+	var base Set
+	base.Add(patchTerm(4, CPUAt("l1"), 0, 20))
+	base.Add(patchTerm(4, MemoryAt("l2"), 0, 20))
+	var part Set
+	part.Add(patchTerm(1, CPUAt("l1"), 0, 10))
+
+	free, err := base.PatchSubtract(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := free.Clone()
+
+	// Further patches on top of the derived set (the ledger's pattern:
+	// reserve, release, trim) must leave the earlier snapshot intact.
+	free2, err := free.PatchSubtract(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free3 := free2.PatchUnion(part)
+	_ = free3.TrimmedBefore(5)
+	if !free.Equal(snapshot) {
+		t.Fatalf("patching on top of a derived set changed it: %s != %s", free, snapshot)
+	}
+	if !free3.Equal(free) {
+		t.Fatalf("subtract-then-union did not round-trip: %s != %s", free3, free)
+	}
+}
+
+func TestEachTypeUntil(t *testing.T) {
+	var s Set
+	s.Add(patchTerm(1, CPUAt("l1"), 0, 5))
+	s.Add(patchTerm(1, MemoryAt("l1"), 0, 5))
+	s.Add(patchTerm(1, CPUAt("l2"), 0, 5))
+	seen := map[LocatedType]bool{}
+	s.EachTypeUntil(func(lt LocatedType) bool {
+		seen[lt] = true
+		return true
+	})
+	if len(seen) != 3 {
+		t.Fatalf("visited %d types, want 3", len(seen))
+	}
+	calls := 0
+	s.EachTypeUntil(func(LocatedType) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("early stop made %d calls, want 1", calls)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s.EachTypeUntil(func(LocatedType) bool { return true })
+	})
+	if allocs != 0 {
+		t.Fatalf("EachTypeUntil allocates %.1f per run, want 0", allocs)
+	}
+}

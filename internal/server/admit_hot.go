@@ -1,0 +1,573 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/interval"
+	"repro/internal/obs/span"
+	"repro/internal/resource"
+	"repro/internal/workload"
+)
+
+// The admission hot path: optimistic epoch-validated planning plus
+// per-footprint batching of the reserve phase.
+//
+// The legacy path ran the Theorem-4 witness-plan search while holding
+// every footprint shard's lock, so concurrent admits to one location
+// serialized on the (expensive) plan search. Here each admission:
+//
+//  1. snapshots — locks the footprint shards just long enough to read
+//     the cached free view and each shard's mutation version;
+//  2. plans — runs admission.Decide against the snapshot outside any
+//     lock, so plan searches for the same shard proceed in parallel;
+//  3. validates and reserves — re-locks the shards and applies the plan
+//     if the snapshot versions are unchanged (the plan fits by
+//     construction: the planner only emits plans that fit the view it
+//     searched) or, when a concurrent mutation moved the versions, if
+//     the plan's demand still fits the current free view. A miss
+//     replans from a fresh snapshot, bounded by admitRetries, before a
+//     final attempt that plans under the locks (the legacy path, which
+//     cannot conflict).
+//
+// Soundness is unchanged from the lock-holding path: a reservation is
+// only ever applied after a fit check (version-unchanged or explicit
+// dominance) made under the shard locks, so Θ dominates reserved at
+// every step — Theorem 4's no-overcommitment invariant is enforced at
+// reserve time exactly as before; optimism only moves the *search*
+// outside the critical section, and a stale plan costs a retry, never
+// an overcommit.
+//
+// Batching: concurrent admissions whose footprints name the same
+// location set combine their validate-and-reserve phases — the first
+// becomes the batch leader, drains the group queue, and validates the
+// whole batch under one lock acquisition with one epoch bump, handing
+// leadership to the oldest waiter when it finishes. Decisions stay
+// per-job; members whose plans no longer fit are conflicted out
+// individually and replan.
+
+// defaultAdmitRetries bounds the optimistic attempts before the
+// plan-under-locks fallback.
+const defaultAdmitRetries = 3
+
+// hotCounters counts admission hot-path events. All fields are atomic;
+// the struct lives on the Ledger and is shared with every shard.
+type hotCounters struct {
+	batches        atomic.Uint64 // validate-and-reserve batches executed
+	batchedJobs    atomic.Uint64 // jobs decided through the hot path
+	planRetries    atomic.Uint64 // plans re-run after a validation conflict
+	planFallbacks  atomic.Uint64 // jobs that fell back to planning under locks
+	freePatches    atomic.Uint64 // incremental free-view patches applied
+	freeRecomputes atomic.Uint64 // full θ∖reserved recomputes
+}
+
+// AdmitHotCounters is the JSON shape of the hot-path counters for
+// /v1/stats.
+type AdmitHotCounters struct {
+	Batches        uint64 `json:"batches"`
+	BatchedJobs    uint64 `json:"batched_jobs"`
+	PlanRetries    uint64 `json:"plan_retries"`
+	PlanFallbacks  uint64 `json:"plan_fallbacks"`
+	FreePatches    uint64 `json:"free_patches"`
+	FreeRecomputes uint64 `json:"free_recomputes"`
+}
+
+// AdmitHot returns the admission hot-path counters.
+func (l *Ledger) AdmitHot() AdmitHotCounters {
+	return AdmitHotCounters{
+		Batches:        l.hot.batches.Load(),
+		BatchedJobs:    l.hot.batchedJobs.Load(),
+		PlanRetries:    l.hot.planRetries.Load(),
+		PlanFallbacks:  l.hot.planFallbacks.Load(),
+		FreePatches:    l.hot.freePatches.Load(),
+		FreeRecomputes: l.hot.freeRecomputes.Load(),
+	}
+}
+
+// admitOutcome is one admission's result from a validate batch: a
+// terminal decision/error, or retry — the member's plan no longer fits
+// and it must replan.
+type admitOutcome struct {
+	dec   admission.Decision
+	err   error
+	retry bool
+}
+
+// admitWork is one admission in flight through the hot path. The claim
+// was placed in l.commits by AdmitCtx before the work entered the
+// pipeline; whoever reaches a terminal outcome either finalizes or
+// abandons it.
+type admitWork struct {
+	ctx    context.Context
+	policy admission.Policy
+	job    workload.Job
+	now    interval.Time
+	claim  *commitment
+	done   chan admitOutcome // buffered(1); one write per validate round
+	lead   chan struct{}     // buffered(1); leadership handoff signal
+
+	// Plan state for the current attempt, set by planOne before the
+	// work enters a validate batch.
+	dec    admission.Decision
+	demand resource.Set
+	parts  map[resource.Location]resource.Set // nil for single-shard footprints
+	vers   []uint64                           // shard versions the plan was decided against
+}
+
+// partFor returns the work's demand on one shard. Single-shard
+// footprints return the whole demand without ever having split it.
+func (w *admitWork) partFor(loc resource.Location) (resource.Set, bool) {
+	if w.parts == nil {
+		return w.demand, true
+	}
+	p, ok := w.parts[loc]
+	return p, ok
+}
+
+// admitGroup is the combining queue for one footprint signature: works
+// with a plan in hand waiting for a validate-and-reserve batch.
+type admitGroup struct {
+	locs    []resource.Location
+	members []*admitWork // waiting, not yet drained into a batch
+	leading bool         // a leader is validating (or handing off)
+}
+
+// locsKey builds the footprint signature grouping concurrent admits.
+// Footprints are sorted, so equal location sets map to equal keys.
+func locsKey(locs []resource.Location) string {
+	if len(locs) == 1 {
+		return string(locs[0])
+	}
+	var b strings.Builder
+	for i, loc := range locs {
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		b.WriteString(string(loc))
+	}
+	return b.String()
+}
+
+// admitHot routes one claimed admission through the hot path and blocks
+// until its outcome is decided. Like the legacy path it does not abort
+// on ctx cancellation mid-decision — the server's worker claim CAS
+// rolls back late outcomes — so every admission is always decided.
+func (l *Ledger) admitHot(ctx context.Context, policy admission.Policy, job workload.Job, now interval.Time, locs []resource.Location, claim *commitment) (admission.Decision, error) {
+	w := &admitWork{
+		ctx:    ctx,
+		policy: policy,
+		job:    job,
+		now:    now,
+		claim:  claim,
+		done:   make(chan admitOutcome, 1),
+		lead:   make(chan struct{}, 1),
+	}
+	l.hot.batchedJobs.Add(1)
+	if l.pessimistic {
+		l.runLocked(locs, w)
+		out := <-w.done
+		return out.dec, out.err
+	}
+
+	for attempt := 0; attempt <= l.admitRetries; attempt++ {
+		free, vers, err := l.snapshotFree(locs)
+		if err != nil {
+			l.settle(w, admission.Decision{}, err)
+			return admission.Decision{}, err
+		}
+		if !l.planOne(w, locs, free, vers, attempt) {
+			// Rejected (or plan-less): settled against the snapshot, a
+			// legitimate linearization point — admission control promises
+			// no-overcommit, not admit-whenever-possible.
+			out := <-w.done
+			return out.dec, out.err
+		}
+		if l.testPostPlanHook != nil {
+			l.testPostPlanHook()
+		}
+		var out admitOutcome
+		if l.noBatch {
+			l.validateBatch(locs, []*admitWork{w}, attempt)
+			out = <-w.done
+		} else {
+			out = l.submitToGroup(locs, w, attempt)
+		}
+		if !out.retry {
+			return out.dec, out.err
+		}
+		l.hot.planRetries.Add(1)
+	}
+
+	// Bounded optimism exhausted: decide under the shard locks, which
+	// cannot conflict.
+	l.hot.planFallbacks.Add(1)
+	l.runLocked(locs, w)
+	out := <-w.done
+	return out.dec, out.err
+}
+
+// submitToGroup enqueues a planned work into its footprint's combining
+// group and blocks until a validate batch decides it. The first work to
+// find the group idle leads: it drains the queue, validates the batch,
+// then hands leadership to the oldest waiter (or retires). Followers
+// just wait — their plan is validated by whichever leader drains them.
+func (l *Ledger) submitToGroup(locs []resource.Location, w *admitWork, attempt int) admitOutcome {
+	sig := locsKey(locs)
+	l.batchMu.Lock()
+	g := l.groups[sig]
+	if g == nil {
+		g = &admitGroup{locs: locs}
+		l.groups[sig] = g
+	}
+	g.members = append(g.members, w)
+	if g.leading {
+		l.batchMu.Unlock()
+		select {
+		case out := <-w.done:
+			return out
+		case <-w.lead: // inherit leadership
+		}
+		l.batchMu.Lock()
+	} else {
+		g.leading = true
+	}
+
+	// Leader: drain everything queued (including w), validate as one
+	// batch, then pass the baton or retire.
+	batch := g.members
+	g.members = nil
+	l.batchMu.Unlock()
+	l.validateBatch(g.locs, batch, attempt)
+	l.batchMu.Lock()
+	if len(g.members) > 0 {
+		g.members[0].lead <- struct{}{}
+	} else {
+		g.leading = false
+		delete(l.groups, sig)
+	}
+	l.batchMu.Unlock()
+	return <-w.done
+}
+
+// snapshotFree reads the merged free view of the footprint plus each
+// shard's mutation version, holding the shard locks only for the reads.
+// The returned set shares the shards' cached profiles and must be
+// treated as read-only (admission.Decide and schedule.Concurrent clone
+// before mutating). Single-location footprints return the cached set
+// directly — no clone, no allocation.
+func (l *Ledger) snapshotFree(locs []resource.Location) (resource.Set, []uint64, error) {
+	if len(locs) == 1 {
+		sh := l.shardFor(locs[0])
+		sh.mu.Lock()
+		part, err := sh.freeView()
+		ver := sh.ver
+		sh.mu.Unlock()
+		if err != nil {
+			return resource.Set{}, nil, fmt.Errorf("server: shard %s invariant broken: %w", locs[0], err)
+		}
+		return part, []uint64{ver}, nil
+	}
+	shards, unlock := l.lockedShards(locs)
+	var free resource.Set
+	vers := make([]uint64, len(shards))
+	for i, sh := range shards {
+		part, err := sh.freeView()
+		if err != nil {
+			unlock()
+			return resource.Set{}, nil, fmt.Errorf("server: shard %s invariant broken: %w", sh.loc, err)
+		}
+		vers[i] = sh.ver
+		free = free.PatchUnion(part)
+	}
+	unlock()
+	return free, vers, nil
+}
+
+// planOne runs the witness-plan search for one work against a free-view
+// snapshot, outside any lock. Returns true when the work holds an
+// accepted plan ready for validation; rejections and internal errors
+// are settled (claim abandoned, outcome delivered) and return false.
+func (l *Ledger) planOne(w *admitWork, locs []resource.Location, free resource.Set, vers []uint64, attempt int) bool {
+	// The transient state presents the free snapshot as Θ with no
+	// commitments, so State.FreeResources sees exactly the free
+	// capacity; reservations are already subtracted out.
+	state := core.State{Theta: free, Now: w.now}
+	view := admission.View{Now: w.now, Theta: free, State: &state}
+	_, planSpan := l.spans.Start(w.ctx, span.KindPlan)
+	planSpan.Attr("job", w.job.Dist.Name)
+	planSpan.Attr("actors", len(w.job.Dist.Actors))
+	if attempt > 0 {
+		planSpan.Attr("attempt", attempt)
+	}
+	dec := admission.Decide(w.policy, view, w.job.Dist)
+	if !dec.Admit {
+		planSpan.SetStatus(span.StatusReject)
+		planSpan.Attr("error", dec.Reason)
+		planSpan.SetProvenance(span.Classify(dec.Reason))
+		planSpan.End()
+		l.settle(w, dec, nil)
+		return false
+	}
+	planSpan.End()
+	if dec.Plan == nil {
+		l.settle(w, admission.Decision{}, ErrPlanless)
+		return false
+	}
+	demand := dec.Plan.Demand()
+	if err := splitDemand(w, locs, demand); err != nil {
+		l.settle(w, admission.Decision{}, err)
+		return false
+	}
+	w.dec = dec
+	w.vers = vers
+	return true
+}
+
+// splitDemand validates a plan's demand stays inside the footprint it
+// was decided against and records the per-shard split on the work.
+// Single-shard footprints skip the split entirely.
+func splitDemand(w *admitWork, locs []resource.Location, demand resource.Set) error {
+	if len(locs) == 1 {
+		loc := locs[0]
+		outside := false
+		demand.EachTypeUntil(func(lt resource.LocatedType) bool {
+			if shardOf(lt) != loc {
+				outside = true
+				return false
+			}
+			return true
+		})
+		if outside {
+			return fmt.Errorf("server: plan for %s consumes outside its footprint (shard %s)", w.job.Dist.Name, loc)
+		}
+		w.demand, w.parts = demand, nil
+		return nil
+	}
+	parts := splitByShard(demand)
+	for loc := range parts {
+		in := false
+		for _, fl := range locs {
+			if fl == loc {
+				in = true
+				break
+			}
+		}
+		if !in {
+			return fmt.Errorf("server: plan for %s consumes outside its footprint (shard %s)", w.job.Dist.Name, loc)
+		}
+	}
+	w.demand, w.parts = demand, parts
+	return nil
+}
+
+// validateBatch re-locks the footprint once for a whole batch of
+// planned works and applies each plan that is still valid: either no
+// shard's version moved since that work's snapshot (the plan fits by
+// construction), or its demand still fits the current free view. Works
+// whose plans no longer fit receive a retry outcome and replan; the
+// rest are reserved and finalized under one epoch bump.
+func (l *Ledger) validateBatch(locs []resource.Location, batch []*admitWork, attempt int) {
+	l.hot.batches.Add(1)
+	spans := l.startReserveSpans(batch, len(locs), attempt)
+	shards, unlock := l.lockedShards(locs)
+	// Ownership can shrink between the claim and this point (a
+	// concurrent handoff): re-check under the shard locks, as the
+	// legacy path did.
+	if err := l.checkOwned(locs); err != nil {
+		unlock()
+		l.endReserveSpans(spans, span.StatusError)
+		for _, w := range batch {
+			l.settle(w, admission.Decision{}, err)
+		}
+		return
+	}
+	admitted := batch[:0:0]
+	var conflicted []*admitWork
+	for i, w := range batch {
+		fits, err := l.fitsLocked(shards, w)
+		if err != nil {
+			unlock()
+			l.endReserveSpans(spans[i:], span.StatusError)
+			l.endReserveSpans(spans[:i], "")
+			for _, cw := range conflicted {
+				cw.done <- admitOutcome{retry: true}
+			}
+			l.finalizeBatch(locs, admitted)
+			l.settle(w, admission.Decision{}, err)
+			for _, rest := range batch[i+1:] {
+				rest.done <- admitOutcome{retry: true}
+			}
+			return
+		}
+		if !fits {
+			spans[i].SetStatus(span.StatusReject)
+			conflicted = append(conflicted, w)
+			continue
+		}
+		for _, sh := range shards {
+			if part, ok := w.partFor(sh.loc); ok {
+				sh.applyReserve(part)
+			}
+		}
+		admitted = append(admitted, w)
+	}
+	unlock()
+	l.endReserveSpans(spans, "")
+	for _, w := range conflicted {
+		w.done <- admitOutcome{retry: true}
+	}
+	l.finalizeBatch(locs, admitted)
+}
+
+// fitsLocked reports whether a planned work still fits. Fast path: if
+// no shard's version moved since the work's snapshot, the plan fits by
+// construction (the planner only emits plans fitting the view it was
+// given) — no dominance check needed. Otherwise every touched shard's
+// current free view must dominate the work's demand part. The caller
+// holds the shard locks; shards is in lockedShards order, matching the
+// order snapshotFree recorded versions in.
+func (l *Ledger) fitsLocked(shards []*shard, w *admitWork) (bool, error) {
+	unchanged := len(w.vers) == len(shards)
+	if unchanged {
+		for i, sh := range shards {
+			if sh.ver != w.vers[i] {
+				unchanged = false
+				break
+			}
+		}
+	}
+	if unchanged {
+		return true, nil
+	}
+	for _, sh := range shards {
+		part, ok := w.partFor(sh.loc)
+		if !ok {
+			continue
+		}
+		free, err := sh.freeView()
+		if err != nil {
+			return false, fmt.Errorf("server: shard %s invariant broken: %w", sh.loc, err)
+		}
+		if !free.Dominates(part) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// startReserveSpans opens one KindReserve span per work, covering the
+// validate-and-reserve critical section.
+func (l *Ledger) startReserveSpans(batch []*admitWork, shards, attempt int) []*span.Span {
+	out := make([]*span.Span, len(batch))
+	for i, w := range batch {
+		_, rs := l.spans.Start(w.ctx, span.KindReserve)
+		rs.Attr("job", w.job.Dist.Name)
+		rs.Attr("shards", shards)
+		if len(batch) > 1 {
+			rs.Attr("batch", len(batch))
+		}
+		if attempt > 0 {
+			rs.Attr("attempt", attempt)
+		}
+		out[i] = rs
+	}
+	return out
+}
+
+// endReserveSpans closes the reserve spans; a non-empty status
+// overrides per-span statuses already set (reject = conflict, retried).
+func (l *Ledger) endReserveSpans(spans []*span.Span, status string) {
+	for _, rs := range spans {
+		if status != "" {
+			rs.SetStatus(status)
+		}
+		rs.End()
+	}
+}
+
+// runLocked is the pessimistic path: plan while holding the shard
+// locks, exactly like the pre-optimistic ledger. It decides the work
+// unconditionally — the view cannot move under the locks, so there is
+// nothing to conflict with. Used as the bounded-retry fallback and, via
+// SetAdmitTuning(pessimistic), as the benchmark baseline.
+func (l *Ledger) runLocked(locs []resource.Location, w *admitWork) {
+	l.hot.batches.Add(1)
+	shards, unlock := l.lockedShards(locs)
+	if err := l.checkOwned(locs); err != nil {
+		unlock()
+		l.settle(w, admission.Decision{}, err)
+		return
+	}
+	var free resource.Set
+	for _, sh := range shards {
+		part, err := sh.freeView()
+		if err != nil {
+			unlock()
+			l.settle(w, admission.Decision{}, fmt.Errorf("server: shard %s invariant broken: %w", sh.loc, err))
+			return
+		}
+		if len(shards) == 1 && !l.noPatch.Load() {
+			free = part // read-only share of the cached view; no clone
+		} else {
+			free = free.PatchUnion(part)
+		}
+	}
+	if l.noPatch.Load() {
+		// Legacy-baseline fidelity: the pre-incremental path cloned the
+		// merged view (Union) and Decide re-derived free capacity from
+		// the transient state on every admission. Re-pay that cost here
+		// so benchmarks compare against what the old path actually did.
+		st := core.State{Theta: free, Now: w.now}
+		if refree, err := st.FreeResources(); err == nil {
+			free = refree
+		}
+	}
+	if !l.planOne(w, locs, free, nil, 0) {
+		unlock()
+		return
+	}
+	spans := l.startReserveSpans([]*admitWork{w}, len(shards), 0)
+	for _, sh := range shards {
+		if part, ok := w.partFor(sh.loc); ok {
+			sh.applyReserve(part)
+		}
+	}
+	unlock()
+	l.endReserveSpans(spans, "")
+	l.finalizeBatch(locs, []*admitWork{w})
+}
+
+// finalizeBatch promotes the admitted claims to live commitments under
+// one l.mu hold, bumps the epoch once for the whole batch, and delivers
+// the verdicts.
+func (l *Ledger) finalizeBatch(locs []resource.Location, admitted []*admitWork) {
+	if len(admitted) == 0 {
+		return
+	}
+	l.mu.Lock()
+	for _, w := range admitted {
+		w.claim.locs = locs
+		w.claim.plan = *w.dec.Plan
+		w.claim.deadline = w.job.Dist.Deadline
+		w.claim.admitted = w.now
+		w.claim.pending = false
+	}
+	l.mu.Unlock()
+	l.bumpEpoch("reserve")
+	for _, w := range admitted {
+		w.done <- admitOutcome{dec: w.dec}
+	}
+}
+
+// settle abandons a work's claim and delivers its terminal outcome
+// (rejection or error).
+func (l *Ledger) settle(w *admitWork, dec admission.Decision, err error) {
+	l.mu.Lock()
+	delete(l.commits, w.job.Dist.Name)
+	l.mu.Unlock()
+	w.done <- admitOutcome{dec: dec, err: err}
+}

@@ -1,0 +1,421 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/admission"
+	"repro/internal/compute"
+	"repro/internal/cost"
+	"repro/internal/interval"
+	"repro/internal/resource"
+	"repro/internal/workload"
+)
+
+// triJob builds a job with one evaluating actor per location — a
+// footprint spanning len(locs) shards (sends only touch their source
+// shard, so multi-shard coverage needs multiple evaluation sites).
+func triJob(tb testing.TB, name string, locs []resource.Location, start, deadline interval.Time) workload.Job {
+	tb.Helper()
+	cs := make([]compute.Computation, 0, len(locs))
+	for i, loc := range locs {
+		actor := compute.ActorName(fmt.Sprintf("%s.a%d", name, i))
+		c, err := cost.Realize(cost.Paper(), actor, compute.Evaluate(actor, loc, 1))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		cs = append(cs, c)
+	}
+	d, err := compute.NewDistributed(name, start, deadline, cs...)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return workload.Job{Dist: d, Arrival: start}
+}
+
+// Two admits racing a 2PC hold on the same name must both lose — the
+// held-name guard is a map lookup now, and the -race run proves the
+// index is maintained consistently. (Satellite: the old guard scanned
+// l.holds linearly under the global mutex.)
+func TestAdmitRacingHeldNameBothLose(t *testing.T) {
+	l := NewLedger(cpuTheta(4, 1000, "l1"), 0)
+	var demand resource.Set
+	demand.Add(resource.NewTerm(u(1), resource.CPUAt("l1"), interval.New(0, 8)))
+	if err := l.Prepare("k1", "contested", demand, 8, 100, 50); err != nil {
+		t.Fatal(err)
+	}
+
+	policy := &admission.Rota{}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = l.Admit(policy, cpuJob(t, "contested", "l1", 0, 100))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, ErrDuplicate) {
+			t.Errorf("racing admit %d of a held name: err = %v, want ErrDuplicate", i, err)
+		}
+	}
+	mustAudit(t, l)
+
+	// After the hold is aborted the name is free again.
+	if err := l.Abort("k1"); err != nil {
+		t.Fatal(err)
+	}
+	if dec, err := l.Admit(policy, cpuJob(t, "contested", "l1", 0, 100)); err != nil || !dec.Admit {
+		t.Fatalf("admit after abort: %v %+v", err, dec)
+	}
+	mustAudit(t, l)
+}
+
+// Two racing admits of the same (new) name: exactly one wins.
+func TestAdmitRacingSameNameOneWins(t *testing.T) {
+	l := NewLedger(cpuTheta(4, 1000, "l1"), 0)
+	policy := &admission.Rota{}
+	var wg sync.WaitGroup
+	var admitted, dup atomic.Int64
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dec, err := l.Admit(policy, cpuJob(t, "solo", "l1", 0, 100))
+			switch {
+			case err == nil && dec.Admit:
+				admitted.Add(1)
+			case errors.Is(err, ErrDuplicate):
+				dup.Add(1)
+			default:
+				t.Errorf("unexpected outcome: %v %+v", err, dec)
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted.Load() != 1 || dup.Load() != 7 {
+		t.Fatalf("admitted=%d dup=%d, want 1/7", admitted.Load(), dup.Load())
+	}
+	mustAudit(t, l)
+}
+
+// 64-way concurrent admits to one shard with capacity for exactly 8:
+// batched admission must admit exactly 8 and keep the no-overcommit
+// invariant (Audit clean). Run under -race in CI.
+func TestBatchedAdmitNoOvercommit(t *testing.T) {
+	// 64 cpu units on one shard; each job needs 8 → capacity for 8.
+	l := NewLedger(cpuTheta(1, 64, "l1"), 0)
+	policy := &admission.Rota{}
+	var wg sync.WaitGroup
+	var admitted, rejected atomic.Int64
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dec, err := l.Admit(policy, cpuJob(t, fmt.Sprintf("j%d", i), "l1", 0, 64))
+			if err != nil {
+				t.Errorf("j%d: %v", i, err)
+				return
+			}
+			if dec.Admit {
+				admitted.Add(1)
+			} else {
+				rejected.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if admitted.Load() != 8 || rejected.Load() != 56 {
+		t.Fatalf("admitted=%d rejected=%d, want 8/56", admitted.Load(), rejected.Load())
+	}
+	mustAudit(t, l)
+	hot := l.AdmitHot()
+	if hot.BatchedJobs != 64 {
+		t.Errorf("batched jobs = %d, want 64", hot.BatchedJobs)
+	}
+	if hot.Batches == 0 || hot.Batches > 64 {
+		t.Errorf("batches = %d, want in [1,64]", hot.Batches)
+	}
+}
+
+// The same 64-way squeeze through the pessimistic (plan-under-locks)
+// baseline must reach the same verdict counts — the two paths are
+// semantically interchangeable.
+func TestPessimisticAdmitSameVerdicts(t *testing.T) {
+	l := NewLedger(cpuTheta(1, 64, "l1"), 0)
+	l.SetAdmitTuning(0, false, true)
+	policy := &admission.Rota{}
+	var wg sync.WaitGroup
+	var admitted atomic.Int64
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dec, err := l.Admit(policy, cpuJob(t, fmt.Sprintf("j%d", i), "l1", 0, 64))
+			if err != nil {
+				t.Errorf("j%d: %v", i, err)
+				return
+			}
+			if dec.Admit {
+				admitted.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if admitted.Load() != 8 {
+		t.Fatalf("admitted=%d, want 8", admitted.Load())
+	}
+	mustAudit(t, l)
+}
+
+// A snapshot conflict — capacity mutated between plan and validate so
+// the plan no longer fits — must retry and replan, not overcommit and
+// not spuriously reject. The hook reserves the window the first plan
+// was placed in; the replan lands the job later in its deadline window.
+func TestOptimisticConflictRetriesAndReplans(t *testing.T) {
+	l := NewLedger(cpuTheta(1, 100, "l1"), 0)
+	policy := &admission.Rota{}
+
+	var synthetic resource.Set
+	synthetic.Add(resource.NewTerm(u(1), resource.CPUAt("l1"), interval.New(0, 16)))
+	var fired atomic.Bool
+	l.testPostPlanHook = func() {
+		if !fired.CompareAndSwap(false, true) {
+			return
+		}
+		sh := l.shardFor("l1")
+		sh.mu.Lock()
+		sh.applyReserve(synthetic)
+		sh.mu.Unlock()
+	}
+
+	dec, err := l.Admit(policy, cpuJob(t, "j1", "l1", 0, 40))
+	if err != nil || !dec.Admit {
+		t.Fatalf("admit after conflict: %v %+v", err, dec)
+	}
+	if !fired.Load() {
+		t.Fatal("test hook never fired")
+	}
+	hot := l.AdmitHot()
+	if hot.PlanRetries == 0 {
+		t.Errorf("plan retries = 0, want >= 1 (the snapshot was invalidated)")
+	}
+	if dec.Plan.Finish <= 16 {
+		t.Errorf("replanned finish = %d, want > 16 (the first window was taken)", dec.Plan.Finish)
+	}
+
+	// Return the synthetic reservation so the audit's commitment
+	// accounting balances, then verify the ledger is consistent.
+	l.testPostPlanHook = nil
+	sh := l.shardFor("l1")
+	sh.mu.Lock()
+	relErr := sh.applyRelease(synthetic)
+	sh.mu.Unlock()
+	if relErr != nil {
+		t.Fatal(relErr)
+	}
+	mustAudit(t, l)
+}
+
+// checkPatchedFreeViews verifies, on every shard whose cached free view
+// is live, that the incrementally patched cache equals a from-scratch
+// θ ∖ reserved recompute. Returns how many live caches were checked.
+func checkPatchedFreeViews(t *testing.T, l *Ledger) int {
+	t.Helper()
+	l.mu.Lock()
+	shards := make([]*shard, 0, len(l.shards))
+	for _, sh := range l.shards {
+		shards = append(shards, sh)
+	}
+	l.mu.Unlock()
+	checked := 0
+	for _, sh := range shards {
+		sh.mu.Lock()
+		if !sh.freeOK {
+			sh.mu.Unlock()
+			continue
+		}
+		checked++
+		want, err := sh.theta.Subtract(sh.reserved)
+		ok := err == nil && sh.free.Equal(want)
+		got, loc := sh.free, sh.loc
+		sh.mu.Unlock()
+		if err != nil {
+			t.Fatalf("shard %s: recompute: %v", loc, err)
+		}
+		if !ok {
+			t.Fatalf("shard %s: patched free view %s != recomputed %s", loc, got, want.Compact())
+		}
+	}
+	return checked
+}
+
+// Seeded property test: after randomized admit / release / prepare /
+// abort / acquire / advance (incl. lease-expiry sweeps), the delta-
+// patched free-view caches must agree with a from-scratch recompute,
+// and the full ledger audit must stay clean at every step.
+func TestFreeViewPatchingMatchesRecompute(t *testing.T) {
+	locs := []resource.Location{"l1", "l2"}
+	for _, seed := range []int64{1, 7, 42, 1234} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			l := NewLedger(cpuTheta(3, 4096, locs...), 0)
+			policy := &admission.Rota{}
+			live := []string{}
+			keys := []string{}
+			names, preps := 0, 0
+			checkedCaches := 0
+
+			for step := 0; step < 300; step++ {
+				now := l.Now()
+				switch rng.Intn(7) {
+				case 0, 1: // admit (the most common mutation)
+					names++
+					name := fmt.Sprintf("job%d", names)
+					var job workload.Job
+					if rng.Intn(3) == 0 {
+						job = triJob(t, name, locs, now, now+16+interval.Time(rng.Intn(32)))
+					} else {
+						job = cpuJob(t, name, locs[rng.Intn(len(locs))], now, now+16+interval.Time(rng.Intn(32)))
+					}
+					if dec, err := l.Admit(policy, job); err == nil && dec.Admit {
+						live = append(live, name)
+					}
+				case 2: // release a live commitment
+					if len(live) > 0 {
+						i := rng.Intn(len(live))
+						if err := l.Release(live[i]); err != nil && !errors.Is(err, ErrUnknown) {
+							t.Fatalf("release %s: %v", live[i], err)
+						}
+						live = append(live[:i], live[i+1:]...)
+					}
+				case 3: // prepare a leased hold
+					preps++
+					var demand resource.Set
+					loc := locs[rng.Intn(len(locs))]
+					demand.Add(resource.NewTerm(u(1), resource.CPUAt(loc),
+						interval.New(now+1, now+5+interval.Time(rng.Intn(8)))))
+					key := fmt.Sprintf("key%d", preps)
+					err := l.Prepare(key, fmt.Sprintf("held%d", preps), demand,
+						now+16, now+32, now+2+interval.Time(rng.Intn(8)))
+					if err == nil {
+						keys = append(keys, key)
+					} else if !errors.Is(err, ErrOvercommit) {
+						t.Fatalf("prepare %s: %v", key, err)
+					}
+				case 4: // abort a hold (possibly already swept: a no-op)
+					if len(keys) > 0 {
+						i := rng.Intn(len(keys))
+						if err := l.Abort(keys[i]); err != nil {
+							t.Fatalf("abort %s: %v", keys[i], err)
+						}
+						keys = append(keys[:i], keys[i+1:]...)
+					}
+				case 5: // acquire fresh availability
+					var extra resource.Set
+					extra.Add(resource.NewTerm(u(1), resource.CPUAt(locs[rng.Intn(len(locs))]),
+						interval.New(now, now+32)))
+					l.Acquire(extra)
+				case 6: // advance the clock (trims + sweeps expired leases)
+					done, err := l.Advance(now + interval.Time(rng.Intn(4)))
+					if err != nil {
+						t.Fatalf("advance: %v", err)
+					}
+					for _, name := range done {
+						for i, n := range live {
+							if n == name {
+								live = append(live[:i], live[i+1:]...)
+								break
+							}
+						}
+					}
+				}
+				checkedCaches += checkPatchedFreeViews(t, l)
+				mustAudit(t, l)
+			}
+			if checkedCaches == 0 {
+				t.Fatal("no live free-view cache was ever checked; the test exercised nothing")
+			}
+		})
+	}
+}
+
+// The single-location free-view fetch must not allocate once the cache
+// is warm — the common-case admission footprint reads the cached set
+// directly instead of cloning it through Union. (Satellite bugfix +
+// acceptance criterion.)
+func TestFreeViewSingleLocationZeroAlloc(t *testing.T) {
+	l := NewLedger(cpuTheta(4, 1000, "l1", "l2"), 0)
+	policy := &admission.Rota{}
+	if dec, err := l.Admit(policy, cpuJob(t, "warm", "l1", 0, 100)); err != nil || !dec.Admit {
+		t.Fatalf("warm-up admit: %v %+v", err, dec)
+	}
+	locs := []resource.Location{"l1"}
+	if _, _, err := l.FreeView(locs); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, err := l.FreeView(locs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("single-location FreeView allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// Rejections decided against a snapshot are delivered immediately; the
+// decision must carry the infeasibility reason exactly as before.
+func TestBatchedRejectKeepsReason(t *testing.T) {
+	l := NewLedger(cpuTheta(1, 8, "l1"), 0) // 8 units: one job fills it
+	policy := &admission.Rota{}
+	if dec, err := l.Admit(policy, cpuJob(t, "fits", "l1", 0, 8)); err != nil || !dec.Admit {
+		t.Fatalf("first admit: %v %+v", err, dec)
+	}
+	dec, err := l.Admit(policy, cpuJob(t, "squeezed", "l1", 0, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Admit || dec.Reason == "" {
+		t.Fatalf("second admit = %+v, want a reasoned rejection", dec)
+	}
+	// The rejected name is free for a retry (the claim was abandoned).
+	if _, err := l.Admit(policy, cpuJob(t, "squeezed", "l1", 0, 8)); err != nil {
+		t.Fatalf("retry of a rejected name: %v", err)
+	}
+	mustAudit(t, l)
+}
+
+// Disabling batching must not change verdicts, only grouping.
+func TestNoBatchTuning(t *testing.T) {
+	l := NewLedger(cpuTheta(1, 64, "l1"), 0)
+	l.SetAdmitTuning(1, true, false)
+	policy := &admission.Rota{}
+	var wg sync.WaitGroup
+	var admitted atomic.Int64
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dec, err := l.Admit(policy, cpuJob(t, fmt.Sprintf("j%d", i), "l1", 0, 64))
+			if err != nil {
+				t.Errorf("j%d: %v", i, err)
+				return
+			}
+			if dec.Admit {
+				admitted.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if admitted.Load() != 8 {
+		t.Fatalf("admitted=%d, want 8", admitted.Load())
+	}
+	mustAudit(t, l)
+}

@@ -228,6 +228,9 @@ func (l *Ledger) DropLocations(locs []resource.Location) []string {
 		}
 		if remaining.Empty() {
 			delete(l.holds, key)
+			if l.heldNames[h.name] == key {
+				delete(l.heldNames, h.name)
+			}
 			continue
 		}
 		h.demand = remaining
@@ -354,6 +357,7 @@ func (l *Ledger) ImportLocations(exports []LocationExport) error {
 				deadline: h.Deadline,
 				expiry:   h.Expiry,
 			}
+			l.heldNames[h.Name] = h.Key
 		}
 		l.mu.Unlock()
 	}

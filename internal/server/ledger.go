@@ -69,10 +69,22 @@ type shard struct {
 	// every standing-watch re-evaluation after an epoch bump) needs the
 	// free view, and recomputing the subtraction per evaluation dominates
 	// query cost on a loaded shard. Valid iff freeOK; any write to theta,
-	// reserved or now must call dirty. Shared read-only — callers clone
-	// (Union does) before mutating.
+	// reserved or now must go through an apply* helper (which patches the
+	// cache incrementally) or call dirty. Shared read-only — callers
+	// treat the returned set as immutable (patch ops share its profiles).
 	free   resource.Set
 	freeOK bool
+	// ver counts mutations of theta/reserved/now. The optimistic admit
+	// path snapshots (free, ver) under the lock, plans outside it, and
+	// revalidates ver before reserving: an unchanged ver proves the free
+	// view the plan was decided against is still current.
+	ver uint64
+	// hot points at the ledger's shared hot-path counters.
+	hot *hotCounters
+	// noPatch points at the ledger's legacy-mode flag: when set, every
+	// mutation drops the cached free view (the pre-incremental behavior)
+	// instead of patching it. Benchmark baseline only.
+	noPatch *atomic.Bool
 }
 
 // freeView returns the shard's free availability (θ minus reserved),
@@ -87,12 +99,115 @@ func (sh *shard) freeView() (resource.Set, error) {
 		return resource.Set{}, err
 	}
 	sh.free, sh.freeOK = part, true
+	if sh.hot != nil {
+		sh.hot.freeRecomputes.Add(1)
+	}
 	return part, nil
 }
 
-// dirty drops the cached free view. The caller must hold sh.mu.
+// dirty drops the cached free view and bumps the mutation version. The
+// caller must hold sh.mu. The rare cold paths (import) still use it; the
+// hot paths patch the cache through the apply* helpers instead.
 func (sh *shard) dirty() {
 	sh.free, sh.freeOK = resource.Set{}, false
+	sh.ver++
+}
+
+// legacyDirty drops the cache instead of patching when the ledger runs
+// in the pre-incremental recompute mode (the benchmark baseline), and
+// reports whether it did. The caller must hold sh.mu and must not have
+// bumped ver yet (dirty does).
+func (sh *shard) legacyDirty() bool {
+	if sh.noPatch == nil || !sh.noPatch.Load() {
+		return false
+	}
+	sh.dirty()
+	return true
+}
+
+// patched records an incremental free-view patch (counter only).
+func (sh *shard) patched() {
+	if sh.hot != nil {
+		sh.hot.freePatches.Add(1)
+	}
+}
+
+// applyReserve adds part to the shard's reservations, patching the
+// cached free view instead of dropping it: free′ = free ∖ part, exact
+// because the profiles are pointwise-linear. The caller must hold sh.mu
+// and must already have verified the part fits (free dominates part), so
+// the subtraction is defined; a failed patch falls back to a recompute
+// rather than ever serving a wrong cache.
+func (sh *shard) applyReserve(part resource.Set) {
+	sh.reserved.AddSet(part)
+	if sh.legacyDirty() {
+		return
+	}
+	sh.ver++
+	if !sh.freeOK {
+		return
+	}
+	f, err := sh.free.PatchSubtract(part)
+	if err != nil {
+		sh.dirty()
+		return
+	}
+	sh.free = f
+	sh.patched()
+}
+
+// applyRelease removes part from the shard's reservations, patching the
+// cached free view (free′ = free ∪ part). The caller must hold sh.mu;
+// part must be dominated by reserved or the shard is inconsistent.
+func (sh *shard) applyRelease(part resource.Set) error {
+	freed, err := sh.reserved.PatchSubtract(part)
+	if err != nil {
+		return err
+	}
+	sh.reserved = freed
+	if sh.legacyDirty() {
+		return nil
+	}
+	sh.ver++
+	if sh.freeOK {
+		sh.free = sh.free.PatchUnion(part)
+		sh.patched()
+	}
+	return nil
+}
+
+// applyAcquire merges newly joined availability into θ, patching the
+// cached free view (free′ = free ∪ part). The caller must hold sh.mu.
+func (sh *shard) applyAcquire(part resource.Set) {
+	sh.theta.AddSet(part)
+	if sh.legacyDirty() {
+		return
+	}
+	sh.ver++
+	if sh.freeOK {
+		sh.free = sh.free.PatchUnion(part)
+		sh.patched()
+	}
+}
+
+// applyTrim advances the shard clock, trimming θ, reserved and the
+// cached free view ((θ∖r) clamped = θ clamped ∖ r clamped, pointwise).
+// The caller must hold sh.mu.
+func (sh *shard) applyTrim(to interval.Time) {
+	if to <= sh.now {
+		return
+	}
+	sh.theta.TrimBefore(to)
+	sh.reserved.TrimBefore(to)
+	sh.now = to
+	if sh.legacyDirty() {
+		return
+	}
+	sh.ver++
+	if sh.freeOK {
+		sh.free = sh.free.TrimmedBefore(to)
+		sh.patched()
+	}
 }
 
 // commitment is one admitted computation in the live ledger.
@@ -115,9 +230,13 @@ type Ledger struct {
 	commits map[string]*commitment
 	// holds are prepared-but-uncommitted reservations keyed by their
 	// idempotency key; committedKeys remembers which keys were promoted
-	// so a retried commit is a no-op.
+	// so a retried commit is a no-op. heldNames indexes hold names →
+	// prepare key so the duplicate-name guard on every admit is a map
+	// lookup, not an O(holds) scan under the global mutex; it is
+	// maintained at every point a hold is created or removed.
 	holds         map[string]*hold
 	committedKeys map[string]string // key -> commitment name
+	heldNames     map[string]string // hold name -> prepare key
 	// owned restricts this ledger to a subset of locations (cluster
 	// mode); nil means the node owns every location it hears about.
 	owned map[resource.Location]bool
@@ -143,6 +262,34 @@ type Ledger struct {
 	// standing-query manager.
 	epoch  atomic.Uint64
 	notify atomic.Value // func(epoch uint64, reason string)
+
+	// hot counts hot-path events (batches, optimistic retries, free-view
+	// patches vs recomputes), surfaced in /v1/stats.
+	hot hotCounters
+
+	// Admission hot-path tuning (SetAdmitTuning, set before traffic):
+	// admitRetries bounds the optimistic plan/validate attempts before
+	// falling back to planning under the shard locks; noBatch disables
+	// the per-footprint combining stage; pessimistic routes every admit
+	// through the legacy plan-under-locks path (the benchmark baseline).
+	admitRetries int
+	noBatch      bool
+	pessimistic  bool
+	// noPatch restores the pre-incremental free-view behavior (every
+	// mutation drops the cache; admission re-derives and clones the
+	// free view like the legacy path did). Benchmark baseline only —
+	// combined with pessimistic it reproduces the pre-PR admit path.
+	noPatch atomic.Bool
+
+	// groups are the per-footprint admission batching queues (see
+	// admit_hot.go); batchMu guards the map and every group's members.
+	batchMu sync.Mutex
+	groups  map[string]*admitGroup
+
+	// testPostPlanHook, when non-nil, runs between the optimistic plan
+	// phase and validation — tests inject a conflicting mutation here to
+	// exercise the retry path deterministically. Never set in production.
+	testPostPlanHook func()
 }
 
 // NewLedger builds a ledger from the initial availability Θ at time now.
@@ -152,14 +299,30 @@ func NewLedger(theta resource.Set, now interval.Time) *Ledger {
 		commits:       make(map[string]*commitment),
 		holds:         make(map[string]*hold),
 		committedKeys: make(map[string]string),
+		heldNames:     make(map[string]string),
+		groups:        make(map[string]*admitGroup),
+		admitRetries:  defaultAdmitRetries,
 	}
 	l.now.Store(now)
 	trimmed := theta.Clone()
 	trimmed.TrimBefore(now)
 	for loc, part := range splitByShard(trimmed) {
-		l.shards[loc] = &shard{loc: loc, theta: part, now: now}
+		l.shards[loc] = &shard{loc: loc, theta: part, now: now, hot: &l.hot, noPatch: &l.noPatch}
 	}
 	return l
+}
+
+// SetAdmitTuning configures the admission hot path: retries bounds the
+// optimistic plan/validate attempts (≤0 keeps the default), noBatch
+// disables per-footprint batching, and pessimistic restores the legacy
+// plan-under-locks path (the benchmark baseline). Intended to be called
+// once, before the ledger serves traffic.
+func (l *Ledger) SetAdmitTuning(retries int, noBatch, pessimistic bool) {
+	if retries > 0 {
+		l.admitRetries = retries
+	}
+	l.noBatch = noBatch
+	l.pessimistic = pessimistic
 }
 
 // SetObserver attaches the observability sink for ledger-level events.
@@ -239,7 +402,7 @@ func (l *Ledger) lockedShards(locs []resource.Location) ([]*shard, func()) {
 		prev = loc
 		sh, ok := l.shards[loc]
 		if !ok {
-			sh = &shard{loc: loc, now: l.now.Load()}
+			sh = &shard{loc: loc, now: l.now.Load(), hot: &l.hot, noPatch: &l.noPatch}
 			l.shards[loc] = sh
 		}
 		shards = append(shards, sh)
@@ -253,6 +416,20 @@ func (l *Ledger) lockedShards(locs []resource.Location) ([]*shard, func()) {
 			shards[i].mu.Unlock()
 		}
 	}
+}
+
+// shardFor returns loc's shard, creating it if absent. Unlike
+// lockedShards it does not lock the shard and allocates nothing on the
+// hit path — the single-location fast path of the free-view fetch.
+func (l *Ledger) shardFor(loc resource.Location) *shard {
+	l.mu.Lock()
+	sh, ok := l.shards[loc]
+	if !ok {
+		sh = &shard{loc: loc, now: l.now.Load(), hot: &l.hot, noPatch: &l.noPatch}
+		l.shards[loc] = sh
+	}
+	l.mu.Unlock()
+	return sh
 }
 
 // footprint returns the sorted locations a requirement consumes from.
@@ -372,6 +549,14 @@ func (l *Ledger) Admit(policy admission.Policy, job workload.Job) (admission.Dec
 // AdmitCtx is Admit with span tracing: the witness-plan search and the
 // reservation run as child spans of whatever span the context carries
 // (the server's admit span), so per-phase latency is attributable.
+//
+// The decision itself runs on the optimistic hot path (admit_hot.go):
+// the plan search happens against an immutable free-view snapshot taken
+// outside the shard locks, concurrent admits sharing a footprint are
+// batched, and the reservation revalidates the snapshot version (or the
+// plan's fit) before committing — so plan search never serializes a
+// shard. SetAdmitTuning(pessimistic) restores the legacy
+// plan-under-locks path.
 func (l *Ledger) AdmitCtx(ctx context.Context, policy admission.Policy, job workload.Job) (admission.Decision, error) {
 	now := l.Now()
 	if now >= job.Dist.Deadline {
@@ -379,125 +564,29 @@ func (l *Ledger) AdmitCtx(ctx context.Context, policy admission.Policy, job work
 	}
 
 	// Claim the name before deciding so two racing admits of the same
-	// computation cannot both reserve.
+	// computation cannot both reserve. Held (mid-2PC) names are indexed
+	// in heldNames, so the guard is two map lookups, not a scan.
 	claim := &commitment{name: job.Dist.Name, pending: true}
 	l.mu.Lock()
 	if _, exists := l.commits[job.Dist.Name]; exists {
 		l.mu.Unlock()
 		return admission.Decision{}, fmt.Errorf("%w: %s", ErrDuplicate, job.Dist.Name)
 	}
-	for _, h := range l.holds {
-		if h.name == job.Dist.Name {
-			l.mu.Unlock()
-			return admission.Decision{}, fmt.Errorf("%w: %s (held by prepare %s)", ErrDuplicate, job.Dist.Name, h.key)
-		}
+	if key, held := l.heldNames[job.Dist.Name]; held {
+		l.mu.Unlock()
+		return admission.Decision{}, fmt.Errorf("%w: %s (held by prepare %s)", ErrDuplicate, job.Dist.Name, key)
 	}
 	l.commits[job.Dist.Name] = claim
 	l.mu.Unlock()
-	abandon := func() {
+
+	locs := footprint(core.ConcurrentAt(job.Dist, now))
+	if err := l.checkOwned(locs); err != nil {
 		l.mu.Lock()
 		delete(l.commits, job.Dist.Name)
 		l.mu.Unlock()
-	}
-
-	req := core.ConcurrentAt(job.Dist, now)
-	locs := footprint(req)
-	if err := l.checkOwned(locs); err != nil {
-		abandon()
 		return admission.Decision{}, err
 	}
-	shards, unlock := l.lockedShards(locs)
-	// Re-check under the shard locks: a concurrent ownership handoff may
-	// have dropped one of these locations between the first check and the
-	// lock acquisition, and reserving into a dropped shard would strand
-	// the reservation on a node that no longer owns it.
-	if err := l.checkOwned(locs); err != nil {
-		unlock()
-		abandon()
-		return admission.Decision{}, err
-	}
-
-	// Merged free availability across the footprint: Θ minus reserved,
-	// shard by shard. The shard invariant guarantees the subtraction is
-	// defined.
-	var free resource.Set
-	for _, sh := range shards {
-		part, err := sh.freeView()
-		if err != nil {
-			unlock()
-			abandon()
-			return admission.Decision{}, fmt.Errorf("server: shard %s invariant broken: %w", sh.loc, err)
-		}
-		free = free.Union(part)
-	}
-
-	// The transient state presents the merged free set as Θ with no
-	// commitments, so State.FreeResources sees exactly the free capacity;
-	// reservations are already subtracted out.
-	state := core.State{Theta: free, Now: now}
-	view := admission.View{Now: now, Theta: free, State: &state}
-	_, planSpan := l.spans.Start(ctx, span.KindPlan)
-	planSpan.Attr("job", job.Dist.Name)
-	planSpan.Attr("actors", len(job.Dist.Actors))
-	dec := admission.Decide(policy, view, job.Dist)
-	if !dec.Admit {
-		planSpan.SetStatus(span.StatusReject)
-		planSpan.Attr("error", dec.Reason)
-		planSpan.SetProvenance(span.Classify(dec.Reason))
-	}
-	planSpan.End()
-	if !dec.Admit {
-		unlock()
-		abandon()
-		return dec, nil
-	}
-	if dec.Plan == nil {
-		unlock()
-		abandon()
-		return admission.Decision{}, ErrPlanless
-	}
-
-	// Reserve the plan's demand on each shard it touches.
-	_, resSpan := l.spans.Start(ctx, span.KindReserve)
-	resSpan.Attr("job", job.Dist.Name)
-	resSpan.Attr("shards", len(shards))
-	defer resSpan.End()
-	for loc, part := range splitByShard(dec.Plan.Demand()) {
-		var target *shard
-		for _, sh := range shards {
-			if sh.loc == loc {
-				target = sh
-				break
-			}
-		}
-		if target == nil {
-			// A plan may only consume from the footprint it was decided
-			// against; anything else is a scheduler bug.
-			unlock()
-			abandon()
-			resSpan.SetStatus(span.StatusError)
-			return admission.Decision{}, fmt.Errorf("server: plan for %s consumes outside its footprint (shard %s)", job.Dist.Name, loc)
-		}
-		target.reserved = target.reserved.Union(part)
-		target.dirty()
-		if !target.theta.Dominates(target.reserved) {
-			unlock()
-			abandon()
-			resSpan.SetStatus(span.StatusError)
-			return admission.Decision{}, fmt.Errorf("server: reservation for %s overcommits shard %s", job.Dist.Name, loc)
-		}
-	}
-	unlock()
-
-	l.mu.Lock()
-	claim.locs = locs
-	claim.plan = *dec.Plan
-	claim.deadline = job.Dist.Deadline
-	claim.admitted = now
-	claim.pending = false
-	l.mu.Unlock()
-	l.bumpEpoch("reserve")
-	return dec, nil
+	return l.admitHot(ctx, policy, job, now, locs, claim)
 }
 
 // Release removes a commitment and returns its not-yet-consumed demand to
@@ -536,12 +625,9 @@ func (l *Ledger) releaseDemand(locs []resource.Location, demand resource.Set) er
 			continue
 		}
 		remaining := part.Clamp(interval.New(sh.now, interval.Infinity))
-		freed, err := sh.reserved.Subtract(remaining)
-		if err != nil {
+		if err := sh.applyRelease(remaining); err != nil {
 			return fmt.Errorf("server: shard %s reservation inconsistent: %w", sh.loc, err)
 		}
-		sh.reserved = freed
-		sh.dirty()
 	}
 	return nil
 }
@@ -557,8 +643,7 @@ func (l *Ledger) Acquire(theta resource.Set) {
 		shards, unlock := l.lockedShards([]resource.Location{loc})
 		sh := shards[0]
 		part.TrimBefore(sh.now) // the shard clock may have advanced since the read above
-		sh.theta = sh.theta.Union(part)
-		sh.dirty()
+		sh.applyAcquire(part)
 		unlock()
 	}
 	l.bumpEpoch("acquire")
@@ -601,18 +686,16 @@ func (l *Ledger) Advance(to interval.Time) ([]string, error) {
 		if !h.pending && h.expiry <= to {
 			expired = append(expired, h)
 			delete(l.holds, key)
+			if l.heldNames[h.name] == key {
+				delete(l.heldNames, h.name)
+			}
 		}
 	}
 	l.mu.Unlock()
 
 	for _, sh := range shards {
 		sh.mu.Lock()
-		if to > sh.now {
-			sh.theta.TrimBefore(to)
-			sh.reserved.TrimBefore(to)
-			sh.now = to
-			sh.dirty()
-		}
+		sh.applyTrim(to)
 		sh.mu.Unlock()
 	}
 	for _, h := range expired {

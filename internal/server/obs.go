@@ -43,6 +43,14 @@ func (s *Server) CollectMetrics(e *obs.Exposition) {
 	e.Counter("rota_leases_expired_total", "Prepared holds reclaimed by the lease-expiry sweep.", nil, float64(tp.LeasesExpired))
 	e.Counter("rota_not_owned_rejects_total", "Requests naming locations this node does not own.", nil, float64(tp.NotOwnedRejects))
 
+	ah := st.AdmitHot
+	e.Counter("rota_admit_batches_total", "Admission batches executed on the hot path.", nil, float64(ah.Batches))
+	e.Counter("rota_admit_batched_jobs_total", "Jobs decided through the admission batch path.", nil, float64(ah.BatchedJobs))
+	e.Counter("rota_admit_plan_retries_total", "Optimistic plans re-run after a validation conflict.", nil, float64(ah.PlanRetries))
+	e.Counter("rota_admit_plan_fallbacks_total", "Jobs that exhausted optimistic retries and planned under the shard locks.", nil, float64(ah.PlanFallbacks))
+	e.Counter("rota_free_view_patches_total", "Incremental free-view cache patches applied.", nil, float64(ah.FreePatches))
+	e.Counter("rota_free_view_recomputes_total", "Full free-view recomputes (theta minus reserved).", nil, float64(ah.FreeRecomputes))
+
 	e.Summary("rota_decision_latency_us", "Worker-side decision service time (ledger lock + policy) in microseconds.", nil, s.latencyUS.Summary())
 
 	q := st.Query

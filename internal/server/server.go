@@ -59,6 +59,16 @@ type Config struct {
 	// recorded as a span and served by GET /debug/rota/trace/{id}. Nil
 	// disables span tracing.
 	Spans *span.Store
+	// AdmitRetries bounds the optimistic plan/validate attempts on the
+	// admission hot path before falling back to planning under the shard
+	// locks; ≤0 keeps the ledger default (3).
+	AdmitRetries int
+	// NoAdmitBatch disables the per-footprint batching of concurrent
+	// admissions (each admit still runs the optimistic path alone).
+	NoAdmitBatch bool
+	// PessimisticAdmit restores the legacy plan-under-locks admission
+	// path — the benchmark baseline, not for production use.
+	PessimisticAdmit bool
 }
 
 func (c *Config) fill() error {
@@ -178,6 +188,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Owned != nil {
 		s.ledger.RestrictOwned(cfg.Owned)
 	}
+	s.ledger.SetAdmitTuning(cfg.AdmitRetries, cfg.NoAdmitBatch, cfg.PessimisticAdmit)
 	s.ledger.SetObserver(cfg.Obs)
 	s.ledger.SetSpanStore(cfg.Spans)
 	s.queries = query.NewManager(s.managerEval, s.obs.Log)
@@ -409,6 +420,10 @@ type StatsResponse struct {
 	// federation traffic this node served as a participant.
 	Holds    int              `json:"holds"`
 	TwoPhase TwoPhaseCounters `json:"two_phase"`
+
+	// AdmitHot digests the admission hot path: batching, optimistic
+	// retries and fallbacks, and free-view cache patches vs recomputes.
+	AdmitHot AdmitHotCounters `json:"admit_hot"`
 
 	// DecisionLatencyUS digests worker-side decision service time
 	// (ledger lock + policy) in microseconds.
@@ -657,6 +672,7 @@ func (s *Server) Stats() StatsResponse {
 		InFlight:          s.inflightDecs.Load(),
 		Holds:             s.ledger.NumHolds(),
 		TwoPhase:          s.ledger.TwoPhase(),
+		AdmitHot:          s.ledger.AdmitHot(),
 		DecisionLatencyUS: latencyStats(s.latencyUS.Summary()),
 		Spans:             s.cfg.Spans.Stats(),
 		Query: QueryStats{

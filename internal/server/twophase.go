@@ -116,17 +116,19 @@ func (l *Ledger) Prepare(key, name string, demand resource.Set, finish, deadline
 		l.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrDuplicate, name)
 	}
-	for _, other := range l.holds {
-		if other.name == name {
-			l.mu.Unlock()
-			return fmt.Errorf("%w: %s (held by prepare %s)", ErrDuplicate, name, other.key)
-		}
+	if otherKey, held := l.heldNames[name]; held {
+		l.mu.Unlock()
+		return fmt.Errorf("%w: %s (held by prepare %s)", ErrDuplicate, name, otherKey)
 	}
 	l.holds[key] = h
+	l.heldNames[name] = key
 	l.mu.Unlock()
 	abandon := func() {
 		l.mu.Lock()
 		delete(l.holds, key)
+		if l.heldNames[name] == key {
+			delete(l.heldNames, name)
+		}
 		l.mu.Unlock()
 	}
 
@@ -141,25 +143,29 @@ func (l *Ledger) Prepare(key, name string, demand resource.Set, finish, deadline
 	}
 	parts := splitByShard(trimmed)
 	// Check every shard before touching any, so a rejection leaves the
-	// ledger exactly as it was.
-	candidates := make([]resource.Set, len(shards))
-	for i, sh := range shards {
+	// ledger exactly as it was. The fit check runs against the cached
+	// free view (free dominates part ⟺ θ dominates reserved ∪ part), so
+	// a loaded shard pays an incremental patch, not a full recompute.
+	for _, sh := range shards {
 		part, ok := parts[sh.loc]
 		if !ok {
 			continue
 		}
-		cand := sh.reserved.Union(part)
-		if !sh.theta.Dominates(cand) {
+		free, err := sh.freeView()
+		if err != nil {
+			unlock()
+			abandon()
+			return fmt.Errorf("server: shard %s invariant broken: %w", sh.loc, err)
+		}
+		if !free.Dominates(part) {
 			unlock()
 			abandon()
 			return fmt.Errorf("%w: shard %s cannot hold prepare %s for %s", ErrOvercommit, sh.loc, key, name)
 		}
-		candidates[i] = cand
 	}
-	for i, sh := range shards {
-		if _, ok := parts[sh.loc]; ok {
-			sh.reserved = candidates[i]
-			sh.dirty()
+	for _, sh := range shards {
+		if part, ok := parts[sh.loc]; ok {
+			sh.applyReserve(part)
 		}
 	}
 	unlock()
@@ -192,6 +198,9 @@ func (l *Ledger) Commit(key string) error {
 		return fmt.Errorf("%w: %s expired at t=%d, now t=%d", ErrLeaseExpired, key, h.expiry, now)
 	}
 	delete(l.holds, key)
+	if l.heldNames[h.name] == key {
+		delete(l.heldNames, h.name)
+	}
 	l.commits[h.name] = &commitment{
 		name:     h.name,
 		locs:     h.locs,
@@ -231,6 +240,9 @@ func (l *Ledger) Abort(key string) error {
 		return nil
 	}
 	delete(l.holds, key)
+	if l.heldNames[h.name] == key {
+		delete(l.heldNames, h.name)
+	}
 	l.mu.Unlock()
 	if err := l.releaseDemand(h.locs, h.demand); err != nil {
 		return fmt.Errorf("server: aborting %s: %w", key, err)
@@ -245,9 +257,23 @@ func (l *Ledger) Abort(key string) error {
 // clock the view was taken at. Coordinators plan against this view; the
 // subsequent Prepare re-checks, so staleness costs a rejection, never an
 // overcommit.
+// The returned set must be treated as read-only: single-location
+// requests (the common case) return the shard's cached free view
+// directly — no clone, no allocation on the warm path — and multi-
+// location requests share the untouched shards' profiles.
 func (l *Ledger) FreeView(locs []resource.Location) (resource.Set, interval.Time, error) {
 	if err := l.checkOwned(locs); err != nil {
 		return resource.Set{}, 0, err
+	}
+	if len(locs) == 1 {
+		sh := l.shardFor(locs[0])
+		sh.mu.Lock()
+		part, err := sh.freeView()
+		sh.mu.Unlock()
+		if err != nil {
+			return resource.Set{}, 0, fmt.Errorf("server: shard %s invariant broken: %w", locs[0], err)
+		}
+		return part, l.Now(), nil
 	}
 	shards, unlock := l.lockedShards(locs)
 	defer unlock()
@@ -257,7 +283,7 @@ func (l *Ledger) FreeView(locs []resource.Location) (resource.Set, interval.Time
 		if err != nil {
 			return resource.Set{}, 0, fmt.Errorf("server: shard %s invariant broken: %w", sh.loc, err)
 		}
-		free = free.Union(part)
+		free = free.PatchUnion(part)
 	}
 	return free, l.Now(), nil
 }
