@@ -20,6 +20,8 @@ import (
 	"repro/internal/interval"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/assure"
+	"repro/internal/obs/flightrec"
 	"repro/internal/obs/span"
 	"repro/internal/resource"
 	"repro/internal/server"
@@ -56,17 +58,19 @@ const (
 )
 
 type chaosSelftestConfig struct {
-	nodes    int
-	locs     []resource.Location
-	server   server.Config
-	leaseTTL interval.Time
-	requests int
-	clients  int
-	seed     int64
-	slack    float64
-	horizon  interval.Time
-	csv      bool
-	spanCap  int
+	nodes      int
+	locs       []resource.Location
+	server     server.Config
+	leaseTTL   interval.Time
+	requests   int
+	clients    int
+	seed       int64
+	slack      float64
+	horizon    interval.Time
+	csv        bool
+	spanCap    int
+	assureOn   bool
+	flightSize int
 }
 
 // chaosMember is one node slot in the harness. A kill round tears the
@@ -161,11 +165,25 @@ func runChaosSelftest(out io.Writer, cfg chaosSelftestConfig) (err error) {
 		if cfg.spanCap > 0 {
 			spans = span.NewStore(cfg.spanCap, id)
 		}
+		// Each node gets its own promise ledger and flight recorder; a
+		// restarted slot starts both fresh, like any rejoining daemon. The
+		// recorder tees the node's event log so its snapshots carry the
+		// lead-up to each trigger.
+		scfg := cfg.server
+		if cfg.assureOn {
+			scfg.Assure = assure.New(id)
+		}
+		var sink io.Writer = lg
+		if cfg.flightSize > 0 {
+			rec := flightrec.New(id, cfg.flightSize, flightrec.DefaultSnapshotCap, spans)
+			scfg.FlightRec = rec
+			sink = io.MultiWriter(lg, rec.Writer())
+		}
 		return cluster.New(cluster.Config{
 			Self:           id,
 			Peers:          peers,
 			Join:           join,
-			Server:         cfg.server,
+			Server:         scfg,
 			LeaseTTL:       cfg.leaseTTL,
 			GossipInterval: chaosGossip,
 			RPCTimeout:     chaosRPCTimeout,
@@ -175,7 +193,7 @@ func runChaosSelftest(out io.Writer, cfg chaosSelftestConfig) (err error) {
 			SuspectPhi:     chaosSuspectPhi,
 			EvictPhi:       chaosEvictPhi, // > 0: automatic quorum eviction ON
 			Transport:      net0.Transport(id, nil),
-			Obs:            obs.New(obs.Options{Log: lg, Node: id}),
+			Obs:            obs.New(obs.Options{Log: sink, Node: id}),
 			Spans:          spans,
 		})
 	}
@@ -530,6 +548,57 @@ func runChaosSelftest(out io.Writer, cfg chaosSelftestConfig) (err error) {
 		return errors.New("chaos selftest: background load admitted nothing; the schedule was not exercised under load")
 	}
 
+	// Deadline-assurance acceptance: across every kill, partition, and
+	// promotion, no node may report a violated promise — failover must
+	// carry each admitted job's deadline window intact — and kept
+	// promises must exist, or the ledger tracked nothing. Read through
+	// the cluster fan-out so the endpoint itself is exercised.
+	var assureTotals assure.Stats
+	if cfg.assureOn {
+		var resp cluster.ClusterAssureResponse
+		if err := getJSON(ctx, httpc, members[0].url+"/v1/assure", &resp); err != nil {
+			return fmt.Errorf("chaos selftest: cluster assure fan-out: %w", err)
+		}
+		assureTotals = resp.Totals
+		for id, rep := range resp.Nodes {
+			if rep.Stats.Violated != 0 {
+				return fmt.Errorf("chaos selftest: node %s reports %d violated promises; failover broke a deadline window", id, rep.Stats.Violated)
+			}
+		}
+		if assureTotals.Violated != 0 {
+			return fmt.Errorf("chaos selftest: %d promises violated across the cluster, want 0", assureTotals.Violated)
+		}
+		if assureTotals.Kept == 0 {
+			return errors.New("chaos selftest: no kept promises recorded despite admitted load")
+		}
+	}
+
+	// Flight-recorder acceptance: the automatic evictions above must have
+	// frozen snapshots on the survivors, and merging them — the exact
+	// code path rotadoctor runs — must reconstruct at least one connected
+	// trace spanning two or more nodes.
+	var incident *flightrec.Incident
+	if cfg.flightSize > 0 {
+		var snaps []flightrec.Snapshot
+		for _, m := range alive() {
+			var idx server.FlightRecIndex
+			if err := getJSON(ctx, httpc, m.url+"/debug/rota/flightrec", &idx); err != nil {
+				return fmt.Errorf("chaos selftest: flightrec index from %s: %w", m.id, err)
+			}
+			snaps = append(snaps, idx.Snapshots...)
+		}
+		if len(snaps) == 0 {
+			return errors.New("chaos selftest: no flight-recorder snapshots despite quorum evictions")
+		}
+		incident = flightrec.Merge(snaps)
+		if len(incident.CrossNode) == 0 {
+			var buf bytes.Buffer
+			incident.WriteReport(&buf, 40)
+			return fmt.Errorf("chaos selftest: %d snapshots from %v merged into no connected cross-node trace:\n%s",
+				len(snaps), incident.Nodes, buf.String())
+		}
+	}
+
 	fc := net0.Counters()
 	t := metrics.NewTable(
 		fmt.Sprintf("rotad chaos selftest: %d nodes, seed %d, %d load batches", cfg.nodes, cfg.seed, tot.batches),
@@ -552,6 +621,17 @@ func runChaosSelftest(out io.Writer, cfg chaosSelftestConfig) (err error) {
 	t.AddRow("fenced gossip 421s", fenced)
 	t.AddRow("intent repairs", repairs)
 	t.AddRow("standby promotions", promotions)
+	if cfg.assureOn {
+		t.AddRow("promises kept", assureTotals.Kept)
+		t.AddRow("promises violated", assureTotals.Violated)
+		t.AddRow("promises transferred", assureTotals.Transferred)
+		t.AddRow("promises evicted with job", assureTotals.EvictedWithJob)
+		t.AddRow("slo attainment", assureTotals.Attainment)
+	}
+	if incident != nil {
+		t.AddRow("flight snapshots merged", len(incident.Snapshots))
+		t.AddRow("cross-node traces", len(incident.CrossNode))
+	}
 	t.AddRow("wire passed", fc.Passed)
 	t.AddRow("wire dropped", fc.Dropped)
 	t.AddRow("wire partition drops", fc.Partition)
@@ -561,8 +641,33 @@ func runChaosSelftest(out io.Writer, cfg chaosSelftestConfig) (err error) {
 	} else {
 		t.Render(out)
 	}
+	if incident != nil {
+		fmt.Fprintln(out)
+		incident.WriteReport(out, 20)
+	}
 	fmt.Fprintln(out, "chaos selftest ok")
 	return nil
+}
+
+// getJSON fetches a URL and decodes its JSON body, failing on non-200.
+func getJSON(ctx context.Context, client *http.Client, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s returned %d: %s", url, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return json.Unmarshal(data, v)
 }
 
 func msSince(t time.Time) float64 { return float64(time.Since(t).Microseconds()) / 1000 }

@@ -19,6 +19,8 @@ import (
 	"repro/internal/interval"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/assure"
+	"repro/internal/obs/flightrec"
 	"repro/internal/obs/span"
 	"repro/internal/resource"
 	"repro/internal/server"
@@ -30,17 +32,32 @@ import (
 // a deterministic coordinator-crash probe and a migration probe around
 // the main load.
 type clusterSelftestConfig struct {
-	nodes    int
-	locs     []resource.Location
-	server   server.Config
-	leaseTTL interval.Time
-	requests int
-	clients  int
-	seed     int64
-	slack    float64
-	horizon  interval.Time
-	csv      bool
-	spanCap  int
+	nodes      int
+	locs       []resource.Location
+	server     server.Config
+	leaseTTL   interval.Time
+	requests   int
+	clients    int
+	seed       int64
+	slack      float64
+	horizon    interval.Time
+	csv        bool
+	spanCap    int
+	assureOn   bool
+	flightSize int
+}
+
+// nodeServerConfig specializes the shared server config for one member:
+// its own promise ledger and flight recorder (both strictly node-local).
+func (cfg clusterSelftestConfig) nodeServerConfig(id string, spans *span.Store) server.Config {
+	scfg := cfg.server
+	if cfg.assureOn {
+		scfg.Assure = assure.New(id)
+	}
+	if cfg.flightSize > 0 {
+		scfg.FlightRec = flightrec.New(id, cfg.flightSize, flightrec.DefaultSnapshotCap, spans)
+	}
+	return scfg
 }
 
 // runClusterSelftest boots the loopback cluster, injects a coordinator
@@ -88,7 +105,7 @@ func runClusterSelftest(out io.Writer, cfg clusterSelftestConfig) error {
 		nd, err := cluster.New(cluster.Config{
 			Self:           peers[i].ID,
 			Peers:          peers,
-			Server:         cfg.server,
+			Server:         cfg.nodeServerConfig(peers[i].ID, spanStores[i]),
 			LeaseTTL:       cfg.leaseTTL,
 			GossipInterval: 100 * time.Millisecond,
 			Obs:            obs.New(obs.Options{Log: logs[i], Node: peers[i].ID}),
@@ -387,7 +404,7 @@ func runClusterSelftest(out io.Writer, cfg clusterSelftestConfig) error {
 		Self:           joinerID,
 		Peers:          []cluster.Peer{{ID: joinerID, URL: "http://" + jln.Addr().String()}},
 		Join:           true,
-		Server:         cfg.server,
+		Server:         cfg.nodeServerConfig(joinerID, joinerSpans),
 		LeaseTTL:       cfg.leaseTTL,
 		GossipInterval: 100 * time.Millisecond,
 		Obs:            obs.New(obs.Options{Log: &bytes.Buffer{}, Node: joinerID}),
@@ -568,6 +585,38 @@ func runClusterSelftest(out io.Writer, cfg clusterSelftestConfig) error {
 		}
 	}
 	fmt.Fprintf(out, "failover probe ok (first admit %.1f ms after kill)\n", failoverAdmitMS)
+
+	// Probe 7: deadline-assurance continuity. Nothing in the whole run —
+	// handoff, migration, failover — may have violated a promise, and the
+	// seeds that rode the promotion must be accounted for on the new
+	// primary (kept once complete, active until then), never orphaned.
+	if cfg.assureOn {
+		var aresp cluster.ClusterAssureResponse
+		if err := getJSON(ctx, httpc, peers[0].URL+"/v1/assure", &aresp); err != nil {
+			return fmt.Errorf("cluster selftest: assure fan-out: %w", err)
+		}
+		if aresp.Totals.Violated != 0 {
+			return fmt.Errorf("cluster selftest: %d promises violated, want 0", aresp.Totals.Violated)
+		}
+		if aresp.Totals.Kept == 0 {
+			return errors.New("cluster selftest: no kept promises recorded despite released admissions")
+		}
+		for i := 0; i < memberSeeds; i++ {
+			name := fmt.Sprintf("probe-member-%d", i)
+			var jresp cluster.ClusterAssureJobResponse
+			if err := getJSON(ctx, httpc, peers[0].URL+"/v1/assure?job="+name, &jresp); err != nil {
+				return fmt.Errorf("cluster selftest: assure lookup %s: %w", name, err)
+			}
+			if !jresp.Found {
+				return fmt.Errorf("cluster selftest: no node accounts for %s's promise after failover", name)
+			}
+			if st := jresp.Promise.State; st == assure.StateOrphaned || st == assure.StateViolated {
+				return fmt.Errorf("cluster selftest: %s's promise is %s after failover, want kept or active", name, st)
+			}
+		}
+		fmt.Fprintf(out, "assure continuity probe ok (%d kept, %d transferred, attainment %.3f)\n",
+			aresp.Totals.Kept, aresp.Totals.Transferred, aresp.Totals.Attainment)
+	}
 
 	// Report.
 	t := metrics.NewTable(

@@ -45,6 +45,8 @@ import (
 	"repro/internal/interval"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/assure"
+	"repro/internal/obs/flightrec"
 	"repro/internal/obs/span"
 	"repro/internal/resource"
 	"repro/internal/server"
@@ -96,6 +98,8 @@ func run(args []string, out io.Writer) error {
 	clusterN := fs.Int("cluster", 0, "selftest: boot an N-node loopback cluster instead of a single daemon")
 	chaos := fs.Bool("chaos", false, "selftest: randomized kill/partition/heal schedule with automatic failure detection (needs -cluster >= 3)")
 	metricsOn := fs.Bool("metrics", true, "serve the Prometheus text exposition on GET /metrics")
+	assureOn := fs.Bool("assure", true, "track a deadline-assurance promise per admitted job (GET /v1/assure)")
+	flightSize := fs.Int("flightrec-size", flightrec.DefaultEventCap, "anomaly flight-recorder event ring size (snapshots at GET /debug/rota/flightrec; 0 disables)")
 	spanCap := fs.Int("span-store", span.DefaultCapacity, "span ring-buffer capacity (spans kept for GET /debug/rota/trace/{id}; 0 disables span tracing)")
 	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	slowMS := fs.Int("slow-ms", 0, "log admission decisions slower than this many milliseconds, with per-phase timings (0 disables)")
@@ -108,11 +112,38 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var spans *span.Store
+	if *spanCap > 0 {
+		spans = span.NewStore(*spanCap, *node)
+	}
+	// The assure ledger and flight recorder name their records after the
+	// node; a single-node daemon has no -node, so fall back to the binary.
+	recNode := *node
+	if recNode == "" {
+		recNode = "rotad"
+	}
+	var asr *assure.Ledger
+	if *assureOn {
+		asr = assure.New(recNode)
+	}
+	var rec *flightrec.Recorder
+	if *flightSize > 0 {
+		rec = flightrec.New(recNode, *flightSize, flightrec.DefaultSnapshotCap, spans)
+	}
 	// The daemon logs events to stderr; selftest modes keep the event
-	// stream off (the cluster selftest wires its own per-node sinks).
+	// stream off (the cluster selftest wires its own per-node sinks). The
+	// flight recorder tees the same stream into its ring so a snapshot
+	// carries the lead-up to its trigger.
 	var logSink io.Writer
 	if !*selftest {
 		logSink = os.Stderr
+	}
+	if rec != nil {
+		if logSink != nil {
+			logSink = io.MultiWriter(logSink, rec.Writer())
+		} else {
+			logSink = rec.Writer()
+		}
 	}
 	observer := obs.New(obs.Options{
 		Log:          logSink,
@@ -144,10 +175,6 @@ func run(args []string, out io.Writer) error {
 		theta = theta.Union(extra)
 	}
 
-	var spans *span.Store
-	if *spanCap > 0 {
-		spans = span.NewStore(*spanCap, *node)
-	}
 	scfg := server.Config{
 		Policy:           policy,
 		Theta:            theta,
@@ -156,6 +183,8 @@ func run(args []string, out io.Writer) error {
 		DecisionTimeout:  *timeout,
 		Obs:              observer,
 		Spans:            spans,
+		Assure:           asr,
+		FlightRec:        rec,
 		AdmitRetries:     *admitRetries,
 		NoAdmitBatch:     !*admitBatch,
 		PessimisticAdmit: *pessimisticAdmit,
@@ -174,33 +203,43 @@ func run(args []string, out io.Writer) error {
 		if *clusterN < 3 {
 			return errors.New("-chaos needs -cluster N with N >= 3 (quorum eviction is undefined below 3 members)")
 		}
+		// Promise ledgers and flight recorders are strictly per node; the
+		// selftest harnesses build their own from the knobs below.
+		ccfg := scfg
+		ccfg.Assure, ccfg.FlightRec = nil, nil
 		return runChaosSelftest(out, chaosSelftestConfig{
-			nodes:    *clusterN,
-			locs:     locs,
-			server:   scfg,
-			leaseTTL: interval.Time(*leaseTTL),
-			requests: *requests,
-			clients:  *clients,
-			seed:     *seed,
-			slack:    *slack,
-			horizon:  interval.Time(*horizon),
-			csv:      *csv,
-			spanCap:  *spanCap,
+			nodes:      *clusterN,
+			locs:       locs,
+			server:     ccfg,
+			leaseTTL:   interval.Time(*leaseTTL),
+			requests:   *requests,
+			clients:    *clients,
+			seed:       *seed,
+			slack:      *slack,
+			horizon:    interval.Time(*horizon),
+			csv:        *csv,
+			spanCap:    *spanCap,
+			assureOn:   *assureOn,
+			flightSize: *flightSize,
 		})
 	}
 	if *selftest && *clusterN > 1 {
+		ccfg := scfg
+		ccfg.Assure, ccfg.FlightRec = nil, nil
 		return runClusterSelftest(out, clusterSelftestConfig{
-			nodes:    *clusterN,
-			locs:     locs,
-			server:   scfg,
-			leaseTTL: interval.Time(*leaseTTL),
-			requests: *requests,
-			clients:  *clients,
-			seed:     *seed,
-			slack:    *slack,
-			horizon:  interval.Time(*horizon),
-			csv:      *csv,
-			spanCap:  *spanCap,
+			nodes:      *clusterN,
+			locs:       locs,
+			server:     ccfg,
+			leaseTTL:   interval.Time(*leaseTTL),
+			requests:   *requests,
+			clients:    *clients,
+			seed:       *seed,
+			slack:      *slack,
+			horizon:    interval.Time(*horizon),
+			csv:        *csv,
+			spanCap:    *spanCap,
+			assureOn:   *assureOn,
+			flightSize: *flightSize,
 		})
 	}
 
@@ -500,6 +539,19 @@ func runSelftest(out io.Writer, srv *server.Server, locs []resource.Location, re
 		return fmt.Errorf("selftest: query probe: %w", err)
 	}
 	fmt.Fprintln(out, "query probe ok")
+	// Assure probe: every released admission must have resolved to a kept
+	// promise, and nothing may have violated — a violation here means the
+	// Theorem-4 check admitted something the ledger could not honor.
+	if asr := srv.Assure(); asr != nil {
+		as := asr.Stats()
+		if as.Violated != 0 {
+			return fmt.Errorf("selftest: %d promises violated (deadline assurance broken)", as.Violated)
+		}
+		if as.Kept+as.Active == 0 {
+			return errors.New("selftest: promise ledger tracked nothing despite admissions")
+		}
+		fmt.Fprintf(out, "assure probe ok (%d kept, %d active, attainment %.3f)\n", as.Kept, as.Active, as.Attainment)
+	}
 	if err := srv.Ledger().Audit(); err != nil {
 		return fmt.Errorf("selftest: %w", err)
 	}

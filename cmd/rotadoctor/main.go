@@ -1,0 +1,132 @@
+// Command rotadoctor turns flight-recorder snapshots into an incident
+// report. It collects snapshots from daemon /debug/rota/flightrec
+// endpoints or saved JSON files (a whole index or a single snapshot),
+// merges them into one causal timeline — events ordered across nodes,
+// span trees rebuilt with span.BuildTrees — and prints a human-readable
+// report: what triggered on which node, the interleaved event log, and
+// each cross-node trace with its critical path.
+//
+// Usage:
+//
+//	rotadoctor http://n1:8081 http://n2:8082 http://n3:8083
+//	rotadoctor snapshot.json other-node.json
+//	curl -s http://n1:8081/debug/rota/flightrec | rotadoctor -
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/obs/flightrec"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rotadoctor:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rotadoctor", flag.ContinueOnError)
+	timeline := fs.Int("timeline", 120, "max merged timeline lines to print (0 = all)")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-node HTTP timeout")
+	asJSON := fs.Bool("json", false, "emit the merged incident as JSON instead of a report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return errors.New("usage: rotadoctor [-timeline N] [-json] <url|snapshot.json|->...")
+	}
+	client := &http.Client{Timeout: *timeout}
+	var snaps []flightrec.Snapshot
+	var srcErrs []string
+	for _, src := range fs.Args() {
+		got, err := load(client, src)
+		if err != nil {
+			srcErrs = append(srcErrs, src+": "+err.Error())
+			continue
+		}
+		snaps = append(snaps, got...)
+	}
+	for _, e := range srcErrs {
+		fmt.Fprintln(out, "warn:", e)
+	}
+	if len(snaps) == 0 {
+		return errors.New("no flight-recorder snapshots found in any source")
+	}
+	inc := flightrec.Merge(snaps)
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(inc)
+	}
+	inc.WriteReport(out, *timeline)
+	return nil
+}
+
+// load reads snapshots from one source: a daemon base URL (fetches the
+// flight-recorder index), a JSON file, or "-" for stdin. Files may hold
+// an index, a bare snapshot, or an array of snapshots.
+func load(client *http.Client, src string) ([]flightrec.Snapshot, error) {
+	var raw []byte
+	switch {
+	case src == "-":
+		b, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return nil, err
+		}
+		raw = b
+	case strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://"):
+		url := strings.TrimSuffix(src, "/") + "/debug/rota/flightrec"
+		resp, err := client.Get(url)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(b)))
+		}
+		raw = b
+	default:
+		b, err := os.ReadFile(src)
+		if err != nil {
+			return nil, err
+		}
+		raw = b
+	}
+	return decode(raw)
+}
+
+// decode accepts the three shapes a source can contain. An index is
+// recognized by the presence of its "snapshots" key (the daemon always
+// serializes it, even empty), so a healthy node with nothing recorded
+// reads as zero snapshots rather than a parse failure.
+func decode(raw []byte) ([]flightrec.Snapshot, error) {
+	var idx struct {
+		Snapshots *[]flightrec.Snapshot `json:"snapshots"`
+	}
+	if err := json.Unmarshal(raw, &idx); err == nil && idx.Snapshots != nil {
+		return *idx.Snapshots, nil
+	}
+	var many []flightrec.Snapshot
+	if err := json.Unmarshal(raw, &many); err == nil && len(many) > 0 {
+		return many, nil
+	}
+	var one flightrec.Snapshot
+	if err := json.Unmarshal(raw, &one); err == nil && one.ID != "" {
+		return []flightrec.Snapshot{one}, nil
+	}
+	return nil, errors.New("not a flight-recorder index, snapshot, or snapshot array")
+}

@@ -11,6 +11,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +22,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/assure"
 	"repro/internal/resource"
 	"repro/internal/server"
 	"repro/internal/workload"
@@ -134,6 +136,15 @@ func run(args []string, out io.Writer) error {
 		t.AddRow("server decision p50 µs", stats.DecisionLatencyUS.P50)
 		t.AddRow("server decision p99 µs", stats.DecisionLatencyUS.P99)
 	}
+	// The daemon's own account of the run: did every admitted deadline
+	// hold? /v1/assure answers for one node or, via fan-out, a cluster.
+	if as, err := fetchAssure(context.Background(), baseURL, *timeout); err == nil {
+		t.AddRow("promise_violations", as.Violated)
+		t.AddRow("promises kept", as.Kept)
+		t.AddRow("promises active", as.Active)
+		t.AddRow("slo attainment", as.Attainment)
+		t.AddRow("violation burn rate/min", as.BurnRate)
+	}
 	// And the Prometheus exposition, when the daemon serves one: the
 	// counters a dashboard would scrape, read back over the same wire.
 	if m, err := scrapeMetrics(context.Background(), baseURL, *timeout); err == nil {
@@ -164,9 +175,9 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out)
 		st := metrics.NewTable(
 			fmt.Sprintf("slow log: %d slowest requests (rotatrace -spans -trace <trace> %s/debug/rota/trace)", len(report.Slow), baseURL),
-			"trace", "job", "admit", "latency µs")
+			"trace", "job", "admit", "latency µs", "slack@admit")
 		for _, s := range report.Slow {
-			st.AddRow(s.Trace, s.Job, s.Admit, s.LatencyUS)
+			st.AddRow(s.Trace, s.Job, s.Admit, s.LatencyUS, s.SlackAtAdmit)
 		}
 		if *csv {
 			st.RenderCSV(out)
@@ -179,6 +190,39 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("%d of %d requests errored", report.Errors, report.Requests)
 	}
 	return nil
+}
+
+// fetchAssure reads the promise-ledger stats from GET /v1/assure. The
+// shape differs between a single node (a Report with a stats block) and
+// a cluster member (a fan-out response with summed totals); decode both
+// and pick whichever the daemon sent.
+func fetchAssure(ctx context.Context, baseURL string, timeout time.Duration) (assure.Stats, error) {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/assure", nil)
+	if err != nil {
+		return assure.Stats{}, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return assure.Stats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return assure.Stats{}, fmt.Errorf("rotaload: %s/v1/assure returned %d", baseURL, resp.StatusCode)
+	}
+	var ar struct {
+		Cluster bool         `json:"cluster"`
+		Stats   assure.Stats `json:"stats"`
+		Totals  assure.Stats `json:"totals"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&ar); err != nil {
+		return assure.Stats{}, err
+	}
+	if ar.Cluster {
+		return ar.Totals, nil
+	}
+	return ar.Stats, nil
 }
 
 // scrapeMetrics fetches and parses the daemon's Prometheus exposition.

@@ -322,6 +322,7 @@ func New(cfg Config) (*Node, error) {
 	n.route("GET /v1/query", "query", n.handleQuery)
 	n.route("POST /v1/query", "query.eval", n.handleQueryPost)
 	n.route("GET /v1/stats", "stats", n.handleStats)
+	n.route("GET /v1/assure", "assure", n.handleAssure)
 	n.route("POST /v1/cluster/gossip", "cluster.gossip", n.handleGossip)
 	n.route("GET /v1/cluster/peers", "cluster.peers", n.handlePeers)
 	n.route("POST /v1/cluster/migrate", "cluster.migrate", n.handleMigrate)
@@ -341,6 +342,11 @@ func New(cfg Config) (*Node, error) {
 	n.route("POST /v1/cluster/abort", "cluster.abort", n.handleAbortIntercept)
 	n.mux.HandleFunc("GET /metrics", obs.Handler(n))
 	n.mux.Handle("/", srv)
+	// Flight-recorder snapshots on a cluster node carry the membership
+	// digest of the instant the trigger fired.
+	if rec := srv.FlightRecorder(); rec != nil {
+		rec.SetState(n.FlightState)
+	}
 
 	interval := cfg.GossipInterval
 	if interval == 0 {
@@ -1444,7 +1450,10 @@ func (n *Node) handleMigrate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, err)
 		return
 	}
-	if err := n.srv.Ledger().Release(req.Name); err != nil {
+	// ReleaseTransferred, not Release: the deadline promise moved with
+	// the job (the target adopted it at commit) — this node's record is
+	// a transfer, not a kept outcome.
+	if err := n.srv.Ledger().ReleaseTransferred(req.Name); err != nil {
 		// The job now lives on both nodes; roll the target back so the
 		// original commitment remains the single source of truth.
 		n.abortOn(sctx, target, key)

@@ -19,6 +19,7 @@ import (
 	"repro/internal/interval"
 	"repro/internal/membership"
 	"repro/internal/obs"
+	"repro/internal/obs/assure"
 	"repro/internal/obs/span"
 	"repro/internal/resource"
 	"repro/internal/server"
@@ -72,7 +73,7 @@ func newTestCluster(t testing.TB, nNodes, locsPerNode int, rate int64, horizon, 
 		nd, err := New(Config{
 			Self:           tc.peers[i].ID,
 			Peers:          tc.peers,
-			Server:         server.Config{Policy: &admission.Rota{}, Theta: theta},
+			Server:         server.Config{Policy: &admission.Rota{}, Theta: theta, Assure: assure.New(tc.peers[i].ID)},
 			LeaseTTL:       ttl,
 			GossipInterval: 50 * time.Millisecond,
 			Obs:            obs.New(obs.Options{Log: buf, Node: tc.peers[i].ID}),

@@ -603,6 +603,13 @@ func (n *Node) rejoin(vias []string) {
 
 	n.flowMu.Lock()
 	dropped := n.srv.Ledger().OwnedLocations()
+	// Every promise still open here dies with the fenced state: the jobs
+	// leave with their locations (the promoted standbys adopted them), so
+	// the terminal outcome on this node is evicted-with-job, not the
+	// `transferred` a deliberate handoff would record.
+	if evicted := n.srv.Assure().EvictAll(n.srv.Ledger().Now()); evicted > 0 {
+		n.obs.Log("assure.evicted_with_job", "node", n.self.ID, "promises", evicted)
+	}
 	n.srv.Ledger().DropLocations(dropped)
 	n.omu.Lock()
 	n.pendingOwned = make(map[resource.Location]uint64)

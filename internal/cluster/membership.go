@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/membership"
 	"repro/internal/metrics"
+	"repro/internal/obs/flightrec"
 	"repro/internal/obs/span"
 	"repro/internal/resource"
 	"repro/internal/server"
@@ -349,6 +350,22 @@ func (n *Node) installTable(t *membership.Table) bool {
 	n.imu.Unlock()
 	n.obs.Log("membership.apply",
 		"node", n.self.ID, "epoch", t.Epoch, "members", len(t.Members))
+	// A member present before and gone now was evicted (or left). Freeze
+	// a flight-recorder snapshot on every node applying the shrink: the
+	// run-up evidence — suspicion, accusations, the quorum forming — is
+	// exactly what an incident review needs, and snapshots landing on
+	// several nodes at once are what lets rotadoctor stitch the eviction
+	// into one cross-node timeline.
+	if rec := n.srv.FlightRecorder(); rec != nil {
+		for _, m := range prev.Members {
+			if m.ID == n.self.ID {
+				continue
+			}
+			if _, still := t.Member(m.ID); !still {
+				rec.Trigger(flightrec.TriggerEviction, m.ID)
+			}
+		}
+	}
 	// Ownership changed: standing watches whose footprint touches moved
 	// locations must re-evaluate through the fan-out evaluator.
 	n.srv.Queries().Bump(n.srv.Ledger().Epoch(), "membership")

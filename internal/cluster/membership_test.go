@@ -17,6 +17,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/interval"
 	"repro/internal/obs"
+	"repro/internal/obs/assure"
 	"repro/internal/obs/span"
 	"repro/internal/query"
 	"repro/internal/resource"
@@ -37,7 +38,7 @@ func newJoiner(t *testing.T, id string) (*Node, string) {
 		Self:           id,
 		Peers:          []Peer{{ID: id, URL: url}},
 		Join:           true,
-		Server:         server.Config{Policy: &admission.Rota{}},
+		Server:         server.Config{Policy: &admission.Rota{}, Assure: assure.New(id)},
 		LeaseTTL:       50,
 		GossipInterval: 50 * time.Millisecond,
 		Obs:            obs.New(obs.Options{Log: &bytes.Buffer{}, Node: id}),

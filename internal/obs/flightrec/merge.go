@@ -1,0 +1,154 @@
+package flightrec
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/obs/span"
+)
+
+// TimelineEntry is one merged log line with its origin node attached.
+type TimelineEntry struct {
+	Node string `json:"node"`
+	Event
+}
+
+// Incident is several nodes' snapshots merged into one causal picture:
+// a wall-clock-ordered event timeline and span trees rebuilt across
+// node boundaries. Cross-node ordering is only as good as the clocks —
+// the span trees, whose parent links don't depend on clocks, are the
+// trustworthy causal skeleton.
+type Incident struct {
+	Snapshots []Snapshot      `json:"snapshots"`
+	Nodes     []string        `json:"nodes"`
+	Timeline  []TimelineEntry `json:"timeline,omitempty"`
+	// Trees are all reconstructed traces; CrossNode the connected ones
+	// whose spans live on two or more nodes — the causal chains that
+	// crossed the wire around the anomaly.
+	Trees     []*span.Tree `json:"-"`
+	CrossNode []*span.Tree `json:"-"`
+}
+
+// Merge combines snapshots (typically one or more per node) into an
+// incident. Spans appearing in several snapshots are deduplicated by
+// (trace, span) identity; events are deduplicated per node by sequence
+// number.
+func Merge(snaps []Snapshot) *Incident {
+	inc := &Incident{Snapshots: snaps}
+	nodes := map[string]bool{}
+	type evKey struct {
+		node string
+		seq  uint64
+	}
+	seenEv := map[evKey]bool{}
+	type spKey struct{ trace, id string }
+	seenSp := map[spKey]bool{}
+	var spans []span.Record
+	for _, s := range snaps {
+		nodes[s.Node] = true
+		for _, e := range s.Events {
+			k := evKey{s.Node, e.Seq}
+			if seenEv[k] {
+				continue
+			}
+			seenEv[k] = true
+			inc.Timeline = append(inc.Timeline, TimelineEntry{Node: s.Node, Event: e})
+		}
+		for _, r := range s.Spans {
+			k := spKey{r.Trace, r.ID}
+			if seenSp[k] {
+				continue
+			}
+			seenSp[k] = true
+			spans = append(spans, r)
+		}
+	}
+	for n := range nodes {
+		inc.Nodes = append(inc.Nodes, n)
+	}
+	sort.Strings(inc.Nodes)
+	sort.Slice(inc.Timeline, func(i, j int) bool {
+		a, b := inc.Timeline[i], inc.Timeline[j]
+		if !a.Wall.Equal(b.Wall) {
+			return a.Wall.Before(b.Wall)
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Seq < b.Seq
+	})
+	inc.Trees = span.BuildTrees(spans)
+	for _, t := range inc.Trees {
+		if t.Connected() && spanNodes(t) >= 2 {
+			inc.CrossNode = append(inc.CrossNode, t)
+		}
+	}
+	return inc
+}
+
+func spanNodes(t *span.Tree) int {
+	nodes := map[string]bool{}
+	var walk func(n *span.TreeNode)
+	walk = func(n *span.TreeNode) {
+		if n.Node != "" {
+			nodes[n.Node] = true
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+	return len(nodes)
+}
+
+// WriteReport prints a human-readable incident report: what triggered
+// where, the merged timeline around the anomaly, and the cross-node
+// causal chains.
+func (inc *Incident) WriteReport(w io.Writer, maxTimeline int) {
+	fmt.Fprintf(w, "incident: %d snapshot(s) from %d node(s) %v\n",
+		len(inc.Snapshots), len(inc.Nodes), inc.Nodes)
+	for _, s := range inc.Snapshots {
+		fmt.Fprintf(w, "  [%s] %s trigger=%s", s.Wall.Format("15:04:05.000"), s.ID, s.Trigger)
+		if s.Detail != "" {
+			fmt.Fprintf(w, " detail=%q", s.Detail)
+		}
+		fmt.Fprintf(w, " events=%d spans=%d\n", len(s.Events), len(s.Spans))
+		if s.State != nil {
+			fmt.Fprintf(w, "      state: %v\n", s.State)
+		}
+	}
+	if n := len(inc.Timeline); n > 0 {
+		fmt.Fprintf(w, "timeline (%d events", n)
+		entries := inc.Timeline
+		if maxTimeline > 0 && n > maxTimeline {
+			entries = entries[n-maxTimeline:]
+			fmt.Fprintf(w, ", last %d shown", maxTimeline)
+		}
+		fmt.Fprintln(w, "):")
+		for _, e := range entries {
+			fmt.Fprintf(w, "  %s %-8s %s\n", e.Wall.Format("15:04:05.000"), e.Node, e.Line)
+		}
+	}
+	fmt.Fprintf(w, "traces: %d total, %d connected cross-node\n",
+		len(inc.Trees), len(inc.CrossNode))
+	for i, t := range inc.CrossNode {
+		if i >= 4 {
+			fmt.Fprintf(w, "  ... %d more cross-node traces\n", len(inc.CrossNode)-i)
+			break
+		}
+		t.WriteTree(w)
+		if cp := t.CriticalPath(); len(cp) > 0 {
+			fmt.Fprintf(w, "  critical path: ")
+			for j, n := range cp {
+				if j > 0 {
+					fmt.Fprintf(w, " -> ")
+				}
+				fmt.Fprintf(w, "%s@%s", n.Kind, n.Node)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

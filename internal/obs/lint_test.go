@@ -36,7 +36,9 @@ const recurse = "<recurse>"
 var statFamilies = map[string]string{
 	// server.StatsResponse
 	"uptime_seconds":      "rota_uptime_seconds",
+	"build":               recurse,
 	"now":                 "rota_ledger_now",
+	"ledger_epoch":        "rota_ledger_epoch",
 	"shards":              "rota_ledger_shards",
 	"commitments":         "rota_ledger_commitments",
 	"decisions":           "rota_decisions_total",
@@ -54,6 +56,31 @@ var statFamilies = map[string]string{
 	"decision_latency_us": "rota_decision_latency_us",
 	"spans":               recurse,
 	"query":               recurse,
+	"assure":              recurse,
+	"flightrec":           recurse,
+	// server.BuildInfo
+	"go_version":     "rota_build_info",
+	"module_path":    "rota_build_info",
+	"module_version": "rota_build_info",
+	// assure.Stats
+	"promises_active":           "rota_assure_active_promises",
+	"promises_kept":             "rota_assure_promises_total",
+	"promises_violated":         "rota_assure_promises_total",
+	"promises_orphaned":         "rota_assure_promises_total",
+	"promises_evicted_with_job": "rota_assure_promises_total",
+	"promises_transferred":      "rota_assure_promises_total",
+	"slo_attainment":            "rota_assure_attainment",
+	"violation_burn_rate":       "rota_assure_burn_rate",
+	"slack_at_admit_ticks":      "rota_assure_slack_at_admit_ticks",
+	"slack_at_completion_ticks": "rota_assure_slack_at_completion_ticks",
+	// flightrec.Stats
+	"flight_snapshots":         "rota_flightrec_snapshots",
+	"flight_snapshot_capacity": "rota_flightrec_snapshot_capacity",
+	"flight_triggers":          "rota_flightrec_triggers_total",
+	"flight_triggers_deduped":  "rota_flightrec_triggers_deduped_total",
+	"flight_snapshots_evicted": "rota_flightrec_snapshots_evicted_total",
+	"flight_events_buffered":   "rota_flightrec_events_buffered",
+	"flight_event_capacity":    "rota_flightrec_event_capacity",
 	// server.AdmitHotCounters
 	"batches":         "rota_admit_batches_total",
 	"batched_jobs":    "rota_admit_batched_jobs_total",

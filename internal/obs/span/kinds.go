@@ -188,6 +188,19 @@ var (
 		"event", "trace event kind",
 		"detail", "event detail string",
 		"qty", "resource quantity, when the event carries one")
+
+	// Deadline-assurance kinds (internal/obs/assure, internal/obs/flightrec).
+	KindAssure = defineKind("assure",
+		"promise-ledger sweep that resolved anomalous terminal outcomes",
+		"violated", "promises whose deadline passed while the job was live",
+		"orphaned", "promises whose deadline passed with nobody holding the job",
+		"job", "job name, when a single promise resolved anomalously")
+
+	KindFlightRec = defineKind("flightrec",
+		"anomaly flight-recorder snapshot frozen by a trigger",
+		"trigger", "trigger kind that froze the snapshot",
+		"snapshot", "snapshot ID serving it at /debug/rota/flightrec/{id}",
+		"detail", "trigger detail (job name, audit error, evicted member)")
 )
 
 // Kinds returns every registered kind schema, sorted by name.

@@ -306,6 +306,8 @@ func (m *Manager) deliverLocked(sub *Subscription, v Verdict, prev *bool, reason
 	default:
 		sub.dropped.Add(1)
 		m.drops.Add(1)
+		m.log("query.drop", "sub", sub.id, "query", sub.c.Source(),
+			"seq", sub.seq, "dropped", sub.dropped.Load())
 	}
 }
 

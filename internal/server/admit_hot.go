@@ -9,6 +9,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/interval"
+	"repro/internal/obs/flightrec"
 	"repro/internal/obs/span"
 	"repro/internal/resource"
 	"repro/internal/workload"
@@ -203,8 +204,10 @@ func (l *Ledger) admitHot(ctx context.Context, policy admission.Policy, job work
 	}
 
 	// Bounded optimism exhausted: decide under the shard locks, which
-	// cannot conflict.
+	// cannot conflict. Persistent exhaustion is the replan-livelock smell
+	// the flight recorder wants evidence of.
 	l.hot.planFallbacks.Add(1)
+	l.flight.Trigger(flightrec.TriggerReplan, w.job.Dist.Name)
 	l.runLocked(locs, w)
 	out := <-w.done
 	return out.dec, out.err
@@ -558,6 +561,16 @@ func (l *Ledger) finalizeBatch(locs []resource.Location, admitted []*admitWork) 
 	}
 	l.mu.Unlock()
 	l.bumpEpoch("reserve")
+	if l.assure != nil {
+		// Every admission path (optimistic batch and locked fallback) ends
+		// here, so this is the single point where the deadline promise is
+		// made: the witness plan finishes at dec.Plan.Finish ≤ deadline.
+		epoch := l.epoch.Load()
+		for _, w := range admitted {
+			l.assure.Reserve(w.job.Dist.Name, w.now, w.dec.Plan.Finish,
+				w.job.Dist.Deadline, epoch, locs)
+		}
+	}
 	for _, w := range admitted {
 		w.done <- admitOutcome{dec: w.dec}
 	}

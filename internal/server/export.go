@@ -196,6 +196,11 @@ func (l *Ledger) DropLocations(locs []resource.Location) []string {
 		}
 		if remaining.Empty() {
 			delete(l.commits, name)
+			// The whole commitment left with the handoff: the receiving
+			// node adopts the promise on import, this node stops counting
+			// it. Partial drops keep the promise active here — some of the
+			// footprint is still this node's to honor.
+			l.assure.Transfer(name)
 			continue
 		}
 		c.locs = keptLocs
@@ -321,15 +326,23 @@ func (l *Ledger) ImportLocations(exports []LocationExport) error {
 				}
 				prev.plan = planFromSet(prev.name, merged, finish)
 				prev.locs = demandFootprint(merged)
+				l.assure.Adopt(c.Name, c.Admitted, finish, c.Deadline,
+					l.epoch.Load(), prev.locs)
 				continue
 			}
-			l.commits[c.Name] = &commitment{
+			newC := &commitment{
 				name:     c.Name,
 				locs:     demandFootprint(demand),
 				plan:     planFromSet(c.Name, demand, c.Finish),
 				deadline: c.Deadline,
 				admitted: c.Admitted,
 			}
+			l.commits[c.Name] = newC
+			// The promise crosses the wire with the commitment: a handoff
+			// import or standby promotion adopts the original deadline
+			// window, so outcomes keep being counted after the owner died.
+			l.assure.Adopt(c.Name, c.Admitted, c.Finish, c.Deadline,
+				l.epoch.Load(), newC.locs)
 		}
 		for _, h := range holds {
 			demand := h.demand.Clamp(interval.New(shNow, interval.Infinity))

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -26,6 +27,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/interval"
 	"repro/internal/obs"
+	"repro/internal/obs/assure"
+	"repro/internal/obs/flightrec"
 	"repro/internal/obs/span"
 	"repro/internal/resource"
 	"repro/internal/schedule"
@@ -247,6 +250,12 @@ type Ledger struct {
 	// spans records per-phase admission spans (plan search, reservation);
 	// nil-safe — a nil store disables span tracing.
 	spans *span.Store
+	// assure tracks the deadline promise behind every admitted job from
+	// reservation to terminal outcome; nil-safe — nil disables tracking.
+	assure *assure.Ledger
+	// flight freezes a forensic snapshot when an anomaly trigger fires
+	// (promise violation, audit mismatch); nil-safe.
+	flight *flightrec.Recorder
 
 	// Two-phase traffic counters, surfaced in /v1/stats.
 	prepares      atomic.Uint64
@@ -342,6 +351,20 @@ func (l *Ledger) SetSpanStore(st *span.Store) {
 // The callback must not block: it runs on the mutating goroutine.
 func (l *Ledger) SetEpochNotifier(fn func(epoch uint64, reason string)) {
 	l.notify.Store(fn)
+}
+
+// SetAssure attaches the deadline-assurance promise ledger. Intended to
+// be called once, before the ledger serves traffic; nil disables
+// promise tracking.
+func (l *Ledger) SetAssure(a *assure.Ledger) {
+	l.assure = a
+}
+
+// SetFlightRecorder attaches the anomaly flight recorder. Intended to
+// be called once, before the ledger serves traffic; nil disables
+// snapshot capture.
+func (l *Ledger) SetFlightRecorder(r *flightrec.Recorder) {
+	l.flight = r
 }
 
 // Epoch returns the ledger's change epoch. Two reads returning the same
@@ -592,6 +615,18 @@ func (l *Ledger) AdmitCtx(ctx context.Context, policy admission.Policy, job work
 // Release removes a commitment and returns its not-yet-consumed demand to
 // the free pool (completion, cancellation, or an executor-side abort).
 func (l *Ledger) Release(name string) error {
+	return l.release(name, false)
+}
+
+// ReleaseTransferred removes a commitment whose ownership moved to
+// another node (migration): the local demand is freed like Release, but
+// the deadline promise is marked transferred — the receiving node now
+// reports its outcome — instead of kept.
+func (l *Ledger) ReleaseTransferred(name string) error {
+	return l.release(name, true)
+}
+
+func (l *Ledger) release(name string, transferred bool) error {
 	l.mu.Lock()
 	c, ok := l.commits[name]
 	if !ok || c.pending {
@@ -609,7 +644,31 @@ func (l *Ledger) Release(name string) error {
 		return fmt.Errorf("server: releasing %s: %w", name, err)
 	}
 	l.bumpEpoch("release")
+	if transferred {
+		l.assure.Transfer(name)
+	} else if state := l.assure.Release(name, l.Now()); state == assure.StateViolated {
+		l.noteViolations([]string{name})
+	}
 	return nil
+}
+
+// noteViolations records the forensic trail of promise violations: a
+// KindAssure span on the timeline and a flight-recorder freeze. Healthy
+// paths cannot reach it (admission bounds every plan finish by its
+// deadline), so firing here always marks a bug or unmodeled failure.
+func (l *Ledger) noteViolations(violated []string) {
+	if len(violated) == 0 {
+		return
+	}
+	_, sp := l.spans.Start(context.Background(), span.KindAssure)
+	sp.Attr("violated", len(violated))
+	if len(violated) == 1 {
+		sp.Attr("job", violated[0])
+	}
+	sp.SetStatus("violated")
+	sp.End()
+	l.obs.Log("assure.violated", "jobs", strings.Join(violated, ","))
+	l.flight.Trigger(flightrec.TriggerViolation, strings.Join(violated, ","))
 }
 
 // releaseDemand returns a reservation's not-yet-consumed portion to the
@@ -691,6 +750,16 @@ func (l *Ledger) Advance(to interval.Time) ([]string, error) {
 			}
 		}
 	}
+	// Snapshot the still-live commitment names for the promise sweep
+	// below: a promise whose deadline passed is `violated` when its job
+	// is still in this set and `orphaned` when nobody holds it.
+	var liveJobs map[string]bool
+	if l.assure != nil {
+		liveJobs = make(map[string]bool, len(l.commits))
+		for name := range l.commits {
+			liveJobs[name] = true
+		}
+	}
 	l.mu.Unlock()
 
 	for _, sh := range shards {
@@ -710,6 +779,22 @@ func (l *Ledger) Advance(to interval.Time) ([]string, error) {
 	// the lease sweep land in the same epoch.
 	l.bumpEpoch("advance")
 	sort.Strings(done)
+	if l.assure != nil {
+		// Completions first — a commitment finishing inside this advance
+		// kept its promise even if its deadline is also behind `to`.
+		for _, name := range done {
+			l.assure.Complete(name, to)
+		}
+		violated, orphaned := l.assure.Sweep(to, func(job string) bool { return liveJobs[job] })
+		if len(orphaned) > 0 {
+			_, sp := l.spans.Start(context.Background(), span.KindAssure)
+			sp.Attr("orphaned", len(orphaned))
+			sp.SetStatus("orphaned")
+			sp.End()
+			l.obs.Log("assure.orphaned", "jobs", strings.Join(orphaned, ","), "now", to)
+		}
+		l.noteViolations(violated)
+	}
 	return done, nil
 }
 
@@ -844,8 +929,19 @@ func (l *Ledger) Commitment(name string) (CommitmentInfo, bool) {
 // equals the union of the live commitments' remaining demands plus the
 // leased (prepared) holds' demands, (2) Θ dominates it — no shard is
 // overcommitted even counting uncommitted holds — and (3) no hold's
-// lease has already expired (Advance must have swept it).
+// lease has already expired (Advance must have swept it). A failed
+// audit freezes a flight-recorder snapshot: the invariant break is the
+// anomaly whose run-up evidence must not scroll away.
 func (l *Ledger) Audit() error {
+	err := l.audit()
+	if err != nil {
+		l.obs.Log("assure.audit_mismatch", "error", err.Error())
+		l.flight.Trigger(flightrec.TriggerAudit, err.Error())
+	}
+	return err
+}
+
+func (l *Ledger) audit() error {
 	now := l.Now()
 	l.mu.Lock()
 	commits := make([]*commitment, 0, len(l.commits))

@@ -62,6 +62,10 @@ type SlowRequest struct {
 	Job       string
 	Admit     bool
 	LatencyUS int64
+	// SlackAtAdmit is deadline minus witness-plan finish in ledger ticks
+	// (admitted requests only): how close to the wire the Theorem-4 check
+	// let this job in.
+	SlackAtAdmit int64
 }
 
 // LoadReport aggregates a load run. Latencies are client-observed
@@ -215,7 +219,12 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 					firstErr.CompareAndSwap(nil, err.Error())
 					continue
 				}
-				noteSlow(SlowRequest{Trace: trace, Job: job.Dist.Name, Admit: resp.Admit, LatencyUS: latencyUS})
+				var slackAtAdmit int64
+				if resp.Admit {
+					slackAtAdmit = int64(resp.Deadline - resp.Finish)
+				}
+				noteSlow(SlowRequest{Trace: trace, Job: job.Dist.Name, Admit: resp.Admit,
+					LatencyUS: latencyUS, SlackAtAdmit: slackAtAdmit})
 				if !resp.Admit {
 					rejected.Add(1)
 					if resp.Provenance == nil {

@@ -1,9 +1,11 @@
 package server
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/assure"
 )
 
 // Prometheus exposition for the daemon core. Every exported field of
@@ -18,6 +20,9 @@ func (s *Server) CollectMetrics(e *obs.Exposition) {
 	st := s.Stats()
 
 	e.Gauge("rota_uptime_seconds", "Seconds since the daemon started.", nil, time.Since(s.started).Seconds())
+	bi := st.Build
+	e.Gauge("rota_build_info", "Build metadata as labels; the value is always 1.",
+		obs.L("go_version", bi.GoVersion).With("module", bi.Module).With("version", bi.Version), 1)
 	e.Gauge("rota_ledger_now", "The ledger clock, in ticks.", nil, float64(st.Now))
 	e.Gauge("rota_ledger_shards", "Location shards in the live ledger.", nil, float64(st.Shards))
 	e.Gauge("rota_ledger_commitments", "Live admitted commitments.", nil, float64(st.Commitments))
@@ -71,7 +76,55 @@ func (s *Server) CollectMetrics(e *obs.Exposition) {
 	e.Counter("rota_spans_recorded_total", "Spans recorded since start.", nil, float64(sp.Recorded))
 	e.Counter("rota_spans_evicted_total", "Spans overwritten to keep the store within its bound.", nil, float64(sp.Evicted))
 
+	as := st.Assure
+	e.Gauge("rota_assure_active_promises", "Admitted jobs whose deadline window is still open here.", nil, float64(as.Active))
+	e.Counter("rota_assure_promises_total", "Promise dispositions reached, by terminal state.", obs.L("state", "kept"), float64(as.Kept))
+	e.Counter("rota_assure_promises_total", "", obs.L("state", "violated"), float64(as.Violated))
+	e.Counter("rota_assure_promises_total", "", obs.L("state", "orphaned"), float64(as.Orphaned))
+	e.Counter("rota_assure_promises_total", "", obs.L("state", "evicted-with-job"), float64(as.EvictedWithJob))
+	e.Counter("rota_assure_promises_total", "", obs.L("state", "transferred"), float64(as.Transferred))
+	e.Gauge("rota_assure_attainment", "Kept promises over terminal outcomes (1.0 before any outcome).", nil, as.Attainment)
+	e.Gauge("rota_assure_burn_rate", "Promise violations per minute over the trailing 60s.", nil, as.BurnRate)
+	e.Summary("rota_assure_slack_at_admit_ticks", "Deadline minus witness-plan finish at admission, in ticks.", nil, s.cfg.Assure.SlackAtAdmit())
+	e.Summary("rota_assure_slack_at_completion_ticks", "Deadline minus completion time at resolution, in ticks.", nil, s.cfg.Assure.SlackAtCompletion())
+	for _, lo := range sortedLocationOutcomes(s.cfg.Assure.Locations()) {
+		e.Counter("rota_assure_location_promises_total", "Promise outcomes per footprint location.",
+			obs.L("loc", lo.loc).With("state", "kept"), float64(lo.out.Kept))
+		e.Counter("rota_assure_location_promises_total", "",
+			obs.L("loc", lo.loc).With("state", "violated"), float64(lo.out.Violated))
+		e.Gauge("rota_assure_location_attainment", "Per-location SLO attainment.",
+			obs.L("loc", lo.loc), lo.out.Attainment)
+	}
+
+	fr := st.FlightRec
+	e.Gauge("rota_flightrec_snapshots", "Flight-recorder snapshots currently held.", nil, float64(fr.Snapshots))
+	e.Gauge("rota_flightrec_snapshot_capacity", "Flight-recorder snapshot ring bound.", nil, float64(fr.SnapshotCapacity))
+	e.Counter("rota_flightrec_triggers_total", "Anomaly triggers fired (including deduplicated ones).", nil, float64(fr.Triggers))
+	e.Counter("rota_flightrec_triggers_deduped_total", "Triggers suppressed by the per-kind dedup window.", nil, float64(fr.Deduped))
+	e.Counter("rota_flightrec_snapshots_evicted_total", "Snapshots evicted to keep the ring within its bound.", nil, float64(fr.Evicted))
+	e.Gauge("rota_flightrec_events_buffered", "Log lines currently in the flight-recorder ring.", nil, float64(fr.Events))
+	e.Gauge("rota_flightrec_event_capacity", "Flight-recorder event ring bound.", nil, float64(fr.EventCapacity))
+
 	for _, es := range obs.SortedEndpoints(s.httpStats) {
 		es.Collect(e, obs.L("layer", "server"))
 	}
+}
+
+// sortedLocationOutcomes orders the per-location assure table so the
+// exposition is deterministic.
+func sortedLocationOutcomes(m map[string]assure.LocationOutcomes) []locOutcome {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]locOutcome, 0, len(m))
+	for loc, lo := range m {
+		out = append(out, locOutcome{loc: loc, out: lo})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].loc < out[j].loc })
+	return out
+}
+
+type locOutcome struct {
+	loc string
+	out assure.LocationOutcomes
 }

@@ -18,6 +18,8 @@ import (
 	"repro/internal/interval"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/assure"
+	"repro/internal/obs/flightrec"
 	"repro/internal/obs/span"
 	"repro/internal/query"
 	"repro/internal/resource"
@@ -63,6 +65,14 @@ type Config struct {
 	// admission hot path before falling back to planning under the shard
 	// locks; ≤0 keeps the ledger default (3).
 	AdmitRetries int
+	// Assure is the deadline-assurance promise ledger: every admitted
+	// job's promised window is tracked to a terminal outcome and served
+	// on GET /v1/assure. Nil disables promise tracking.
+	Assure *assure.Ledger
+	// FlightRec is the anomaly flight recorder: recent events and spans
+	// frozen into snapshots when a trigger fires, served under
+	// GET /debug/rota/flightrec. Nil disables snapshot capture.
+	FlightRec *flightrec.Recorder
 	// NoAdmitBatch disables the per-footprint batching of concurrent
 	// admissions (each admit still runs the optimistic path alone).
 	NoAdmitBatch bool
@@ -191,7 +201,9 @@ func New(cfg Config) (*Server, error) {
 	s.ledger.SetAdmitTuning(cfg.AdmitRetries, cfg.NoAdmitBatch, cfg.PessimisticAdmit)
 	s.ledger.SetObserver(cfg.Obs)
 	s.ledger.SetSpanStore(cfg.Spans)
-	s.queries = query.NewManager(s.managerEval, s.obs.Log)
+	s.ledger.SetAssure(cfg.Assure)
+	s.ledger.SetFlightRecorder(cfg.FlightRec)
+	s.queries = query.NewManager(s.managerEval, s.queryLog())
 	s.ledger.SetEpochNotifier(s.queries.Bump)
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/admit", "admit", s.handleAdmit)
@@ -205,8 +217,11 @@ func New(cfg Config) (*Server, error) {
 	s.route("POST /v1/watch", "watch.hook", s.handleWatchHook)
 	s.route("DELETE /v1/watch", "watch.drop", s.handleWatchDrop)
 	s.route("GET /v1/stats", "stats", s.handleStats)
+	s.route("GET /v1/assure", "assure", s.handleAssure)
 	s.route("GET /healthz", "healthz", s.handleHealth)
 	s.route("GET /debug/rota/trace/{id}", "trace", s.handleTraceDump)
+	s.route("GET /debug/rota/flightrec", "flightrec", s.handleFlightRecIndex)
+	s.route("GET /debug/rota/flightrec/{id}", "flightrec.get", s.handleFlightRecGet)
 	s.mux.HandleFunc("GET /metrics", obs.Handler(s))
 	// The node-local half of the federation protocol (internal/cluster
 	// drives these on peers).
@@ -232,6 +247,34 @@ func (s *Server) route(pattern, endpoint string, h http.HandlerFunc) {
 // Ledger exposes the live ledger (selftest and tests).
 func (s *Server) Ledger() *Ledger {
 	return s.ledger
+}
+
+// Assure exposes the promise ledger (nil when disabled). The cluster
+// layer reaches it here so promises survive jobs changing owners.
+func (s *Server) Assure() *assure.Ledger {
+	return s.cfg.Assure
+}
+
+// FlightRecorder exposes the anomaly flight recorder (nil when
+// disabled). The cluster layer fires membership triggers through it.
+func (s *Server) FlightRecorder() *flightrec.Recorder {
+	return s.cfg.FlightRec
+}
+
+// queryLog returns the structured-event sink handed to the query
+// manager. With a flight recorder attached, a watch-queue overflow
+// (the manager dropping a notification) freezes a snapshot: a consumer
+// that missed a verdict flip is an anomaly someone will ask about.
+func (s *Server) queryLog() func(event string, kv ...any) {
+	if s.cfg.FlightRec == nil {
+		return s.obs.Log
+	}
+	return func(event string, kv ...any) {
+		if event == "query.drop" {
+			s.cfg.FlightRec.Trigger(flightrec.TriggerWatchDrop, fmt.Sprint(kv...))
+		}
+		s.obs.Log(event, kv...)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -279,6 +322,9 @@ func (s *Server) worker() {
 			s.lateDecisions.Add(1)
 			rolledBack := false
 			if err == nil && dec.Admit {
+				// The admission is being unwound, not honored: drop the
+				// promise before the release so it isn't counted kept.
+				s.cfg.Assure.Drop(task.job.Dist.Name)
 				rolledBack = s.ledger.Release(task.job.Dist.Name) == nil
 			}
 			s.obs.Log("admit.late_decision",
@@ -396,9 +442,15 @@ type advanceRequest struct {
 // StatsResponse is the digest returned by GET /v1/stats.
 type StatsResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
-	Now           int64   `json:"now"`
-	Shards        int     `json:"shards"`
-	Commitments   int     `json:"commitments"`
+	// Build identifies the running binary so dashboards can detect
+	// restarts and version skew across a cluster.
+	Build BuildInfo `json:"build"`
+	Now   int64     `json:"now"`
+	// LedgerEpoch is the ledger's mutation epoch (also under query.epoch;
+	// surfaced at the top level so restart detection needs one field).
+	LedgerEpoch uint64 `json:"ledger_epoch"`
+	Shards      int    `json:"shards"`
+	Commitments int    `json:"commitments"`
 
 	// Decisions = Admitted + Rejected, always.
 	Decisions uint64 `json:"decisions"`
@@ -436,6 +488,15 @@ type StatsResponse struct {
 	// Query digests the temporal-query layer: one-shot evaluations,
 	// ledger epoch, subscription traffic and query latency.
 	Query QueryStats `json:"query"`
+
+	// Assure digests the deadline-assurance promise ledger: per-outcome
+	// promise counts, SLO attainment, violation burn rate and slack
+	// histograms. Zero when promise tracking is disabled.
+	Assure assure.Stats `json:"assure"`
+
+	// FlightRec digests the anomaly flight recorder: snapshots held,
+	// triggers fired/deduped, ring occupancy. Zero when disabled.
+	FlightRec flightrec.Stats `json:"flightrec"`
 }
 
 // QueryStats digests the temporal-query layer for /v1/stats.
@@ -658,7 +719,9 @@ func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request) {
 func (s *Server) Stats() StatsResponse {
 	return StatsResponse{
 		UptimeSeconds:     time.Since(s.started).Seconds(),
+		Build:             buildInfo(),
 		Now:               s.ledger.Now(),
+		LedgerEpoch:       s.ledger.Epoch(),
 		Shards:            s.ledger.NumShards(),
 		Commitments:       s.ledger.NumCommitments(),
 		Decisions:         s.admitted.Load() + s.rejected.Load(),
@@ -681,6 +744,8 @@ func (s *Server) Stats() StatsResponse {
 			Subs:      s.queries.Stats(),
 			LatencyUS: latencyStats(s.queryLatencyUS.Summary()),
 		},
+		Assure:    s.cfg.Assure.Stats(),
+		FlightRec: s.cfg.FlightRec.Stats(),
 	}
 }
 

@@ -214,6 +214,10 @@ func (l *Ledger) Commit(key string) error {
 	// The hold's demand stays reserved, but feasible/Allen atoms can now
 	// resolve the commitment by name: still a verdict-relevant change.
 	l.bumpEpoch("commit")
+	// The promise is adopted, not reserved: for a coordinated admission
+	// this participant holds its share of a promise made cluster-wide,
+	// and for a migration commit the promise predates this node entirely.
+	l.assure.Adopt(h.name, now, h.finish, h.deadline, l.epoch.Load(), h.locs)
 	return nil
 }
 
@@ -226,6 +230,9 @@ func (l *Ledger) Abort(key string) error {
 	l.mu.Lock()
 	if name, done := l.committedKeys[key]; done {
 		l.mu.Unlock()
+		// Rolling back a committed key unwinds the admission itself: the
+		// promise is dropped, not kept — the job never really ran here.
+		l.assure.Drop(name)
 		if err := l.Release(name); err != nil {
 			return fmt.Errorf("server: abort %s rolling back commitment %s: %w", key, name, err)
 		}
